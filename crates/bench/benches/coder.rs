@@ -1,0 +1,153 @@
+//! Microbenchmarks: range coder and baseline coders.
+//!
+//! Per-symbol throughput matters because every forwarded packet pays one
+//! encode per hop on a 16 MHz-class sensor MCU in the real system; here we
+//! just pin the relative costs of the coding options.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dophy_coding::bitio::{BitReader, BitWriter};
+use dophy_coding::elias::{gamma_decode, gamma_encode};
+use dophy_coding::golomb::RiceCoder;
+use dophy_coding::model::{AdaptiveModel, StaticModel, SymbolModel};
+use dophy_coding::range::{EncoderState, RangeDecoder, RangeEncoder};
+
+const N: usize = 10_000;
+
+fn symbols(n_alphabet: usize) -> Vec<usize> {
+    // Skewed quasi-geometric stream, like real retransmission counts.
+    (0..N)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(2654435761) % 100;
+            match x {
+                0..=69 => 0,
+                70..=89 => 1,
+                90..=96 => 2,
+                _ => 3,
+            }
+            .min(n_alphabet - 1)
+        })
+        .collect()
+}
+
+fn bench_range_coder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("range-coder");
+    g.throughput(Throughput::Elements(N as u64));
+    let syms = symbols(8);
+
+    g.bench_function("encode/static", |b| {
+        let mut model = StaticModel::truncated_geometric(8, 0.7);
+        b.iter(|| {
+            let mut enc = RangeEncoder::new();
+            for &s in &syms {
+                model.encode_symbol(&mut enc, s).unwrap();
+            }
+            black_box(enc.finish().unwrap().len())
+        });
+    });
+
+    g.bench_function("encode/adaptive", |b| {
+        b.iter(|| {
+            let mut model = AdaptiveModel::new(8);
+            let mut enc = RangeEncoder::new();
+            for &s in &syms {
+                model.encode_symbol(&mut enc, s).unwrap();
+            }
+            black_box(enc.finish().unwrap().len())
+        });
+    });
+
+    g.bench_function("decode/static", |b| {
+        let mut model = StaticModel::truncated_geometric(8, 0.7);
+        let mut enc = RangeEncoder::new();
+        for &s in &syms {
+            model.encode_symbol(&mut enc, s).unwrap();
+        }
+        let bytes = enc.finish().unwrap();
+        b.iter(|| {
+            let mut dec = RangeDecoder::new(&bytes).unwrap();
+            let mut acc = 0usize;
+            for _ in 0..N {
+                acc += model.decode_symbol(&mut dec).unwrap();
+            }
+            black_box(acc)
+        });
+    });
+
+    // The per-hop pattern: resume, encode two symbols, suspend.
+    g.bench_function("hop-encode-suspend", |b| {
+        let hop_model = StaticModel::truncated_geometric(12, 0.5);
+        let att_model = StaticModel::truncated_geometric(4, 0.7);
+        b.iter(|| {
+            let mut state = EncoderState::fresh();
+            let mut carried: Vec<u8> = Vec::new();
+            for i in 0..N / 2 {
+                let mut enc = RangeEncoder::resume(state, std::mem::take(&mut carried));
+                let (c, f) = hop_model.lookup(i % 3);
+                enc.encode(c, f, hop_model.total()).unwrap();
+                let (c, f) = att_model.lookup(i % 2);
+                enc.encode(c, f, att_model.total()).unwrap();
+                let (s, bytes) = enc.suspend();
+                state = s;
+                carried = bytes;
+            }
+            black_box(carried.len())
+        });
+    });
+    g.finish();
+}
+
+fn bench_baseline_coders(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline-coders");
+    g.throughput(Throughput::Elements(N as u64));
+    let values: Vec<u64> = symbols(8).iter().map(|&s| s as u64).collect();
+
+    for k in [0u32, 1] {
+        g.bench_with_input(BenchmarkId::new("rice-encode", k), &k, |b, &k| {
+            let coder = RiceCoder::new(k);
+            b.iter(|| {
+                let mut w = BitWriter::new();
+                for &v in &values {
+                    coder.encode(&mut w, v);
+                }
+                black_box(w.finish().len())
+            });
+        });
+    }
+
+    g.bench_function("rice-decode", |b| {
+        let coder = RiceCoder::new(0);
+        let mut w = BitWriter::new();
+        for &v in &values {
+            coder.encode(&mut w, v);
+        }
+        let bytes = w.finish();
+        b.iter(|| {
+            let mut r = BitReader::new(&bytes);
+            let mut acc = 0u64;
+            for _ in 0..N {
+                acc += coder.decode(&mut r).unwrap();
+            }
+            black_box(acc)
+        });
+    });
+
+    g.bench_function("elias-gamma-roundtrip", |b| {
+        b.iter(|| {
+            let mut w = BitWriter::new();
+            for &v in &values {
+                gamma_encode(&mut w, v + 1);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            let mut acc = 0u64;
+            for _ in 0..N {
+                acc += gamma_decode(&mut r).unwrap();
+            }
+            black_box(acc)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_range_coder, bench_baseline_coders);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure-regeneration benchmarks: times one representative experiment
+//! end-to-end (in quick mode) so regressions in the harness itself are
+//! caught. The full evaluation is regenerated with the `experiments`
+//! binary, not here — criterion repetition of hour-long sweeps would be
+//! wasteful.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dophy_bench::figures::{canonical_dophy, canonical_sim};
+use dophy_bench::{run_scenario, RunSpec};
+use dophy_sim::SimDuration;
+
+fn bench_scenario_runner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure-harness");
+    g.sample_size(10);
+    g.bench_function("canonical-quick-300s", |b| {
+        b.iter(|| {
+            let spec = RunSpec {
+                checkpoints: true,
+                ..RunSpec::new(
+                    canonical_sim(1, true),
+                    canonical_dophy(),
+                    SimDuration::from_secs(300),
+                )
+            };
+            let out = run_scenario(&spec);
+            black_box((out.overhead.packets, out.truth.len()))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scenario_runner);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Microbenchmarks: frequency-model maintenance and wire serialization.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dophy_coding::model::{AdaptiveModel, FenwickTree, StaticModel, SymbolModel};
+use dophy_coding::serialize::ModelBlob;
+
+fn bench_fenwick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fenwick");
+    for n in [8usize, 64, 256] {
+        g.throughput(Throughput::Elements(10_000));
+        g.bench_with_input(BenchmarkId::new("add+search", n), &n, |b, &n| {
+            let mut t = FenwickTree::new(n);
+            for i in 0..n {
+                t.add(i, 1);
+            }
+            b.iter(|| {
+                let mut acc = 0usize;
+                for i in 0..10_000usize {
+                    t.add(i % n, 1);
+                    acc += t.search((i % t.total() as usize) as u32);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_model_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptive-model");
+    g.throughput(Throughput::Elements(10_000));
+    for n in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("observe", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = AdaptiveModel::new(n);
+                for i in 0..10_000usize {
+                    m.observe(i % n);
+                }
+                black_box(m.total())
+            });
+        });
+    }
+    g.bench_function("snapshot-16", |b| {
+        let mut m = AdaptiveModel::new(16);
+        for i in 0..5_000usize {
+            m.observe(i * i % 16);
+        }
+        b.iter(|| black_box(m.snapshot().total()));
+    });
+    g.finish();
+}
+
+fn bench_wire_blobs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model-blob");
+    let model = StaticModel::from_frequencies(&[40_000, 9_000, 1_200, 300, 40, 7, 3, 1]);
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(ModelBlob::encode(&model).wire_size()));
+    });
+    let blob = ModelBlob::encode(&model);
+    g.bench_function("decode", |b| {
+        b.iter(|| black_box(blob.decode().unwrap().total()));
+    });
+    g.bench_function("canonical", |b| {
+        b.iter(|| black_box(ModelBlob::canonical(&model).1.total()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fenwick, bench_model_update, bench_wire_blobs);
+criterion_main!(benches);

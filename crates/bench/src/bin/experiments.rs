@@ -1,0 +1,63 @@
+//! Regenerates the paper's figures and tables.
+//!
+//! ```text
+//! experiments <id>... [--quick]     run the named experiments
+//! experiments all [--quick]         run everything
+//! experiments list                  list experiment ids
+//! ```
+//!
+//! Results print as aligned text tables and are saved as JSON under
+//! `target/experiments/`.
+
+use dophy_bench::figures::{registry, Experiment};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let names: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(String::as_str)
+        .collect();
+
+    let reg = registry();
+    if names.is_empty() || names == ["list"] {
+        eprintln!("usage: experiments <id>... [--quick] | all [--quick] | list");
+        eprintln!("experiments:");
+        for (id, _) in &reg {
+            eprintln!("  {id}");
+        }
+        if names.is_empty() {
+            std::process::exit(2);
+        }
+        return;
+    }
+
+    let selected: Vec<&Experiment> = if names == ["all"] {
+        reg.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for n in &names {
+            match reg.iter().find(|(id, _)| id == n) {
+                Some(e) => sel.push(e),
+                None => {
+                    eprintln!("unknown experiment '{n}' (try 'list')");
+                    std::process::exit(2);
+                }
+            }
+        }
+        sel
+    };
+
+    for (id, f) in selected {
+        let t0 = Instant::now();
+        eprintln!(">>> running {id}{} ...", if quick { " (quick)" } else { "" });
+        let fig = f(quick);
+        println!("{}", fig.render());
+        match fig.save() {
+            Ok(path) => eprintln!("    saved {} ({:.1}s)", path.display(), t0.elapsed().as_secs_f64()),
+            Err(e) => eprintln!("    could not save JSON: {e}"),
+        }
+    }
+}

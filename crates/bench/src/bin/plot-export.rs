@@ -1,0 +1,121 @@
+//! Converts saved experiment JSON into gnuplot-ready artifacts.
+//!
+//! ```text
+//! plot-export [dir]      # default: target/experiments
+//! ```
+//!
+//! For every `<id>.json` in the directory, writes `<id>.dat` (whitespace
+//! table, one column per series, `?` for gaps) and `<id>.gp` (a gnuplot
+//! script producing `<id>.png`). Render everything with:
+//!
+//! ```text
+//! cd target/experiments && for f in *.gp; do gnuplot "$f"; done
+//! ```
+
+use dophy_bench::FigureResult;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+fn export(fig: &FigureResult, dir: &Path) -> std::io::Result<(PathBuf, PathBuf)> {
+    // Union of x values.
+    let mut xs: Vec<f64> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+    let mut dat = String::new();
+    let _ = write!(dat, "# {}\n# x", fig.title);
+    for s in &fig.series {
+        let _ = write!(dat, " \"{}\"", s.name.replace(' ', "_"));
+    }
+    dat.push('\n');
+    for &x in &xs {
+        let _ = write!(dat, "{x}");
+        for s in &fig.series {
+            match s.y_at(x) {
+                Some(y) => {
+                    let _ = write!(dat, " {y}");
+                }
+                None => dat.push_str(" ?"),
+            }
+        }
+        dat.push('\n');
+    }
+    let dat_path = dir.join(format!("{}.dat", fig.id));
+    std::fs::write(&dat_path, dat)?;
+
+    let mut gp = String::new();
+    let _ = writeln!(gp, "set terminal pngcairo size 900,600 enhanced");
+    let _ = writeln!(gp, "set output '{}.png'", fig.id);
+    let _ = writeln!(gp, "set title {:?}", fig.title);
+    let _ = writeln!(gp, "set xlabel {:?}", fig.x_label);
+    let _ = writeln!(gp, "set ylabel {:?}", fig.y_label);
+    let _ = writeln!(gp, "set key outside right");
+    let _ = writeln!(gp, "set datafile missing '?'");
+    let _ = writeln!(gp, "set grid");
+    gp.push_str("plot ");
+    let clauses: Vec<String> = fig
+        .series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            format!(
+                "'{}.dat' using 1:{} with linespoints title {:?}",
+                fig.id,
+                i + 2,
+                s.name
+            )
+        })
+        .collect();
+    gp.push_str(&clauses.join(", \\\n     "));
+    gp.push('\n');
+    let gp_path = dir.join(format!("{}.gp", fig.id));
+    std::fs::write(&gp_path, gp)?;
+    Ok((dat_path, gp_path))
+}
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/experiments"));
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cannot read {}: {e} (run the experiments first)", dir.display());
+            std::process::exit(1);
+        }
+    };
+    let mut count = 0;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let raw = match std::fs::read_to_string(&path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("skip {}: {e}", path.display());
+                continue;
+            }
+        };
+        let fig: FigureResult = match serde_json::from_str(&raw) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("skip {} (not a FigureResult): {e}", path.display());
+                continue;
+            }
+        };
+        match export(&fig, &dir) {
+            Ok((dat, gp)) => {
+                count += 1;
+                eprintln!("wrote {} and {}", dat.display(), gp.display());
+            }
+            Err(e) => eprintln!("failed {}: {e}", fig.id),
+        }
+    }
+    eprintln!("{count} figures exported; render with: cd {} && for f in *.gp; do gnuplot \"$f\"; done", dir.display());
+}

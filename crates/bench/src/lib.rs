@@ -1,0 +1,28 @@
+//! # dophy-bench
+//!
+//! Experiment harness for the Dophy reproduction: regenerates every
+//! figure/table of the (reconstructed) evaluation and hosts the criterion
+//! microbenchmarks.
+//!
+//! * [`scenario`] — runs a full simulation and extracts estimates, ground
+//!   truth, overhead, churn, and accuracy checkpoints;
+//! * [`figures`] — one function per experiment (see DESIGN.md's experiment
+//!   index); each returns a [`report::FigureResult`];
+//! * [`report`] — text-table rendering and JSON persistence.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p dophy-bench --bin experiments -- all
+//! cargo run --release -p dophy-bench --bin experiments -- fig7 --quick
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod figures;
+pub mod report;
+pub mod scenario;
+
+pub use report::{FigureResult, Series};
+pub use scenario::{run_scenario, RunOutput, RunSpec};

@@ -1,0 +1,191 @@
+//! Experiment result containers, pretty-printing, and JSON persistence.
+//!
+//! Every figure/table produces a [`FigureResult`]: named series of `(x, y)`
+//! points plus free-form notes. The harness prints an aligned text table
+//! (the "same rows/series the paper reports") and writes machine-readable
+//! JSON under `target/experiments/`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One plotted series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            name: name.into(),
+            points,
+        }
+    }
+
+    /// y value at the given x, if present (exact match).
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (px - x).abs() < 1e-9)
+            .map(|&(_, y)| y)
+    }
+}
+
+/// A reproduced figure or table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Experiment id (e.g. `fig3-encoding-overhead`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis meaning.
+    pub x_label: String,
+    /// Y-axis meaning.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+    /// Free-form observations recorded by the experiment.
+    pub notes: Vec<String>,
+}
+
+impl FigureResult {
+    /// Creates an empty result shell.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Adds a series.
+    pub fn push_series(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.notes.push(line.into());
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        // Collect the union of x values (sorted).
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("x values are finite"));
+        xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+        let mut header = format!("{:>14}", self.x_label);
+        for s in &self.series {
+            let _ = write!(header, " {:>18}", truncate(&s.name, 18));
+        }
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        for &x in &xs {
+            let _ = write!(out, "{x:>14.4}");
+            for s in &self.series {
+                match s.y_at(x) {
+                    Some(y) => {
+                        let _ = write!(out, " {y:>18.5}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>18}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "  (y = {})", self.y_label);
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+
+    /// Writes JSON to `target/experiments/<id>.json`; returns the path.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("target/experiments");
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        Ok(path)
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n - 1).collect::<String>() + "…"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_union_of_x() {
+        let mut f = FigureResult::new("t", "Title", "x", "y");
+        f.push_series(Series::new("a", vec![(1.0, 10.0), (2.0, 20.0)]));
+        f.push_series(Series::new("b", vec![(2.0, 5.0), (3.0, 6.0)]));
+        let text = f.render();
+        assert!(text.contains("Title"));
+        // x=1 has a gap for series b; x=3 for series a.
+        let lines: Vec<&str> = text.lines().collect();
+        let row1 = lines.iter().find(|l| l.trim_start().starts_with("1.0")).unwrap();
+        assert!(row1.contains('-'));
+        assert_eq!(
+            text.lines().filter(|l| l.contains(".0000")).count(),
+            3,
+            "three x rows"
+        );
+    }
+
+    #[test]
+    fn y_at_exact_match() {
+        let s = Series::new("a", vec![(1.0, 10.0)]);
+        assert_eq!(s.y_at(1.0), Some(10.0));
+        assert_eq!(s.y_at(1.5), None);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut f = FigureResult::new("id", "T", "x", "y");
+        f.push_series(Series::new("s", vec![(0.0, 1.0)]));
+        f.note("hello");
+        let j = serde_json::to_string(&f).unwrap();
+        let back: FigureResult = serde_json::from_str(&j).unwrap();
+        assert_eq!(back.id, "id");
+        assert_eq!(back.series[0].points, vec![(0.0, 1.0)]);
+        assert_eq!(back.notes, vec!["hello"]);
+    }
+
+    #[test]
+    fn truncate_long_names() {
+        assert_eq!(truncate("short", 18), "short");
+        let long = "a-very-long-series-name-indeed";
+        let t = truncate(long, 18);
+        assert!(t.chars().count() <= 18);
+        assert!(t.ends_with('…'));
+    }
+}

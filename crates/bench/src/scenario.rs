@@ -1,0 +1,361 @@
+//! Scenario runner: executes a full Dophy simulation and extracts
+//! everything the figures need — estimates (Dophy MLE, naive, traditional
+//! EM/log-LS), ground truth, overhead, churn, and periodic checkpoints.
+//!
+//! The traditional-tomography baseline is driven exactly the way such
+//! systems are deployed: the run is divided into attribution windows; at
+//! each window start the current routing tree is snapshotted (the periodic
+//! topology report a sink would collect), and the window's per-origin
+//! sent/delivered counts are attributed to the snapshot path. Under dynamic
+//! routing this attribution is exactly what goes stale.
+
+use dophy::baseline::{
+    survival_to_transmission_loss, PathMeasurement, TraditionalConfig, TraditionalTomography,
+};
+use dophy::metrics::{score, AccuracyReport};
+use dophy::protocol::{build_simulation, DecodeStats, DophyConfig, DophyNode, OverheadStats};
+use dophy_routing::{churn_report, ChurnReport};
+use dophy_sim::{Engine, NodeId, SimConfig, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Directed link key.
+pub type LinkKey = (u16, u16);
+
+/// Optional per-origin snapshot path used for baseline attribution.
+type SnapshotPaths = Vec<Option<Vec<LinkKey>>>;
+
+/// Runner parameters beyond the stack configs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Network configuration.
+    pub sim: SimConfig,
+    /// Dophy stack configuration.
+    pub dophy: DophyConfig,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Baseline path-attribution window (also the checkpoint cadence).
+    pub window: SimDuration,
+    /// Links need this many physical data transmissions to enter the
+    /// ground-truth map.
+    pub min_truth_tx: u64,
+    /// Estimates need this many observations to be reported.
+    pub min_est_samples: u64,
+    /// Record per-window accuracy checkpoints (fig6); costs some CPU.
+    pub checkpoints: bool,
+}
+
+impl RunSpec {
+    /// Canonical spec used by most experiments.
+    pub fn new(sim: SimConfig, dophy: DophyConfig, duration: SimDuration) -> Self {
+        Self {
+            sim,
+            dophy,
+            duration,
+            window: SimDuration::from_secs(60),
+            min_truth_tx: 30,
+            min_est_samples: 10,
+            checkpoints: false,
+        }
+    }
+}
+
+/// Accuracy trajectory point (fig6).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Simulated seconds elapsed.
+    pub time_s: f64,
+    /// Packets delivered so far.
+    pub delivered: u64,
+    /// Dophy MLE mean absolute error.
+    pub dophy_mae: f64,
+    /// Naive-estimator MAE.
+    pub naive_mae: f64,
+    /// Traditional EM MAE.
+    pub em_mae: f64,
+    /// Traditional log-LS MAE.
+    pub ls_mae: f64,
+    /// Dophy link coverage at this point.
+    pub dophy_coverage: f64,
+}
+
+/// Everything a finished run yields.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Ground truth per-transmission loss (links with enough traffic).
+    pub truth: HashMap<LinkKey, f64>,
+    /// Dophy MLE loss estimates.
+    pub dophy: HashMap<LinkKey, f64>,
+    /// Naive (moment) loss estimates from the same observations.
+    pub naive: HashMap<LinkKey, f64>,
+    /// Conjugate Bayesian loss estimates from the same observations.
+    pub bayes: HashMap<LinkKey, f64>,
+    /// Traditional EM estimates (converted to per-transmission loss).
+    pub em: HashMap<LinkKey, f64>,
+    /// Traditional log-LS estimates (converted).
+    pub ls: HashMap<LinkKey, f64>,
+    /// Decode statistics.
+    pub decode: DecodeStats,
+    /// Overhead statistics.
+    pub overhead: OverheadStats,
+    /// Model-dissemination bytes charged.
+    pub dissemination_bytes: u64,
+    /// Model refreshes performed.
+    pub refreshes: u64,
+    /// End-to-end delivery ratio.
+    pub delivery_ratio: f64,
+    /// Routing churn metrics.
+    pub churn: ChurnReport,
+    /// Ground-truth hop logs of delivered packets (origin, seq) → hops.
+    pub true_hops: HashMap<(u16, u32), dophy::protocol::TrueHops>,
+    /// Per-link ground truth transmission counts (for re-encoding figures).
+    pub node_count: usize,
+    /// Largest candidate-table size (fixed-width id field sizing).
+    pub max_degree: usize,
+    /// MAC retry budget.
+    pub max_attempts: u16,
+    /// Accuracy trajectory (when `checkpoints` was set).
+    pub checkpoints: Vec<Checkpoint>,
+}
+
+impl RunOutput {
+    /// Scores a scheme's estimates against this run's truth.
+    pub fn score_scheme(&self, estimates: &HashMap<LinkKey, f64>) -> AccuracyReport {
+        score(estimates, &self.truth)
+    }
+}
+
+/// Follows parents from `origin` to the sink; `None` on loops or missing
+/// routes. Returns the link list origin→sink.
+fn current_path(engine: &Engine<DophyNode>, origin: NodeId) -> Option<Vec<LinkKey>> {
+    let n = engine.topology().node_count();
+    let mut cur = origin;
+    let mut path = Vec::new();
+    for _ in 0..n {
+        if cur == NodeId::SINK {
+            return Some(path);
+        }
+        let next = engine.protocol(cur).router().next_hop()?;
+        path.push((cur.0, next.0));
+        cur = next;
+    }
+    None // loop
+}
+
+fn truth_map(engine: &Engine<DophyNode>, min_tx: u64) -> HashMap<LinkKey, f64> {
+    let topo = engine.topology();
+    let mut truth = HashMap::new();
+    for (i, l) in topo.links().iter().enumerate() {
+        let t = engine.trace().links()[i];
+        if t.data_tx >= min_tx {
+            if let Some(loss) = t.empirical_loss() {
+                truth.insert((l.src.0, l.dst.0), loss);
+            }
+        }
+    }
+    truth
+}
+
+fn estimates_to_loss(
+    v: Vec<((u16, u16), dophy::LossEstimate)>,
+) -> HashMap<LinkKey, f64> {
+    v.into_iter().map(|(k, e)| (k, e.loss)).collect()
+}
+
+fn convert_survival(map: HashMap<LinkKey, f64>, r: u16) -> HashMap<LinkKey, f64> {
+    map.into_iter()
+        .map(|(k, sigma)| (k, survival_to_transmission_loss(sigma, r)))
+        .collect()
+}
+
+/// Runs a scenario to completion.
+pub fn run_scenario(spec: &RunSpec) -> RunOutput {
+    let (mut engine, shared) = build_simulation(&spec.sim, &spec.dophy);
+    engine.start();
+
+    let r = spec.sim.mac.max_attempts;
+    let n = engine.topology().node_count();
+    let mut tomo = TraditionalTomography::new();
+    let tomo_cfg = TraditionalConfig::default();
+    let mut prev_sent = vec![0u64; n];
+    let mut prev_delivered = vec![0u64; n];
+    let mut checkpoints = Vec::new();
+
+    let mut elapsed = SimDuration::ZERO;
+    while elapsed < spec.duration {
+        // Snapshot the tree BEFORE the window: this is the attribution the
+        // baseline will use for the window's packets.
+        let paths: SnapshotPaths = (0..n)
+            .map(|i| current_path(&engine, NodeId(i as u16)))
+            .collect();
+        let step = spec.window.min(spec.duration - elapsed);
+        engine.run_for(step);
+        elapsed = elapsed + step;
+
+        {
+            let s = shared.lock();
+            for origin in 1..n {
+                let sent = s.sent_per_origin[origin] - prev_sent[origin];
+                let delivered = s.delivered_per_origin[origin] - prev_delivered[origin];
+                prev_sent[origin] = s.sent_per_origin[origin];
+                prev_delivered[origin] = s.delivered_per_origin[origin];
+                if sent == 0 {
+                    continue;
+                }
+                if let Some(path) = &paths[origin] {
+                    if !path.is_empty() {
+                        tomo.add(PathMeasurement {
+                            path: path.clone(),
+                            sent,
+                            delivered: delivered.min(sent),
+                        });
+                    }
+                }
+            }
+        }
+
+        if spec.checkpoints {
+            let truth = truth_map(&engine, spec.min_truth_tx);
+            let s = shared.lock();
+            let dophy_est = estimates_to_loss(s.estimator.estimates(r, spec.min_est_samples));
+            let naive_est =
+                estimates_to_loss(s.estimator.naive_estimates(spec.min_est_samples));
+            let delivered: u64 = s.delivered_per_origin.iter().sum();
+            drop(s);
+            let em = convert_survival(tomo.estimate_em(&tomo_cfg), r);
+            let ls = convert_survival(tomo.estimate_logls(&tomo_cfg), r);
+            let sc = |m: &HashMap<LinkKey, f64>| score(m, &truth);
+            let dophy_rep = sc(&dophy_est);
+            checkpoints.push(Checkpoint {
+                time_s: elapsed.as_secs_f64(),
+                delivered,
+                dophy_mae: dophy_rep.mae,
+                naive_mae: sc(&naive_est).mae,
+                em_mae: sc(&em).mae,
+                ls_mae: sc(&ls).mae,
+                dophy_coverage: dophy_rep.coverage(),
+            });
+        }
+    }
+
+    let truth = truth_map(&engine, spec.min_truth_tx);
+    let duration_t = SimTime::ZERO + spec.duration;
+    let churn = {
+        let logs: Vec<&[(SimTime, NodeId)]> = (1..n)
+            .map(|i| engine.protocol(NodeId(i as u16)).router().parent_log())
+            .collect();
+        churn_report(&logs, duration_t)
+    };
+    let max_degree = (0..n)
+        .map(|i| engine.topology().neighbors(NodeId(i as u16)).len())
+        .max()
+        .unwrap_or(1);
+
+    let s = shared.lock();
+    let dophy_est = estimates_to_loss(s.estimator.estimates(r, spec.min_est_samples));
+    let naive_est = estimates_to_loss(s.estimator.naive_estimates(spec.min_est_samples));
+    let bayes_est = estimates_to_loss(s.bayes.estimates(spec.min_est_samples));
+    let em = convert_survival(tomo.estimate_em(&tomo_cfg), r);
+    let ls = convert_survival(tomo.estimate_logls(&tomo_cfg), r);
+
+    RunOutput {
+        truth,
+        dophy: dophy_est,
+        naive: naive_est,
+        bayes: bayes_est,
+        em,
+        ls,
+        decode: s.decode,
+        overhead: s.overhead.clone(),
+        dissemination_bytes: s.manager.dissemination_bytes,
+        refreshes: s.manager.refreshes,
+        delivery_ratio: s.total_delivery_ratio().unwrap_or(0.0),
+        churn,
+        true_hops: s.true_hops.clone(),
+        node_count: n,
+        max_degree,
+        max_attempts: r,
+        checkpoints,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dophy_sim::{LinkDynamics, MacConfig, Placement, RadioModel};
+
+    fn quick_spec() -> RunSpec {
+        let sim = SimConfig {
+            placement: Placement::Grid {
+                side: 4,
+                spacing: 15.0,
+            },
+            radio: RadioModel::default(),
+            mac: MacConfig::default(),
+            dynamics: LinkDynamics::Static,
+            seed: 3,
+        };
+        let dophy = DophyConfig {
+            traffic_period: SimDuration::from_secs(2),
+            warmup: SimDuration::from_secs(30),
+            ..DophyConfig::default()
+        };
+        RunSpec {
+            window: SimDuration::from_secs(60),
+            checkpoints: true,
+            ..RunSpec::new(sim, dophy, SimDuration::from_secs(600))
+        }
+    }
+
+    #[test]
+    fn full_run_produces_all_outputs() {
+        let out = run_scenario(&quick_spec());
+        assert!(out.overhead.packets > 300);
+        assert!(!out.truth.is_empty());
+        assert!(!out.dophy.is_empty());
+        assert!(!out.em.is_empty());
+        assert!(!out.ls.is_empty());
+        assert!(out.delivery_ratio > 0.9);
+        assert_eq!(out.checkpoints.len(), 10);
+        // Dophy accuracy should be decent on a static grid.
+        let rep = out.score_scheme(&out.dophy);
+        assert!(rep.scored_links >= 5);
+        assert!(rep.mae < 0.1, "dophy MAE {}", rep.mae);
+    }
+
+    #[test]
+    fn dophy_beats_traditional_on_accuracy() {
+        let out = run_scenario(&quick_spec());
+        let d = out.score_scheme(&out.dophy).mae;
+        let em = out.score_scheme(&out.em).mae;
+        assert!(
+            d < em,
+            "Dophy MAE {d} should beat traditional EM MAE {em}"
+        );
+    }
+
+    #[test]
+    fn checkpoints_show_convergence() {
+        let out = run_scenario(&quick_spec());
+        let first = out.checkpoints.iter().find(|c| c.dophy_mae > 0.0);
+        let last = out.checkpoints.last().unwrap();
+        if let Some(first) = first {
+            assert!(
+                last.dophy_mae <= first.dophy_mae + 0.02,
+                "error should not grow: first {} last {}",
+                first.dophy_mae,
+                last.dophy_mae
+            );
+        }
+        assert!(last.delivered > 0);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run_scenario(&quick_spec());
+        let b = run_scenario(&quick_spec());
+        assert_eq!(a.overhead.packets, b.overhead.packets);
+        assert_eq!(a.decode, b.decode);
+        assert_eq!(a.truth.len(), b.truth.len());
+    }
+}

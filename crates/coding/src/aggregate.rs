@@ -1,0 +1,330 @@
+//! Symbol aggregation for retransmission counts (Dophy Optimization 1).
+//!
+//! The raw observable at each hop is the *attempt number* of the first
+//! successfully received frame: an integer in `1..=R` where `R` is the MAC
+//! retransmission budget. Encoding the full alphabet of `R` values wastes
+//! bits because high attempt counts are rare. Dophy shrinks the symbol set by
+//! *aggregating* counts, trading a little estimator information for a large
+//! reduction in encoding overhead.
+//!
+//! Three policies are provided:
+//!
+//! * [`AggregationPolicy::Identity`] — no aggregation; alphabet size `R`.
+//! * [`AggregationPolicy::Cap`] — counts `>= cap` collapse into one
+//!   "cap-or-more" symbol; alphabet size `cap`. The sink treats the merged
+//!   symbol as a *right-censored* observation (see `dophy::estimator`).
+//! * [`AggregationPolicy::ExpBuckets`] — exponentially widening buckets
+//!   `{1}, {2}, {3,4}, {5..8}, ...`; the sink uses interval-censored
+//!   observations.
+//!
+//! For lossless operation a policy can be wrapped with *escape refinement*
+//! ([`SymbolMapper::refine_bits`]): after an aggregated symbol, the encoder
+//! emits the residual uniformly so the exact count is recoverable. This lets
+//! experiments separate "alphabet reduction" from "information loss".
+
+use serde::{Deserialize, Serialize};
+
+/// How attempt counts `1..=max_attempts` map onto coder symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregationPolicy {
+    /// One symbol per attempt count.
+    Identity,
+    /// Counts `>= cap` share the final symbol.
+    Cap {
+        /// Number of distinct symbols; the last one means "cap or more".
+        cap: u8,
+    },
+    /// Buckets `{1}, {2}, {3,4}, {5..8}, ...` (doubling widths).
+    ExpBuckets,
+}
+
+/// What the sink learns about an attempt count from a decoded symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttemptObservation {
+    /// The count is known exactly.
+    Exact(u16),
+    /// The count lies in `lo..=hi` (inclusive; censored observation).
+    Range {
+        /// Lower bound (inclusive).
+        lo: u16,
+        /// Upper bound (inclusive), i.e. the MAC retry budget for
+        /// right-censored symbols.
+        hi: u16,
+    },
+}
+
+impl AttemptObservation {
+    /// Midpoint used by moment-style estimators that cannot handle censoring.
+    pub fn midpoint(&self) -> f64 {
+        match *self {
+            Self::Exact(a) => f64::from(a),
+            Self::Range { lo, hi } => (f64::from(lo) + f64::from(hi)) / 2.0,
+        }
+    }
+}
+
+/// Concrete mapping between attempt counts and coder symbols.
+///
+/// ```
+/// use dophy_coding::aggregate::{AggregationPolicy, AttemptObservation, SymbolMapper};
+///
+/// // Budget R = 7, alphabet capped at 3 symbols: {1}, {2}, {3..=7}.
+/// let m = SymbolMapper::new(AggregationPolicy::Cap { cap: 3 }, 7);
+/// assert_eq!(m.num_symbols(), 3);
+/// assert_eq!(m.symbol_of(1), 0);
+/// assert_eq!(m.symbol_of(6), 2);
+/// // The merged symbol decodes to a censored observation.
+/// assert_eq!(m.observation_of(2), AttemptObservation::Range { lo: 3, hi: 7 });
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolMapper {
+    policy: AggregationPolicy,
+    max_attempts: u16,
+    /// Precomputed `(lo, hi)` attempt range per symbol.
+    ranges: Vec<(u16, u16)>,
+}
+
+impl SymbolMapper {
+    /// Builds a mapper for attempt counts `1..=max_attempts`.
+    ///
+    /// # Panics
+    /// Panics if `max_attempts == 0`, or if a `Cap` policy's cap is zero or
+    /// larger than `max_attempts`.
+    pub fn new(policy: AggregationPolicy, max_attempts: u16) -> Self {
+        assert!(max_attempts >= 1, "need at least one attempt");
+        let ranges: Vec<(u16, u16)> = match policy {
+            AggregationPolicy::Identity => (1..=max_attempts).map(|a| (a, a)).collect(),
+            AggregationPolicy::Cap { cap } => {
+                let cap = u16::from(cap);
+                assert!(cap >= 1 && cap <= max_attempts, "cap must be in 1..=max_attempts");
+                (1..cap)
+                    .map(|a| (a, a))
+                    .chain(std::iter::once((cap, max_attempts)))
+                    .collect()
+            }
+            AggregationPolicy::ExpBuckets => {
+                let mut ranges = Vec::new();
+                let mut lo = 1u16;
+                let mut width = 1u16;
+                while lo <= max_attempts {
+                    let hi = lo.saturating_add(width - 1).min(max_attempts);
+                    ranges.push((lo, hi));
+                    lo = hi + 1;
+                    if ranges.len() >= 2 {
+                        width = width.saturating_mul(2);
+                    }
+                    if lo == 0 {
+                        break; // saturated; cannot happen for sane budgets
+                    }
+                }
+                ranges
+            }
+        };
+        Self {
+            policy,
+            max_attempts,
+            ranges,
+        }
+    }
+
+    /// The policy this mapper implements.
+    pub fn policy(&self) -> AggregationPolicy {
+        self.policy
+    }
+
+    /// Size of the coder alphabet.
+    pub fn num_symbols(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// MAC retry budget this mapper was built for.
+    pub fn max_attempts(&self) -> u16 {
+        self.max_attempts
+    }
+
+    /// Maps an attempt count to its coder symbol.
+    ///
+    /// # Panics
+    /// Panics if `attempt` is outside `1..=max_attempts`.
+    pub fn symbol_of(&self, attempt: u16) -> usize {
+        assert!(
+            attempt >= 1 && attempt <= self.max_attempts,
+            "attempt {attempt} outside 1..={}",
+            self.max_attempts
+        );
+        match self.policy {
+            AggregationPolicy::Identity => usize::from(attempt) - 1,
+            AggregationPolicy::Cap { cap } => {
+                usize::from(attempt.min(u16::from(cap))) - 1
+            }
+            AggregationPolicy::ExpBuckets => self
+                .ranges
+                .partition_point(|&(lo, _)| lo <= attempt)
+                - 1,
+        }
+    }
+
+    /// Attempt range `(lo, hi)` covered by `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym >= num_symbols()`.
+    pub fn range_of(&self, sym: usize) -> (u16, u16) {
+        self.ranges[sym]
+    }
+
+    /// Observation the sink records when it decodes `sym` *without*
+    /// refinement.
+    pub fn observation_of(&self, sym: usize) -> AttemptObservation {
+        let (lo, hi) = self.range_of(sym);
+        if lo == hi {
+            AttemptObservation::Exact(lo)
+        } else {
+            AttemptObservation::Range { lo, hi }
+        }
+    }
+
+    /// Number of residual values inside symbol `sym` (1 means no residual
+    /// needs encoding). Used by lossless escape refinement, which encodes the
+    /// residual uniformly over this many values.
+    pub fn refine_cardinality(&self, sym: usize) -> u32 {
+        let (lo, hi) = self.range_of(sym);
+        u32::from(hi - lo) + 1
+    }
+
+    /// Ideal refinement cost of `sym` in bits (uniform residual).
+    pub fn refine_bits(&self, sym: usize) -> f64 {
+        f64::from(self.refine_cardinality(sym)).log2()
+    }
+
+    /// Splits an exact attempt into `(symbol, residual)` for lossless coding.
+    pub fn split(&self, attempt: u16) -> (usize, u32) {
+        let sym = self.symbol_of(attempt);
+        let (lo, _) = self.range_of(sym);
+        (sym, u32::from(attempt - lo))
+    }
+
+    /// Reassembles an exact attempt from `(symbol, residual)`.
+    ///
+    /// # Panics
+    /// Panics if the residual falls outside the symbol's range.
+    pub fn join(&self, sym: usize, residual: u32) -> u16 {
+        let (lo, hi) = self.range_of(sym);
+        let attempt = lo + residual as u16;
+        assert!(attempt <= hi, "residual {residual} out of range for symbol {sym}");
+        attempt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_one_to_one() {
+        let m = SymbolMapper::new(AggregationPolicy::Identity, 7);
+        assert_eq!(m.num_symbols(), 7);
+        for a in 1..=7u16 {
+            let s = m.symbol_of(a);
+            assert_eq!(s, usize::from(a) - 1);
+            assert_eq!(m.observation_of(s), AttemptObservation::Exact(a));
+            assert_eq!(m.refine_cardinality(s), 1);
+        }
+    }
+
+    #[test]
+    fn cap_merges_tail() {
+        let m = SymbolMapper::new(AggregationPolicy::Cap { cap: 3 }, 7);
+        assert_eq!(m.num_symbols(), 3);
+        assert_eq!(m.symbol_of(1), 0);
+        assert_eq!(m.symbol_of(2), 1);
+        for a in 3..=7 {
+            assert_eq!(m.symbol_of(a), 2);
+        }
+        assert_eq!(
+            m.observation_of(2),
+            AttemptObservation::Range { lo: 3, hi: 7 }
+        );
+        assert_eq!(m.refine_cardinality(2), 5);
+    }
+
+    #[test]
+    fn cap_equal_to_budget_is_lossless() {
+        let m = SymbolMapper::new(AggregationPolicy::Cap { cap: 7 }, 7);
+        assert_eq!(m.num_symbols(), 7);
+        for a in 1..=7u16 {
+            assert_eq!(m.observation_of(m.symbol_of(a)), AttemptObservation::Exact(a));
+        }
+    }
+
+    #[test]
+    fn exp_buckets_shape() {
+        let m = SymbolMapper::new(AggregationPolicy::ExpBuckets, 20);
+        // {1},{2},{3,4},{5..8},{9..16},{17..20}
+        let expect = [(1, 1), (2, 2), (3, 4), (5, 8), (9, 16), (17, 20)];
+        assert_eq!(m.num_symbols(), expect.len());
+        for (s, &(lo, hi)) in expect.iter().enumerate() {
+            assert_eq!(m.range_of(s), (lo, hi));
+        }
+        for a in 1..=20u16 {
+            let s = m.symbol_of(a);
+            let (lo, hi) = m.range_of(s);
+            assert!(lo <= a && a <= hi, "attempt {a} mapped to [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn split_join_round_trip_all_policies() {
+        for policy in [
+            AggregationPolicy::Identity,
+            AggregationPolicy::Cap { cap: 1 },
+            AggregationPolicy::Cap { cap: 4 },
+            AggregationPolicy::ExpBuckets,
+        ] {
+            let m = SymbolMapper::new(policy, 15);
+            for a in 1..=15u16 {
+                let (s, r) = m.split(a);
+                assert_eq!(m.join(s, r), a, "{policy:?} attempt {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn cap_one_collapses_everything() {
+        let m = SymbolMapper::new(AggregationPolicy::Cap { cap: 1 }, 7);
+        assert_eq!(m.num_symbols(), 1);
+        for a in 1..=7 {
+            assert_eq!(m.symbol_of(a), 0);
+        }
+        assert_eq!(
+            m.observation_of(0),
+            AttemptObservation::Range { lo: 1, hi: 7 }
+        );
+    }
+
+    #[test]
+    fn midpoint_of_observations() {
+        assert_eq!(AttemptObservation::Exact(3).midpoint(), 3.0);
+        assert_eq!(AttemptObservation::Range { lo: 3, hi: 7 }.midpoint(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_attempt_zero() {
+        let m = SymbolMapper::new(AggregationPolicy::Identity, 7);
+        m.symbol_of(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be")]
+    fn rejects_cap_above_budget() {
+        SymbolMapper::new(AggregationPolicy::Cap { cap: 9 }, 7);
+    }
+
+    #[test]
+    fn refine_bits_zero_for_singletons() {
+        let m = SymbolMapper::new(AggregationPolicy::ExpBuckets, 16);
+        assert_eq!(m.refine_bits(0), 0.0);
+        assert_eq!(m.refine_bits(1), 0.0);
+        assert!(m.refine_bits(2) > 0.9 && m.refine_bits(2) < 1.1);
+    }
+}

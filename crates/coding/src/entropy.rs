@@ -1,0 +1,126 @@
+//! Entropy and expected-code-length utilities.
+//!
+//! Used by the experiment harness to report how close each coder gets to the
+//! information-theoretic bound, and by the model manager to decide whether a
+//! refreshed model is worth disseminating (expected redundancy vs blob cost).
+
+use crate::model::{StaticModel, SymbolModel};
+
+/// Shannon entropy of a discrete distribution given as weights (need not be
+/// normalised). Zero-weight outcomes contribute nothing. Result in bits.
+pub fn entropy_bits(weights: &[f64]) -> f64 {
+    let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    weights
+        .iter()
+        .filter(|w| **w > 0.0)
+        .map(|&w| {
+            let p = w / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Cross-entropy `H(p, q)` in bits: the expected code length when symbols
+/// drawn from `true_weights` are coded with `model`'s probabilities.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn cross_entropy_bits(true_weights: &[f64], model: &StaticModel) -> f64 {
+    assert_eq!(
+        true_weights.len(),
+        model.num_symbols(),
+        "distribution/model size mismatch"
+    );
+    let total: f64 = true_weights.iter().filter(|w| **w > 0.0).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    true_weights
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| **w > 0.0)
+        .map(|(i, &w)| {
+            let p = w / total;
+            p * -model.probability(i).log2()
+        })
+        .sum()
+}
+
+/// KL divergence `D(p || q)` in bits — the per-symbol redundancy paid for
+/// coding `true_weights` with `model` instead of the ideal model.
+pub fn kl_divergence_bits(true_weights: &[f64], model: &StaticModel) -> f64 {
+    cross_entropy_bits(true_weights, model) - entropy_bits(true_weights)
+}
+
+/// Entropy of a geometric distribution truncated to `1..=r`, with
+/// per-trial success probability `p`. This is the information content of one
+/// retransmission-count observation — the lower bound on Dophy's per-hop
+/// encoding cost.
+pub fn truncated_geometric_entropy_bits(p: f64, r: u16) -> f64 {
+    let p = p.clamp(1e-9, 1.0 - 1e-9);
+    let weights: Vec<f64> = (0..r)
+        .map(|k| (1.0 - p).powi(i32::from(k)) * p)
+        .collect();
+    entropy_bits(&weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() < eps
+    }
+
+    #[test]
+    fn entropy_of_uniform() {
+        assert!(close(entropy_bits(&[1.0, 1.0]), 1.0, 1e-12));
+        assert!(close(entropy_bits(&[1.0; 8]), 3.0, 1e-12));
+    }
+
+    #[test]
+    fn entropy_of_degenerate_is_zero() {
+        assert_eq!(entropy_bits(&[5.0, 0.0, 0.0]), 0.0);
+        assert_eq!(entropy_bits(&[]), 0.0);
+        assert_eq!(entropy_bits(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_unnormalised_matches_normalised() {
+        let a = entropy_bits(&[0.2, 0.3, 0.5]);
+        let b = entropy_bits(&[2.0, 3.0, 5.0]);
+        assert!(close(a, b, 1e-12));
+    }
+
+    #[test]
+    fn cross_entropy_at_least_entropy() {
+        let truth = [0.7, 0.2, 0.1];
+        let model = StaticModel::from_frequencies(&[10, 10, 10]);
+        let h = entropy_bits(&truth);
+        let ce = cross_entropy_bits(&truth, &model);
+        assert!(ce >= h - 1e-12, "Gibbs: cross entropy below entropy");
+        assert!(kl_divergence_bits(&truth, &model) >= -1e-12);
+    }
+
+    #[test]
+    fn matched_model_has_near_zero_kl() {
+        let truth = [7000.0, 2000.0, 1000.0];
+        let model = StaticModel::from_frequencies(&[7000, 2000, 1000]);
+        assert!(kl_divergence_bits(&truth, &model) < 1e-9);
+    }
+
+    #[test]
+    fn geometric_entropy_shrinks_with_good_links() {
+        let good = truncated_geometric_entropy_bits(0.95, 7);
+        let bad = truncated_geometric_entropy_bits(0.5, 7);
+        assert!(good < bad);
+        // A 95% link is nearly deterministic: well under half a bit.
+        assert!(good < 0.5, "got {good}");
+        // A coin-flip link approaches the entropy of a geometric(0.5),
+        // which is 2 bits untruncated.
+        assert!(bad > 1.5 && bad < 2.1, "got {bad}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Fixed-width encoding — the "explicit recording" baseline.
+//!
+//! Traditional in-packet measurement schemes append a fixed-width record per
+//! hop: the forwarder identifier plus a retransmission counter. This module
+//! models that scheme exactly so the encoding-overhead comparison (paper
+//! figure `fig3-encoding-overhead`) has a faithful upper baseline.
+
+use crate::bitio::{BitReader, BitWriter, OutOfBits};
+
+/// Bits needed to represent values `0..n` (at least 1).
+pub fn width_for(n: u64) -> u32 {
+    if n <= 1 {
+        1
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// Fixed-width per-hop record layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedRecord {
+    /// Bits for the forwarder/node identifier field.
+    pub id_bits: u32,
+    /// Bits for the attempt-count field.
+    pub attempt_bits: u32,
+}
+
+impl FixedRecord {
+    /// Layout sized for `num_nodes` identifiers and `max_attempts` counts.
+    pub fn for_network(num_nodes: usize, max_attempts: u16) -> Self {
+        Self {
+            id_bits: width_for(num_nodes as u64),
+            attempt_bits: width_for(u64::from(max_attempts)),
+        }
+    }
+
+    /// Record size in bits.
+    pub fn bits(&self) -> u32 {
+        self.id_bits + self.attempt_bits
+    }
+
+    /// Byte-aligned record size (what firmware would actually reserve).
+    pub fn bytes_aligned(&self) -> usize {
+        (self.bits() as usize).div_ceil(8)
+    }
+
+    /// Appends one `(node_id, attempt)` record.
+    ///
+    /// # Panics
+    /// Panics if either field does not fit its width.
+    pub fn encode(&self, w: &mut BitWriter, node_id: u64, attempt: u16) {
+        assert!(node_id < (1u64 << self.id_bits), "node id overflows field");
+        assert!(
+            u64::from(attempt) <= (1u64 << self.attempt_bits) - 1 + 1 && attempt >= 1,
+            "attempt overflows field"
+        );
+        w.write_bits(node_id, self.id_bits);
+        // Store attempt - 1 so the budget R fits in width_for(R) bits.
+        w.write_bits(u64::from(attempt - 1), self.attempt_bits);
+    }
+
+    /// Reads one record back.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<(u64, u16), OutOfBits> {
+        let id = r.read_bits(self.id_bits)?;
+        let attempt = r.read_bits(self.attempt_bits)? as u16 + 1;
+        Ok((id, attempt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_for_boundaries() {
+        assert_eq!(width_for(0), 1);
+        assert_eq!(width_for(1), 1);
+        assert_eq!(width_for(2), 1);
+        assert_eq!(width_for(3), 2);
+        assert_eq!(width_for(4), 2);
+        assert_eq!(width_for(5), 3);
+        assert_eq!(width_for(256), 8);
+        assert_eq!(width_for(257), 9);
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let rec = FixedRecord::for_network(200, 7);
+        assert_eq!(rec.id_bits, 8);
+        assert_eq!(rec.attempt_bits, 3);
+        let hops = [(0u64, 1u16), (199, 7), (42, 3), (1, 1)];
+        let mut w = BitWriter::new();
+        for &(id, a) in &hops {
+            rec.encode(&mut w, id, a);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(id, a) in &hops {
+            assert_eq!(rec.decode(&mut r).unwrap(), (id, a));
+        }
+    }
+
+    #[test]
+    fn bytes_aligned_rounds_up() {
+        let rec = FixedRecord {
+            id_bits: 8,
+            attempt_bits: 3,
+        };
+        assert_eq!(rec.bits(), 11);
+        assert_eq!(rec.bytes_aligned(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "node id")]
+    fn rejects_oversized_id() {
+        let rec = FixedRecord::for_network(16, 7);
+        let mut w = BitWriter::new();
+        rec.encode(&mut w, 16, 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! # dophy-coding
+//!
+//! Entropy-coding substrate for the Dophy loss-tomography reproduction
+//! (*Fine-Grained Loss Tomography in Dynamic Sensor Networks*, ICPP 2015).
+//!
+//! Dophy's central mechanism is to carry, inside every data packet, an
+//! arithmetic-coded record of the retransmission count observed at each hop.
+//! This crate provides everything that mechanism needs:
+//!
+//! * [`range`] — a carry-propagating range coder whose encoder state can be
+//!   **suspended into a packet header and resumed at the next hop**, so a
+//!   stream is built incrementally along a path and flushed only at the sink;
+//! * [`model`] — static (disseminated) and adaptive (Fenwick-tree) frequency
+//!   models that drive the coder;
+//! * [`aggregate`] — symbol-set reduction for retransmission counts
+//!   (the paper's Optimization 1);
+//! * [`serialize`] — one-byte-per-symbol quantized model blobs for periodic
+//!   model dissemination (the paper's Optimization 2);
+//! * [`golomb`], [`elias`], [`fixed`], [`bitio`] — baseline coders used in
+//!   the encoding-efficiency comparisons;
+//! * [`entropy`] — entropy/cross-entropy utilities for redundancy accounting.
+//!
+//! ## Example: hop-by-hop encoding
+//!
+//! ```
+//! use dophy_coding::range::{RangeEncoder, RangeDecoder, EncoderState};
+//! use dophy_coding::model::{StaticModel, SymbolModel};
+//!
+//! // Model shared by nodes and sink (normally disseminated as a blob).
+//! let model = StaticModel::truncated_geometric(7, 0.8);
+//!
+//! // Hop 1 encodes attempt=1 (symbol 0), suspends into the packet...
+//! let mut enc = RangeEncoder::new();
+//! let mut m = model.clone();
+//! m.encode_symbol(&mut enc, 0).unwrap();
+//! let (state, bytes) = enc.suspend();
+//!
+//! // ...hop 2 resumes and encodes attempt=3 (symbol 2)...
+//! let mut enc = RangeEncoder::resume(state, bytes);
+//! m.encode_symbol(&mut enc, 2).unwrap();
+//!
+//! // ...the sink flushes and decodes both.
+//! let stream = enc.finish().unwrap();
+//! let mut dec = RangeDecoder::new(&stream).unwrap();
+//! let mut m2 = model.clone();
+//! assert_eq!(m2.decode_symbol(&mut dec).unwrap(), 0);
+//! assert_eq!(m2.decode_symbol(&mut dec).unwrap(), 2);
+//! # let _ = EncoderState::fresh();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod aggregate;
+pub mod bitio;
+pub mod elias;
+pub mod entropy;
+pub mod fixed;
+pub mod golomb;
+pub mod model;
+pub mod range;
+pub mod serialize;
+
+pub use aggregate::{AggregationPolicy, AttemptObservation, SymbolMapper};
+pub use model::{AdaptiveModel, StaticModel, SymbolModel};
+pub use range::{EncoderState, RangeCodingError, RangeDecoder, RangeEncoder};
+pub use serialize::ModelBlob;

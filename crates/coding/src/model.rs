@@ -1,0 +1,562 @@
+//! Probability models driving the range coder.
+//!
+//! Dophy keeps two kinds of models:
+//!
+//! * [`StaticModel`] — a frozen frequency table. This is what the sink
+//!   disseminates to the network at each model-update epoch (the paper's
+//!   Optimization 2): every node encodes against the same table, so the sink
+//!   can decode without per-packet synchronisation.
+//! * [`AdaptiveModel`] — a Fenwick-tree backed table that updates after every
+//!   symbol. Encoder and decoder stay in lockstep because both apply the
+//!   identical deterministic update rule. Used for within-packet adaptation
+//!   and as the sink-side learning structure from which new static models are
+//!   derived.
+//!
+//! All models guarantee every symbol a frequency of at least one (no
+//! zero-probability symbols), and keep their totals at or below
+//! [`crate::range::MAX_TOTAL`].
+
+use crate::range::{RangeCodingError, RangeDecoder, RangeEncoder, MAX_TOTAL};
+use serde::{Deserialize, Serialize};
+
+/// Interface between a frequency table and the range coder.
+pub trait SymbolModel {
+    /// Number of symbols in the alphabet.
+    fn num_symbols(&self) -> usize;
+
+    /// Sum of all frequencies. Always `<= MAX_TOTAL`.
+    fn total(&self) -> u32;
+
+    /// `(cumulative, frequency)` of `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym >= num_symbols()`.
+    fn lookup(&self, sym: usize) -> (u32, u32);
+
+    /// Maps a decoder target in `0..total()` back to `(sym, cum, freq)`.
+    fn symbol_for(&self, target: u32) -> (usize, u32, u32);
+
+    /// Post-symbol hook; adaptive models update their counts here.
+    fn update(&mut self, _sym: usize) {}
+
+    /// Encodes `sym` through `enc` and applies the adaptive update.
+    fn encode_symbol(
+        &mut self,
+        enc: &mut RangeEncoder,
+        sym: usize,
+    ) -> Result<(), RangeCodingError> {
+        let (cum, freq) = self.lookup(sym);
+        enc.encode(cum, freq, self.total())?;
+        self.update(sym);
+        Ok(())
+    }
+
+    /// Decodes one symbol through `dec` and applies the adaptive update.
+    fn decode_symbol(&mut self, dec: &mut RangeDecoder<'_>) -> Result<usize, RangeCodingError> {
+        let target = dec.decode_target(self.total())?;
+        let (sym, cum, freq) = self.symbol_for(target);
+        dec.decode_advance(cum, freq)?;
+        self.update(sym);
+        Ok(sym)
+    }
+
+    /// Ideal code length of `sym` under this model, in bits.
+    fn code_length_bits(&self, sym: usize) -> f64 {
+        let (_, freq) = self.lookup(sym);
+        let p = f64::from(freq) / f64::from(self.total());
+        -p.log2()
+    }
+}
+
+/// Frozen frequency table (cumulative array + binary search).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticModel {
+    /// `cum[i]` = sum of frequencies of symbols `< i`; length = n + 1.
+    cum: Vec<u32>,
+}
+
+impl StaticModel {
+    /// Builds a model from raw frequencies. Zero frequencies are bumped to
+    /// one (add-one smoothing keeps every symbol encodable) and the table is
+    /// scaled down if the total would exceed `MAX_TOTAL`.
+    ///
+    /// # Panics
+    /// Panics if `freqs` is empty.
+    pub fn from_frequencies(freqs: &[u32]) -> Self {
+        assert!(!freqs.is_empty(), "alphabet must be non-empty");
+        let mut f: Vec<u64> = freqs.iter().map(|&x| u64::from(x.max(1))).collect();
+        let mut total: u64 = f.iter().sum();
+        while total > u64::from(MAX_TOTAL) {
+            total = 0;
+            for x in &mut f {
+                *x = (*x / 2).max(1);
+                total += *x;
+            }
+        }
+        let mut cum = Vec::with_capacity(f.len() + 1);
+        let mut acc = 0u32;
+        cum.push(0);
+        for x in &f {
+            acc += *x as u32;
+            cum.push(acc);
+        }
+        Self { cum }
+    }
+
+    /// Uniform model over `n` symbols.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `n > MAX_TOTAL`.
+    pub fn uniform(n: usize) -> Self {
+        assert!(n > 0 && n <= MAX_TOTAL as usize);
+        Self::from_frequencies(&vec![1u32; n])
+    }
+
+    /// Builds a model whose probabilities follow a truncated geometric
+    /// distribution with per-trial success probability `p` — the natural
+    /// prior for retransmission counts over a link with loss `1 - p`.
+    ///
+    /// Symbol `i` (zero-based) gets weight proportional to `(1-p)^i * p`.
+    pub fn truncated_geometric(n: usize, p: f64) -> Self {
+        assert!(n > 0);
+        let p = p.clamp(1e-6, 1.0 - 1e-6);
+        let scale = 32_768.0;
+        let freqs: Vec<u32> = (0..n)
+            .map(|i| {
+                let w = (1.0 - p).powi(i as i32) * p;
+                (w * scale).round().max(1.0) as u32
+            })
+            .collect();
+        Self::from_frequencies(&freqs)
+    }
+
+    /// Per-symbol frequencies (reconstructed from the cumulative table).
+    pub fn frequencies(&self) -> Vec<u32> {
+        self.cum.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Probability assigned to `sym`.
+    pub fn probability(&self, sym: usize) -> f64 {
+        let (_, f) = self.lookup(sym);
+        f64::from(f) / f64::from(self.total())
+    }
+}
+
+impl SymbolModel for StaticModel {
+    fn num_symbols(&self) -> usize {
+        self.cum.len() - 1
+    }
+
+    fn total(&self) -> u32 {
+        *self.cum.last().expect("non-empty")
+    }
+
+    fn lookup(&self, sym: usize) -> (u32, u32) {
+        let lo = self.cum[sym];
+        let hi = self.cum[sym + 1];
+        (lo, hi - lo)
+    }
+
+    fn symbol_for(&self, target: u32) -> (usize, u32, u32) {
+        // partition_point: first index where cum[i] > target, minus one.
+        let idx = self.cum.partition_point(|&c| c <= target) - 1;
+        let (cum, freq) = self.lookup(idx);
+        (idx, cum, freq)
+    }
+}
+
+/// Fenwick (binary indexed) tree over symbol frequencies.
+///
+/// Supports O(log n) point updates, prefix sums, and target→symbol search,
+/// which is everything an adaptive arithmetic-coding model needs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FenwickTree {
+    /// 1-based implicit tree; `tree[0]` unused.
+    tree: Vec<u32>,
+    n: usize,
+}
+
+impl FenwickTree {
+    /// Zero-initialised tree over `n` slots.
+    pub fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+            n,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the tree has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds `delta` to slot `i`.
+    pub fn add(&mut self, i: usize, delta: i64) {
+        let mut i = i + 1;
+        while i <= self.n {
+            let v = i64::from(self.tree[i]) + delta;
+            debug_assert!(v >= 0, "fenwick underflow");
+            self.tree[i] = v as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of slots `0..i` (exclusive prefix sum).
+    pub fn prefix_sum(&self, i: usize) -> u32 {
+        let mut i = i.min(self.n);
+        let mut s = 0u32;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Value stored in slot `i`.
+    pub fn get(&self, i: usize) -> u32 {
+        self.prefix_sum(i + 1) - self.prefix_sum(i)
+    }
+
+    /// Sum of all slots.
+    pub fn total(&self) -> u32 {
+        self.prefix_sum(self.n)
+    }
+
+    /// Finds the largest `i` such that `prefix_sum(i) <= target`, i.e. the
+    /// symbol whose cumulative interval contains `target`.
+    pub fn search(&self, mut target: u32) -> usize {
+        let mut pos = 0usize;
+        let mut mask = self.n.next_power_of_two();
+        // If n is a power of two, next_power_of_two returns n itself, which
+        // is the correct starting stride.
+        while mask > 0 {
+            let next = pos + mask;
+            if next <= self.n && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        pos.min(self.n - 1)
+    }
+}
+
+/// Adaptive frequency model with halving rescale.
+///
+/// Every symbol starts at frequency 1. After each encode/decode the observed
+/// symbol's frequency grows by `increment`; when the total would exceed
+/// `rescale_threshold` all frequencies are halved (floored at 1), so the
+/// model tracks non-stationary distributions — exactly what link-quality
+/// drift produces.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdaptiveModel {
+    tree: FenwickTree,
+    increment: u32,
+    rescale_threshold: u32,
+}
+
+/// Default per-observation frequency increment.
+pub const DEFAULT_INCREMENT: u32 = 32;
+/// Default rescale threshold (half of `MAX_TOTAL` leaves headroom).
+pub const DEFAULT_RESCALE: u32 = MAX_TOTAL / 2;
+
+impl AdaptiveModel {
+    /// Uniform-start adaptive model over `n` symbols.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `n` exceeds `MAX_TOTAL`.
+    pub fn new(n: usize) -> Self {
+        Self::with_params(n, DEFAULT_INCREMENT, DEFAULT_RESCALE)
+    }
+
+    /// Adaptive model with explicit increment and rescale threshold.
+    ///
+    /// # Panics
+    /// Panics on empty alphabets, zero increments, or thresholds that cannot
+    /// accommodate the alphabet.
+    pub fn with_params(n: usize, increment: u32, rescale_threshold: u32) -> Self {
+        assert!(n > 0, "alphabet must be non-empty");
+        assert!(increment > 0, "increment must be positive");
+        assert!(
+            rescale_threshold <= MAX_TOTAL && rescale_threshold as usize >= 2 * n,
+            "rescale threshold must fit the alphabet and MAX_TOTAL"
+        );
+        let mut tree = FenwickTree::new(n);
+        for i in 0..n {
+            tree.add(i, 1);
+        }
+        Self {
+            tree,
+            increment,
+            rescale_threshold,
+        }
+    }
+
+    /// Seeds the adaptive model from a static table (warm start after a
+    /// model-update epoch).
+    pub fn from_static(model: &StaticModel) -> Self {
+        let freqs = model.frequencies();
+        let mut m = Self::new(freqs.len());
+        for (i, &f) in freqs.iter().enumerate() {
+            // Slot already holds 1; add the remainder.
+            if f > 1 {
+                m.tree.add(i, i64::from(f - 1));
+            }
+        }
+        m.rescale_if_needed();
+        m
+    }
+
+    /// Current frequency of `sym`.
+    pub fn frequency(&self, sym: usize) -> u32 {
+        self.tree.get(sym)
+    }
+
+    /// Freezes the current counts into a static model.
+    pub fn snapshot(&self) -> StaticModel {
+        let freqs: Vec<u32> = (0..self.tree.len()).map(|i| self.tree.get(i)).collect();
+        StaticModel::from_frequencies(&freqs)
+    }
+
+    /// Records an observation without coding (sink-side statistics
+    /// collection between model updates).
+    pub fn observe(&mut self, sym: usize) {
+        self.update(sym);
+    }
+
+    fn rescale_if_needed(&mut self) {
+        if self.tree.total() <= self.rescale_threshold {
+            return;
+        }
+        let n = self.tree.len();
+        let mut fresh = FenwickTree::new(n);
+        for i in 0..n {
+            let f = (self.tree.get(i) / 2).max(1);
+            fresh.add(i, i64::from(f));
+        }
+        self.tree = fresh;
+    }
+}
+
+impl SymbolModel for AdaptiveModel {
+    fn num_symbols(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn total(&self) -> u32 {
+        self.tree.total()
+    }
+
+    fn lookup(&self, sym: usize) -> (u32, u32) {
+        assert!(sym < self.tree.len(), "symbol out of range");
+        let cum = self.tree.prefix_sum(sym);
+        let freq = self.tree.get(sym);
+        (cum, freq)
+    }
+
+    fn symbol_for(&self, target: u32) -> (usize, u32, u32) {
+        let sym = self.tree.search(target);
+        let (cum, freq) = self.lookup(sym);
+        (sym, cum, freq)
+    }
+
+    fn update(&mut self, sym: usize) {
+        self.tree.add(sym, i64::from(self.increment));
+        self.rescale_if_needed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::{RangeDecoder, RangeEncoder};
+
+    #[test]
+    fn fenwick_matches_naive() {
+        let mut t = FenwickTree::new(13);
+        let mut naive = [0u32; 13];
+        let updates = [(0, 5i64), (12, 3), (6, 7), (6, 2), (3, 1), (12, -3), (0, -1)];
+        for &(i, d) in &updates {
+            t.add(i, d);
+            naive[i] = (i64::from(naive[i]) + d) as u32;
+        }
+        for i in 0..=13 {
+            let expect: u32 = naive[..i].iter().sum();
+            assert_eq!(t.prefix_sum(i), expect, "prefix {i}");
+        }
+        for (i, &v) in naive.iter().enumerate() {
+            assert_eq!(t.get(i), v, "get {i}");
+        }
+    }
+
+    #[test]
+    fn fenwick_search_finds_containing_symbol() {
+        let mut t = FenwickTree::new(5);
+        for (i, f) in [3u32, 1, 4, 1, 5].iter().enumerate() {
+            t.add(i, i64::from(*f));
+        }
+        // Cumulative: [0,3,4,8,9,14)
+        let expect = [
+            (0, 0),
+            (2, 0),
+            (3, 1),
+            (4, 2),
+            (7, 2),
+            (8, 3),
+            (9, 4),
+            (13, 4),
+        ];
+        for &(target, sym) in &expect {
+            assert_eq!(t.search(target), sym, "target {target}");
+        }
+    }
+
+    #[test]
+    fn fenwick_search_power_of_two_size() {
+        let mut t = FenwickTree::new(8);
+        for i in 0..8 {
+            t.add(i, 2);
+        }
+        for target in 0..16u32 {
+            assert_eq!(t.search(target), (target / 2) as usize);
+        }
+    }
+
+    #[test]
+    fn static_model_lookup_consistency() {
+        let m = StaticModel::from_frequencies(&[10, 0, 5, 1]);
+        // Zero was smoothed to one.
+        assert_eq!(m.frequencies(), vec![10, 1, 5, 1]);
+        assert_eq!(m.total(), 17);
+        for sym in 0..4 {
+            let (cum, freq) = m.lookup(sym);
+            for t in cum..cum + freq {
+                let (s, c, f) = m.symbol_for(t);
+                assert_eq!((s, c, f), (sym, cum, freq));
+            }
+        }
+    }
+
+    #[test]
+    fn static_model_scales_down_large_totals() {
+        let m = StaticModel::from_frequencies(&[1_000_000, 2_000_000, 10]);
+        assert!(m.total() <= MAX_TOTAL);
+        // Relative ordering preserved.
+        let f = m.frequencies();
+        assert!(f[1] > f[0]);
+        assert!(f[0] > f[2]);
+    }
+
+    #[test]
+    fn truncated_geometric_is_monotone_decreasing() {
+        let m = StaticModel::truncated_geometric(8, 0.7);
+        let f = m.frequencies();
+        for w in f.windows(2) {
+            assert!(w[0] >= w[1], "geometric weights must not increase: {f:?}");
+        }
+        assert!(m.probability(0) > 0.5);
+    }
+
+    #[test]
+    fn adaptive_model_coder_round_trip() {
+        let syms: Vec<usize> = (0..2000).map(|i| (i * i) % 10).collect();
+        let mut enc_model = AdaptiveModel::new(10);
+        let mut enc = RangeEncoder::new();
+        for &s in &syms {
+            enc_model.encode_symbol(&mut enc, s).unwrap();
+        }
+        let bytes = enc.finish().unwrap();
+
+        let mut dec_model = AdaptiveModel::new(10);
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        for &s in &syms {
+            assert_eq!(dec_model.decode_symbol(&mut dec).unwrap(), s);
+        }
+        // Models stayed in lockstep.
+        assert_eq!(enc_model, dec_model);
+    }
+
+    #[test]
+    fn adaptive_model_beats_uniform_on_skewed_input() {
+        // 95% zeros from a 16-symbol alphabet.
+        let syms: Vec<usize> = (0..4000).map(|i| if i % 20 == 0 { i % 16 } else { 0 }).collect();
+
+        let encode_with = |mut model: Box<dyn SymbolModel>| -> usize {
+            let mut enc = RangeEncoder::new();
+            for &s in &syms {
+                model.encode_symbol(&mut enc, s).unwrap();
+            }
+            enc.finish().unwrap().len()
+        };
+
+        let adaptive = encode_with(Box::new(AdaptiveModel::new(16)));
+        let uniform = encode_with(Box::new(StaticModel::uniform(16)));
+        assert!(
+            adaptive * 2 < uniform,
+            "adaptive {adaptive} should be well under half of uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn adaptive_rescale_keeps_total_bounded() {
+        let mut m = AdaptiveModel::with_params(4, 1000, 4000);
+        for _ in 0..10_000 {
+            m.update(1);
+        }
+        assert!(m.total() <= 4000 + 1000);
+        // All symbols still encodable.
+        for s in 0..4 {
+            assert!(m.frequency(s) >= 1);
+        }
+    }
+
+    #[test]
+    fn from_static_preserves_shape() {
+        let st = StaticModel::from_frequencies(&[100, 50, 10, 1]);
+        let ad = AdaptiveModel::from_static(&st);
+        assert!(ad.frequency(0) > ad.frequency(1));
+        assert!(ad.frequency(1) > ad.frequency(2));
+        assert!(ad.frequency(3) >= 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_frequencies() {
+        let mut ad = AdaptiveModel::new(6);
+        for s in [0, 0, 0, 1, 1, 5] {
+            ad.observe(s);
+        }
+        let snap = ad.snapshot();
+        assert_eq!(snap.frequencies().len(), 6);
+        assert_eq!(snap.total(), ad.total());
+        for s in 0..6 {
+            assert_eq!(snap.lookup(s), ad.lookup(s));
+        }
+    }
+
+    #[test]
+    fn static_and_adaptive_interleaved_contexts() {
+        // Two independent contexts through one stream, as Dophy uses.
+        let hops: Vec<(usize, usize)> = (0..500).map(|i| (i % 5, (i * 3) % 7)).collect();
+        let mut ctx_a = AdaptiveModel::new(5);
+        let mut ctx_b = StaticModel::truncated_geometric(7, 0.6);
+        let mut enc = RangeEncoder::new();
+        for &(a, b) in &hops {
+            ctx_a.encode_symbol(&mut enc, a).unwrap();
+            ctx_b.encode_symbol(&mut enc, b).unwrap();
+        }
+        let bytes = enc.finish().unwrap();
+
+        let mut dctx_a = AdaptiveModel::new(5);
+        let mut dctx_b = ctx_b.clone();
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        for &(a, b) in &hops {
+            assert_eq!(dctx_a.decode_symbol(&mut dec).unwrap(), a);
+            assert_eq!(dctx_b.decode_symbol(&mut dec).unwrap(), b);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Compact wire serialization of probability models.
+//!
+//! Dophy's Optimization 2 periodically disseminates a refreshed probability
+//! model from the sink to the network. Dissemination costs real radio bytes,
+//! so the model must travel compactly: each frequency is quantized to one
+//! byte on a logarithmic-ish scale. The quantization is deliberately lossy —
+//! both sides (sink and nodes) reconstruct the *same* quantized model, which
+//! is all arithmetic coding requires.
+//!
+//! Wire layout: `[version: u8][num_symbols: u8][q0, q1, ... q_{n-1}]` where
+//! `q_i` encodes frequency `f_i` as described in [`quantize`].
+
+use crate::model::StaticModel;
+use crate::range::MAX_TOTAL;
+use serde::{Deserialize, Serialize};
+
+/// Serialization format version byte.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Errors raised when decoding a model blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelWireError {
+    /// Blob shorter than its header claims.
+    Truncated,
+    /// Unknown version byte.
+    BadVersion(u8),
+    /// Declared alphabet size of zero.
+    EmptyAlphabet,
+}
+
+impl std::fmt::Display for ModelWireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "model blob truncated"),
+            Self::BadVersion(v) => write!(f, "unknown model wire version {v}"),
+            Self::EmptyAlphabet => write!(f, "model blob declares empty alphabet"),
+        }
+    }
+}
+
+impl std::error::Error for ModelWireError {}
+
+/// Quantizes a frequency to one byte.
+///
+/// Values `1..=128` are stored exactly (codes `0..=127`); larger values are
+/// stored as `128 + round(12 * log2(f / 128))`, a 1/12-octave log scale. The
+/// 127 log codes span `128 * 2^(127/12) ≈ 1.96e6`, comfortably covering the
+/// full `MAX_TOTAL` range with < 3% relative error.
+pub fn quantize(freq: u32) -> u8 {
+    let f = freq.max(1);
+    if f <= 128 {
+        (f - 1) as u8
+    } else {
+        let code = 128.0 + 12.0 * (f64::from(f) / 128.0).log2();
+        code.round().min(255.0) as u8
+    }
+}
+
+/// Inverse of [`quantize`].
+pub fn dequantize(code: u8) -> u32 {
+    if code < 128 {
+        u32::from(code) + 1
+    } else {
+        let f = 128.0 * 2f64.powf(f64::from(code - 128) / 12.0);
+        (f.round() as u32).min(MAX_TOTAL)
+    }
+}
+
+/// A model blob as carried in dissemination packets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelBlob {
+    bytes: Vec<u8>,
+}
+
+impl ModelBlob {
+    /// Serializes `model` (quantizing frequencies).
+    ///
+    /// # Panics
+    /// Panics if the alphabet exceeds 255 symbols (Dophy alphabets are tiny:
+    /// retransmission budgets and neighbor-table sizes).
+    pub fn encode(model: &StaticModel) -> Self {
+        use crate::model::SymbolModel;
+        let n = model.num_symbols();
+        assert!(n <= 255, "alphabet too large for wire format");
+        let mut bytes = Vec::with_capacity(2 + n);
+        bytes.push(WIRE_VERSION);
+        bytes.push(n as u8);
+        for f in model.frequencies() {
+            bytes.push(quantize(f));
+        }
+        Self { bytes }
+    }
+
+    /// Parses a blob back into a model. Both sides must call this on the
+    /// same bytes to obtain identical coder tables.
+    pub fn decode(&self) -> Result<StaticModel, ModelWireError> {
+        let b = &self.bytes;
+        if b.len() < 2 {
+            return Err(ModelWireError::Truncated);
+        }
+        if b[0] != WIRE_VERSION {
+            return Err(ModelWireError::BadVersion(b[0]));
+        }
+        let n = usize::from(b[1]);
+        if n == 0 {
+            return Err(ModelWireError::EmptyAlphabet);
+        }
+        if b.len() < 2 + n {
+            return Err(ModelWireError::Truncated);
+        }
+        let freqs: Vec<u32> = b[2..2 + n].iter().map(|&c| dequantize(c)).collect();
+        Ok(StaticModel::from_frequencies(&freqs))
+    }
+
+    /// Wire size in bytes — charged to dissemination overhead.
+    pub fn wire_size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Wraps raw received bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Self { bytes }
+    }
+
+    /// The canonical quantized model: encode → decode. The sink must use
+    /// this (not the raw learned model) so it codes against exactly what the
+    /// nodes received.
+    pub fn canonical(model: &StaticModel) -> (Self, StaticModel) {
+        let blob = Self::encode(model);
+        let quantized = blob.decode().expect("self-encoded blob is valid");
+        (blob, quantized)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SymbolModel;
+
+    #[test]
+    fn quantize_exact_below_128() {
+        for f in 1..=128u32 {
+            assert_eq!(dequantize(quantize(f)), f);
+        }
+    }
+
+    #[test]
+    fn quantize_relative_error_bounded() {
+        for f in [129u32, 200, 500, 1000, 5000, 20000, 65535, 65536] {
+            let q = dequantize(quantize(f));
+            let rel = (f64::from(q) - f64::from(f)).abs() / f64::from(f);
+            assert!(rel < 0.03, "f={f} q={q} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn quantize_monotone() {
+        let mut last = 0;
+        for f in 1..=MAX_TOTAL {
+            let c = quantize(f);
+            assert!(c >= last, "quantize not monotone at {f}");
+            last = c;
+            if f > 1000 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn blob_round_trip() {
+        let model = StaticModel::from_frequencies(&[5000, 800, 90, 9, 1]);
+        let (blob, canonical) = ModelBlob::canonical(&model);
+        assert_eq!(blob.wire_size(), 2 + 5);
+        let decoded = blob.decode().unwrap();
+        assert_eq!(decoded, canonical);
+        // Shape survives quantization.
+        let f = decoded.frequencies();
+        assert!(f[0] > f[1] && f[1] > f[2] && f[2] > f[3]);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            ModelBlob::from_bytes(vec![]).decode(),
+            Err(ModelWireError::Truncated)
+        );
+        assert_eq!(
+            ModelBlob::from_bytes(vec![9, 3, 1, 1, 1]).decode(),
+            Err(ModelWireError::BadVersion(9))
+        );
+        assert_eq!(
+            ModelBlob::from_bytes(vec![WIRE_VERSION, 0]).decode(),
+            Err(ModelWireError::EmptyAlphabet)
+        );
+        assert_eq!(
+            ModelBlob::from_bytes(vec![WIRE_VERSION, 4, 1, 1]).decode(),
+            Err(ModelWireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn canonical_is_idempotent() {
+        let model = StaticModel::from_frequencies(&[60000, 3000, 200, 17]);
+        let (_, canon1) = ModelBlob::canonical(&model);
+        let (_, canon2) = ModelBlob::canonical(&canon1);
+        assert_eq!(canon1, canon2, "re-quantizing a quantized model must be a no-op");
+    }
+
+    #[test]
+    fn coder_round_trip_through_wire_model() {
+        use crate::range::{RangeDecoder, RangeEncoder};
+        let learned = StaticModel::from_frequencies(&[40000, 9000, 1200, 300, 40, 7]);
+        let (blob, sink_model) = ModelBlob::canonical(&learned);
+        // "Node" receives bytes and reconstructs independently.
+        let mut node_model = ModelBlob::from_bytes(blob.as_bytes().to_vec())
+            .decode()
+            .unwrap();
+
+        let syms = [0usize, 0, 1, 0, 2, 5, 0, 0, 3, 1, 0, 4];
+        let mut enc = RangeEncoder::new();
+        for &s in &syms {
+            node_model.encode_symbol(&mut enc, s).unwrap();
+        }
+        let bytes = enc.finish().unwrap();
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        let mut sink_model = sink_model;
+        for &s in &syms {
+            assert_eq!(sink_model.decode_symbol(&mut dec).unwrap(), s);
+        }
+    }
+}

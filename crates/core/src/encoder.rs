@@ -1,0 +1,192 @@
+//! Receiver-side per-hop encoding — Dophy's in-network half.
+//!
+//! When a node accepts a data frame it appends two (or three) symbols to
+//! the packet's arithmetic stream:
+//!
+//! 1. its own index in the **sender's** forwarding-candidate table, so the
+//!    sink can walk the path forward starting from the plaintext origin;
+//! 2. the frame's **attempt number** (read from the MAC header of the first
+//!    received copy — exactly the number of transmissions until first
+//!    success on the link), mapped through the aggregation policy;
+//! 3. optionally the uniform residual that makes aggregation lossless.
+//!
+//! The node never decodes the stream: it resumes the suspended coder state
+//! carried in the header, encodes, and suspends again. The sink is the only
+//! place the stream is flushed and read.
+
+use crate::header::DophyHeader;
+use crate::model_mgr::ModelSet;
+use crate::symbols::SymbolSpaces;
+use dophy_coding::model::SymbolModel;
+use dophy_coding::range::{RangeCodingError, RangeEncoder};
+use dophy_sim::{NodeId, Topology};
+
+/// Why a hop could not be encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The receiver is not in the sender's candidate table (should not
+    /// happen with a consistent topology; indicates a stale table).
+    NotACandidate {
+        /// Frame sender.
+        sender: NodeId,
+        /// Receiving node (self).
+        receiver: NodeId,
+    },
+    /// The arithmetic coder rejected the operation.
+    Coding(RangeCodingError),
+    /// Hop counter would overflow (routing loop far beyond any sane TTL).
+    TooManyHops,
+}
+
+impl From<RangeCodingError> for EncodeError {
+    fn from(e: RangeCodingError) -> Self {
+        Self::Coding(e)
+    }
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotACandidate { sender, receiver } => {
+                write!(f, "{receiver} is not a forwarding candidate of {sender}")
+            }
+            Self::Coding(e) => write!(f, "range coding failed: {e}"),
+            Self::TooManyHops => write!(f, "hop counter overflow"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Encodes one hop record into `header` (mutating its stream and coder
+/// state and bumping the hop counter).
+///
+/// * `sender` — the node the frame was received from;
+/// * `receiver` — the encoding node itself;
+/// * `attempt` — attempt number of the first received copy (`1..=R`).
+pub fn encode_hop(
+    header: &mut DophyHeader,
+    topo: &Topology,
+    spaces: &SymbolSpaces,
+    models: &ModelSet,
+    sender: NodeId,
+    receiver: NodeId,
+    attempt: u16,
+) -> Result<(), EncodeError> {
+    let hop_index = topo
+        .neighbors(sender)
+        .iter()
+        .position(|&v| v == receiver)
+        .ok_or(EncodeError::NotACandidate { sender, receiver })?;
+    if header.hops == u8::MAX {
+        return Err(EncodeError::TooManyHops);
+    }
+
+    let state = header.coder_state;
+    let stream = std::mem::take(&mut header.stream);
+    let mut enc = RangeEncoder::resume(state, stream);
+
+    // Context 1: next-hop index.
+    let (cum, freq) = models.hop.lookup(hop_index);
+    enc.encode(cum, freq, models.hop.total())?;
+
+    // Context 2: (aggregated) attempt count.
+    let (sym, residual) = spaces.mapper().split(attempt);
+    let (cum, freq) = models.attempt.lookup(sym);
+    enc.encode(cum, freq, models.attempt.total())?;
+
+    // Context 3: optional lossless refinement.
+    if spaces.refine() {
+        let n = spaces.mapper().refine_cardinality(sym);
+        if n > 1 {
+            enc.encode_uniform(residual, n)?;
+        }
+    }
+
+    let (state, stream) = enc.suspend();
+    header.coder_state = state;
+    header.stream = stream;
+    header.hops += 1;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dophy_coding::aggregate::AggregationPolicy;
+    use dophy_sim::{Placement, RadioModel, RngHub};
+
+    fn topo() -> Topology {
+        Topology::generate(
+            Placement::Grid {
+                side: 3,
+                spacing: 12.0,
+            },
+            &RadioModel::default(),
+            &RngHub::new(8),
+        )
+    }
+
+    fn spaces(topo: &Topology) -> SymbolSpaces {
+        let max_degree = (0..topo.node_count())
+            .map(|i| topo.neighbors(NodeId(i as u16)).len())
+            .max()
+            .unwrap();
+        SymbolSpaces::new(max_degree, 7, AggregationPolicy::Cap { cap: 4 }, false)
+    }
+
+    #[test]
+    fn encoding_grows_header_and_hops() {
+        let t = topo();
+        let s = spaces(&t);
+        let models = ModelSet::initial(&s);
+        let mut h = DophyHeader::new(NodeId(8), 1, 0);
+        // Walk 8 → some neighbor chain toward the sink.
+        let sender = NodeId(8);
+        let receiver = t.neighbors(sender)[0];
+        encode_hop(&mut h, &t, &s, &models, sender, receiver, 2).unwrap();
+        assert_eq!(h.hops, 1);
+        // Another hop.
+        let next = t.neighbors(receiver)[0];
+        encode_hop(&mut h, &t, &s, &models, receiver, next, 1).unwrap();
+        assert_eq!(h.hops, 2);
+        // Stream stays tiny for two hops of likely symbols.
+        assert!(h.finished_stream_len() <= 8, "got {}", h.finished_stream_len());
+    }
+
+    #[test]
+    fn non_candidate_is_rejected() {
+        let t = topo();
+        let s = spaces(&t);
+        let models = ModelSet::initial(&s);
+        let mut h = DophyHeader::new(NodeId(0), 1, 0);
+        // Find a node that is NOT a neighbor of node 0.
+        let non = (0..t.node_count() as u16)
+            .map(NodeId)
+            .find(|&v| v != NodeId(0) && !t.neighbors(NodeId(0)).contains(&v));
+        if let Some(non) = non {
+            let err = encode_hop(&mut h, &t, &s, &models, NodeId(0), non, 1).unwrap_err();
+            assert!(matches!(err, EncodeError::NotACandidate { .. }));
+            assert_eq!(h.hops, 0, "failed encode must not mutate hops");
+        }
+    }
+
+    #[test]
+    fn likely_symbols_cost_under_a_byte_per_hop() {
+        let t = topo();
+        let s = spaces(&t);
+        let models = ModelSet::initial(&s);
+        let mut h = DophyHeader::new(NodeId(8), 1, 0);
+        // 10 hops of the most likely symbols (index 0, attempt 1) — walk
+        // back and forth between two neighbors.
+        let a = NodeId(8);
+        let b = t.neighbors(a)[0];
+        for i in 0..10 {
+            let (snd, rcv) = if i % 2 == 0 { (a, b) } else { (b, a) };
+            encode_hop(&mut h, &t, &s, &models, snd, rcv, 1).unwrap();
+        }
+        assert_eq!(h.hops, 10);
+        let per_hop = h.finished_stream_len() as f64 / 10.0;
+        assert!(per_hop < 1.2, "bytes/hop {per_hop}");
+    }
+}

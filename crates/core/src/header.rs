@@ -1,0 +1,222 @@
+//! The Dophy packet header carried by every data packet.
+//!
+//! Layout (conceptual wire format):
+//!
+//! | field        | bytes | notes                                        |
+//! |--------------|-------|----------------------------------------------|
+//! | origin       | 2     | source node id (plaintext — anchors decoding)|
+//! | seq          | 4     | per-origin sequence number                   |
+//! | epoch        | 1     | probability-model epoch the stream uses      |
+//! | hops         | 1     | hop counter / TTL guard                      |
+//! | coder state  | 12    | suspended range-encoder state                |
+//! | stream       | var   | arithmetic-coded hop records                 |
+//!
+//! The fixed part is [`DophyHeader::FIXED_WIRE_BYTES`]; the variable part
+//! grows as hops append symbols. Overhead accounting distinguishes the
+//! *measurement overhead* (everything Dophy adds: fixed part minus what any
+//! collection header would carry, plus the stream) from the base packet.
+
+use dophy_coding::range::EncoderState;
+use dophy_sim::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Model-epoch identifier (wraps at 255; the sink keeps a history window).
+pub type Epoch = u8;
+
+/// Dophy's in-packet measurement header.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DophyHeader {
+    /// Originating node.
+    pub origin: NodeId,
+    /// Per-origin sequence number.
+    pub seq: u32,
+    /// Probability-model epoch the stream is encoded under (stamped by the
+    /// origin; all hops must encode with this epoch's models).
+    pub epoch: Epoch,
+    /// Hops traversed so far (TTL guard against transient routing loops).
+    pub hops: u8,
+    /// True when some hop could not encode (missing epoch models); the
+    /// packet still flows but the sink skips tomography for it.
+    pub coding_disabled: bool,
+    /// Suspended arithmetic-coder state.
+    pub coder_state: EncoderState,
+    /// Arithmetic-coded hop records emitted so far.
+    pub stream: Vec<u8>,
+}
+
+impl DophyHeader {
+    /// Fixed header bytes on the wire: origin 2 + seq 4 + epoch 1 + hops 1,
+    /// plus coder state 12 (the `coding_disabled` flag rides in a spare bit
+    /// of `hops`).
+    pub const FIXED_WIRE_BYTES: usize = 2 + 4 + 1 + 1 + EncoderState::WIRE_SIZE;
+
+    /// Fresh header written by the origin (no symbols yet).
+    pub fn new(origin: NodeId, seq: u32, epoch: Epoch) -> Self {
+        Self {
+            origin,
+            seq,
+            epoch,
+            hops: 0,
+            coding_disabled: false,
+            coder_state: EncoderState::fresh(),
+            stream: Vec::new(),
+        }
+    }
+
+    /// Total Dophy header bytes on the wire right now.
+    pub fn wire_bytes(&self) -> usize {
+        Self::FIXED_WIRE_BYTES + self.stream.len()
+    }
+
+    /// Measurement overhead attributable to Dophy *beyond* a plain
+    /// collection header (which would already carry origin/seq/hops = 7
+    /// bytes): the coder state, the epoch byte, and the stream.
+    pub fn measurement_overhead_bytes(&self) -> usize {
+        EncoderState::WIRE_SIZE + 1 + self.stream.len()
+    }
+
+    /// Finished-stream length if flushed now (what the sink will decode).
+    pub fn finished_stream_len(&self) -> usize {
+        // Mirrors RangeEncoder::finished_len_hint: pending cache bytes + 4.
+        self.stream.len() + usize::from(self.coder_state.cache_size) + 4
+    }
+
+    /// On-air stream length after wire trimming (leading zero byte and
+    /// trailing zeros removed) — the number the overhead figures report.
+    pub fn wire_stream_len(&self) -> usize {
+        use dophy_coding::range::RangeEncoder;
+        RangeEncoder::resume(self.coder_state, self.stream.clone())
+            .finish_wire()
+            .map(|w| w.len())
+            .unwrap_or_else(|_| self.finished_stream_len())
+    }
+
+    /// Serializes the in-flight header to its wire layout (the exact bytes
+    /// a TinyOS implementation would put in the packet): big-endian fixed
+    /// fields, `coding_disabled` in the top bit of the hops byte, then the
+    /// raw suspended stream.
+    ///
+    /// The result is always `wire_bytes()` long — the struct's byte
+    /// accounting is the real serialized size, not an estimate.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_bytes());
+        out.extend_from_slice(&self.origin.0.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.push(self.epoch);
+        debug_assert!(self.hops < 0x80, "hops field is 7 bits");
+        out.push(self.hops | u8::from(self.coding_disabled) << 7);
+        // Coder state: low is 33 bits → 5 bytes; range 4; cache 1;
+        // cache_size 2.
+        let low = self.coder_state.low;
+        debug_assert!(low < 1u64 << 33);
+        out.push((low >> 32) as u8);
+        out.extend_from_slice(&((low & 0xFFFF_FFFF) as u32).to_be_bytes());
+        out.extend_from_slice(&self.coder_state.range.to_be_bytes());
+        out.push(self.coder_state.cache);
+        out.extend_from_slice(&self.coder_state.cache_size.to_be_bytes());
+        out.extend_from_slice(&self.stream);
+        debug_assert_eq!(out.len(), self.wire_bytes());
+        out
+    }
+
+    /// Parses a header serialized with [`to_bytes`](Self::to_bytes);
+    /// everything after the fixed fields is the stream. Returns `None` on
+    /// truncated input.
+    pub fn from_bytes(buf: &[u8]) -> Option<Self> {
+        if buf.len() < Self::FIXED_WIRE_BYTES {
+            return None;
+        }
+        let origin = NodeId(u16::from_be_bytes([buf[0], buf[1]]));
+        let seq = u32::from_be_bytes([buf[2], buf[3], buf[4], buf[5]]);
+        let epoch = buf[6];
+        let hops = buf[7] & 0x7F;
+        let coding_disabled = buf[7] & 0x80 != 0;
+        // `low` is a 33-bit quantity: its top byte carries only the carry
+        // bit. Anything else is corruption.
+        if buf[8] > 1 {
+            return None;
+        }
+        let low = (u64::from(buf[8]) << 32)
+            | u64::from(u32::from_be_bytes([buf[9], buf[10], buf[11], buf[12]]));
+        let range = u32::from_be_bytes([buf[13], buf[14], buf[15], buf[16]]);
+        let cache = buf[17];
+        let cache_size = u16::from_be_bytes([buf[18], buf[19]]);
+        Some(Self {
+            origin,
+            seq,
+            epoch,
+            hops,
+            coding_disabled,
+            coder_state: EncoderState {
+                low,
+                range,
+                cache,
+                cache_size,
+            },
+            stream: buf[Self::FIXED_WIRE_BYTES..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_header_sizes() {
+        let h = DophyHeader::new(NodeId(7), 42, 3);
+        assert_eq!(h.wire_bytes(), DophyHeader::FIXED_WIRE_BYTES);
+        assert_eq!(h.hops, 0);
+        assert!(!h.coding_disabled);
+        // 20 bytes fixed: 2+4+1+1+12.
+        assert_eq!(DophyHeader::FIXED_WIRE_BYTES, 20);
+        assert_eq!(h.measurement_overhead_bytes(), 13);
+    }
+
+    #[test]
+    fn wire_bytes_grow_with_stream() {
+        let mut h = DophyHeader::new(NodeId(1), 1, 0);
+        h.stream.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(h.wire_bytes(), DophyHeader::FIXED_WIRE_BYTES + 3);
+        assert_eq!(h.measurement_overhead_bytes(), 16);
+    }
+
+    #[test]
+    fn wire_serialization_round_trips() {
+        use dophy_coding::range::EncoderState;
+        let mut h = DophyHeader::new(NodeId(513), 0xDEAD_BEEF, 201);
+        h.hops = 9;
+        h.coding_disabled = true;
+        h.coder_state = EncoderState {
+            low: (1u64 << 32) | 0x1234_5678,
+            range: 0x00FF_00FF,
+            cache: 0xAB,
+            cache_size: 3,
+        };
+        h.stream = vec![9, 8, 7, 6];
+        let bytes = h.to_bytes();
+        assert_eq!(bytes.len(), h.wire_bytes());
+        let back = DophyHeader::from_bytes(&bytes).expect("parses");
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let h = DophyHeader::new(NodeId(1), 1, 0);
+        let bytes = h.to_bytes();
+        assert!(DophyHeader::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(DophyHeader::from_bytes(&[]).is_none());
+        // Exactly the fixed part parses with an empty stream.
+        let back = DophyHeader::from_bytes(&bytes).unwrap();
+        assert!(back.stream.is_empty());
+    }
+
+    #[test]
+    fn finished_len_accounts_flush_tail() {
+        let h = DophyHeader::new(NodeId(1), 1, 0);
+        // Fresh coder: cache_size 1 → flush adds 5 bytes total.
+        assert_eq!(h.finished_stream_len(), 5);
+        // ...all of which trim away on the wire when nothing was encoded.
+        assert_eq!(h.wire_stream_len(), 0);
+    }
+}

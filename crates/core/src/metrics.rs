@@ -1,0 +1,185 @@
+//! Estimation-accuracy metrics.
+//!
+//! Scores a set of per-link loss estimates against ground truth: mean
+//! absolute error, RMSE, relative error, per-link error CDF data, and link
+//! coverage. Used by every accuracy experiment.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Directed link key (matches `baseline::LinkKey`).
+pub type LinkKey = (u16, u16);
+
+/// Accuracy summary for one scheme on one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Links scored (present in both estimate and truth).
+    pub scored_links: usize,
+    /// Links with ground truth that the scheme produced no estimate for.
+    pub missing_links: usize,
+    /// Mean absolute error of the loss ratio.
+    pub mae: f64,
+    /// Root-mean-square error of the loss ratio.
+    pub rmse: f64,
+    /// Mean relative error `|est - true| / max(true, floor)`.
+    pub mean_relative_error: f64,
+    /// 90th-percentile absolute error.
+    pub p90_abs_error: f64,
+    /// Maximum absolute error.
+    pub max_abs_error: f64,
+    /// Per-link absolute errors (sorted ascending; CDF x-values).
+    pub abs_errors: Vec<f64>,
+}
+
+/// Floor used in the relative-error denominator (a 1% loss ratio), so
+/// near-perfect links don't blow the relative metric up.
+pub const REL_ERROR_FLOOR: f64 = 0.01;
+
+/// Scores `estimates` (link → estimated loss ratio) against `truth`
+/// (link → true loss ratio). Links present only in `estimates` are ignored
+/// (they carried no ground truth); links present only in `truth` are
+/// counted as `missing_links`.
+pub fn score(
+    estimates: &HashMap<LinkKey, f64>,
+    truth: &HashMap<LinkKey, f64>,
+) -> AccuracyReport {
+    let mut abs_errors = Vec::new();
+    let mut rel_sum = 0.0;
+    let mut missing = 0usize;
+    for (link, &true_loss) in truth {
+        match estimates.get(link) {
+            Some(&est) => {
+                let e = (est - true_loss).abs();
+                abs_errors.push(e);
+                rel_sum += e / true_loss.max(REL_ERROR_FLOOR);
+            }
+            None => missing += 1,
+        }
+    }
+    abs_errors.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+    let n = abs_errors.len();
+    let (mae, rmse, p90, max) = if n == 0 {
+        (0.0, 0.0, 0.0, 0.0)
+    } else {
+        let mae = abs_errors.iter().sum::<f64>() / n as f64;
+        let rmse = (abs_errors.iter().map(|e| e * e).sum::<f64>() / n as f64).sqrt();
+        let p90 = abs_errors[((n - 1) as f64 * 0.9).round() as usize];
+        let max = *abs_errors.last().expect("non-empty");
+        (mae, rmse, p90, max)
+    };
+    AccuracyReport {
+        scored_links: n,
+        missing_links: missing,
+        mae,
+        rmse,
+        mean_relative_error: if n == 0 { 0.0 } else { rel_sum / n as f64 },
+        p90_abs_error: p90,
+        max_abs_error: max,
+        abs_errors,
+    }
+}
+
+impl AccuracyReport {
+    /// Fraction of truth links the scheme covered.
+    pub fn coverage(&self) -> f64 {
+        let total = self.scored_links + self.missing_links;
+        if total == 0 {
+            0.0
+        } else {
+            self.scored_links as f64 / total as f64
+        }
+    }
+
+    /// Empirical CDF points `(abs_error, fraction_of_links_at_or_below)`.
+    pub fn error_cdf(&self) -> Vec<(f64, f64)> {
+        let n = self.abs_errors.len();
+        self.abs_errors
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, (i + 1) as f64 / n as f64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[((u16, u16), f64)]) -> HashMap<LinkKey, f64> {
+        pairs.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_estimates_score_zero() {
+        let truth = map(&[((1, 0), 0.1), ((2, 1), 0.3)]);
+        let r = score(&truth.clone(), &truth);
+        assert_eq!(r.scored_links, 2);
+        assert_eq!(r.missing_links, 0);
+        assert_eq!(r.mae, 0.0);
+        assert_eq!(r.rmse, 0.0);
+        assert_eq!(r.coverage(), 1.0);
+    }
+
+    #[test]
+    fn known_errors() {
+        let truth = map(&[((1, 0), 0.2), ((2, 1), 0.4)]);
+        let est = map(&[((1, 0), 0.3), ((2, 1), 0.4)]);
+        let r = score(&est, &truth);
+        assert!((r.mae - 0.05).abs() < 1e-12);
+        assert!((r.rmse - (0.005f64).sqrt()).abs() < 1e-12);
+        assert!((r.max_abs_error - 0.1).abs() < 1e-12);
+        // Relative error: 0.1/0.2 = 0.5 and 0 → mean 0.25.
+        assert!((r.mean_relative_error - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_links_counted_not_scored() {
+        let truth = map(&[((1, 0), 0.2), ((2, 1), 0.4), ((3, 2), 0.1)]);
+        let est = map(&[((1, 0), 0.2)]);
+        let r = score(&est, &truth);
+        assert_eq!(r.scored_links, 1);
+        assert_eq!(r.missing_links, 2);
+        assert!((r.coverage() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_estimated_links_ignored() {
+        let truth = map(&[((1, 0), 0.2)]);
+        let est = map(&[((1, 0), 0.2), ((9, 9), 0.9)]);
+        let r = score(&est, &truth);
+        assert_eq!(r.scored_links, 1);
+        assert_eq!(r.mae, 0.0);
+    }
+
+    #[test]
+    fn relative_error_floor_protects_good_links() {
+        // True loss 0.001, estimate 0.011: abs error 0.01, relative uses
+        // the 0.01 floor → 1.0 instead of 10.0.
+        let truth = map(&[((1, 0), 0.001)]);
+        let est = map(&[((1, 0), 0.011)]);
+        let r = score(&est, &truth);
+        assert!((r.mean_relative_error - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_complete_and_monotone() {
+        let truth = map(&[((1, 0), 0.1), ((2, 0), 0.2), ((3, 0), 0.3)]);
+        let est = map(&[((1, 0), 0.15), ((2, 0), 0.2), ((3, 0), 0.05)]);
+        let r = score(&est, &truth);
+        let cdf = r.error_cdf();
+        assert_eq!(cdf.len(), 3);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_truth_scores_empty() {
+        let r = score(&HashMap::new(), &HashMap::new());
+        assert_eq!(r.scored_links, 0);
+        assert_eq!(r.coverage(), 0.0);
+        assert!(r.error_cdf().is_empty());
+    }
+}

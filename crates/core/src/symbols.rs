@@ -1,0 +1,103 @@
+//! Symbol spaces for Dophy's two coding contexts.
+//!
+//! Each hop contributes two symbols to the packet's arithmetic stream:
+//!
+//! 1. a **next-hop index** — the receiver's position in the sender's
+//!    (PRR-sorted) candidate table. Dynamic routing concentrates traffic on
+//!    low indices (the best parent is index 0 most of the time), so this
+//!    context compresses to well under a bit per hop once the model has
+//!    learned the skew;
+//! 2. a **retransmission-count symbol** — the attempt number of the first
+//!    received copy, passed through the configured aggregation policy
+//!    (Optimization 1), optionally followed by a uniform residual when
+//!    lossless refinement is enabled.
+//!
+//! [`SymbolSpaces`] pins down both alphabets for a deployment so every node
+//! and the sink agree on model shapes.
+
+use dophy_coding::aggregate::{AggregationPolicy, SymbolMapper};
+use serde::{Deserialize, Serialize};
+
+/// Alphabet configuration shared by all nodes and the sink.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolSpaces {
+    /// Maximum candidate-table size across the network (hop-index alphabet).
+    max_degree: usize,
+    /// Attempt-count mapper (aggregation policy applied to `1..=R`).
+    mapper: SymbolMapper,
+    /// When true, aggregated symbols are followed by a uniform residual so
+    /// the sink recovers exact attempt counts (lossless mode).
+    refine: bool,
+}
+
+impl SymbolSpaces {
+    /// Builds the alphabets.
+    ///
+    /// # Panics
+    /// Panics if `max_degree == 0` or `max_attempts == 0`.
+    pub fn new(
+        max_degree: usize,
+        max_attempts: u16,
+        policy: AggregationPolicy,
+        refine: bool,
+    ) -> Self {
+        assert!(max_degree >= 1, "need at least one forwarding candidate");
+        Self {
+            max_degree,
+            mapper: SymbolMapper::new(policy, max_attempts),
+            refine,
+        }
+    }
+
+    /// Hop-index alphabet size.
+    pub fn hop_alphabet(&self) -> usize {
+        self.max_degree
+    }
+
+    /// Attempt-symbol alphabet size (after aggregation).
+    pub fn attempt_alphabet(&self) -> usize {
+        self.mapper.num_symbols()
+    }
+
+    /// The attempt mapper.
+    pub fn mapper(&self) -> &SymbolMapper {
+        &self.mapper
+    }
+
+    /// Whether lossless refinement is on.
+    pub fn refine(&self) -> bool {
+        self.refine
+    }
+
+    /// MAC retry budget the mapper was built for.
+    pub fn max_attempts(&self) -> u16 {
+        self.mapper.max_attempts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabets_sized_correctly() {
+        let s = SymbolSpaces::new(12, 7, AggregationPolicy::Cap { cap: 3 }, false);
+        assert_eq!(s.hop_alphabet(), 12);
+        assert_eq!(s.attempt_alphabet(), 3);
+        assert_eq!(s.max_attempts(), 7);
+        assert!(!s.refine());
+    }
+
+    #[test]
+    fn identity_policy_keeps_full_alphabet() {
+        let s = SymbolSpaces::new(5, 7, AggregationPolicy::Identity, true);
+        assert_eq!(s.attempt_alphabet(), 7);
+        assert!(s.refine());
+    }
+
+    #[test]
+    #[should_panic(expected = "forwarding candidate")]
+    fn rejects_zero_degree() {
+        SymbolSpaces::new(0, 7, AggregationPolicy::Identity, false);
+    }
+}

@@ -1,0 +1,157 @@
+//! Trickle-style adaptive beaconing.
+//!
+//! CTP paces its routing beacons with a Trickle timer: the interval doubles
+//! from `i_min` up to `i_max` while the topology is quiet, and resets to
+//! `i_min` on events that demand fast convergence (parent change, large ETX
+//! shift, a loop signature). The beacon interval is the primary lever
+//! controlling how *dynamic* routing is — experiments sweep it to stress
+//! tomography under path churn.
+
+use dophy_sim::SimDuration;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Trickle timer parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrickleConfig {
+    /// Minimum interval.
+    pub i_min: SimDuration,
+    /// Maximum interval.
+    pub i_max: SimDuration,
+}
+
+impl Default for TrickleConfig {
+    fn default() -> Self {
+        Self {
+            i_min: SimDuration::from_millis(125),
+            i_max: SimDuration::from_secs(120),
+        }
+    }
+}
+
+/// The Trickle state machine (interval management only; suppression is not
+/// needed for collection beacons, matching CTP's usage).
+///
+/// ```
+/// use dophy_routing::{Trickle, TrickleConfig};
+/// use dophy_sim::{RngHub, StreamKind};
+///
+/// let mut t = Trickle::new(TrickleConfig::default());
+/// let mut rng = RngHub::new(1).stream(StreamKind::Protocol, 0, 0);
+/// let first = t.interval();
+/// t.next_delay(&mut rng);
+/// assert_eq!(t.interval(), first * 2, "interval doubles while quiet");
+/// t.reset();
+/// assert_eq!(t.interval(), first, "topology events reset it");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trickle {
+    cfg: TrickleConfig,
+    current: SimDuration,
+}
+
+impl Trickle {
+    /// Creates a timer starting at `i_min`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < i_min <= i_max`.
+    pub fn new(cfg: TrickleConfig) -> Self {
+        assert!(
+            !cfg.i_min.is_zero() && cfg.i_min <= cfg.i_max,
+            "need 0 < i_min <= i_max"
+        );
+        Self {
+            cfg,
+            current: cfg.i_min,
+        }
+    }
+
+    /// The current interval.
+    pub fn interval(&self) -> SimDuration {
+        self.current
+    }
+
+    /// Draws the delay until the next beacon: uniform in the second half of
+    /// the current interval (Trickle's `[I/2, I)` firing window), then
+    /// doubles the interval for next time.
+    pub fn next_delay(&mut self, rng: &mut SmallRng) -> SimDuration {
+        let i = self.current.as_micros();
+        let delay = rng.gen_range(i / 2..i.max(i / 2 + 1));
+        // Double, capped.
+        self.current = (self.current * 2).min(self.cfg.i_max);
+        SimDuration::from_micros(delay)
+    }
+
+    /// Resets to the minimum interval (topology event). Returns true if the
+    /// interval actually shrank (callers use this to reschedule).
+    pub fn reset(&mut self) -> bool {
+        let shrank = self.current > self.cfg.i_min;
+        self.current = self.cfg.i_min;
+        shrank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dophy_sim::{RngHub, StreamKind};
+
+    fn rng() -> SmallRng {
+        RngHub::new(3).stream(StreamKind::Protocol, 0, 0)
+    }
+
+    #[test]
+    fn interval_doubles_to_cap() {
+        let cfg = TrickleConfig {
+            i_min: SimDuration::from_millis(100),
+            i_max: SimDuration::from_millis(900),
+        };
+        let mut t = Trickle::new(cfg);
+        let mut r = rng();
+        assert_eq!(t.interval(), SimDuration::from_millis(100));
+        t.next_delay(&mut r);
+        assert_eq!(t.interval(), SimDuration::from_millis(200));
+        t.next_delay(&mut r);
+        assert_eq!(t.interval(), SimDuration::from_millis(400));
+        t.next_delay(&mut r);
+        assert_eq!(t.interval(), SimDuration::from_millis(800));
+        t.next_delay(&mut r);
+        assert_eq!(t.interval(), SimDuration::from_millis(900), "capped");
+        t.next_delay(&mut r);
+        assert_eq!(t.interval(), SimDuration::from_millis(900));
+    }
+
+    #[test]
+    fn delay_within_firing_window() {
+        let mut t = Trickle::new(TrickleConfig::default());
+        let mut r = rng();
+        for _ in 0..50 {
+            let i = t.interval().as_micros();
+            let d = t.next_delay(&mut r).as_micros();
+            assert!(d >= i / 2 && d < i, "delay {d} outside [{}, {i})", i / 2);
+        }
+    }
+
+    #[test]
+    fn reset_shrinks_interval() {
+        let mut t = Trickle::new(TrickleConfig::default());
+        let mut r = rng();
+        for _ in 0..5 {
+            t.next_delay(&mut r);
+        }
+        assert!(t.interval() > TrickleConfig::default().i_min);
+        assert!(t.reset());
+        assert_eq!(t.interval(), TrickleConfig::default().i_min);
+        assert!(!t.reset(), "second reset is a no-op");
+    }
+
+    #[test]
+    #[should_panic(expected = "i_min")]
+    fn rejects_inverted_bounds() {
+        Trickle::new(TrickleConfig {
+            i_min: SimDuration::from_secs(10),
+            i_max: SimDuration::from_secs(1),
+        });
+    }
+}

@@ -1,0 +1,148 @@
+//! Route-churn metrics.
+//!
+//! Quantifies *how dynamic* routing was during a run — the x-axis of the
+//! accuracy-vs-dynamics experiment (`fig7`). Metrics are computed from the
+//! per-node parent-change logs kept by [`crate::ctp::Router`].
+
+use dophy_sim::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Aggregate churn metrics for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnReport {
+    /// Total parent changes across all nodes (first adoptions excluded).
+    pub total_changes: u64,
+    /// Parent changes per node per hour of simulated time.
+    pub changes_per_node_hour: f64,
+    /// Mean number of distinct parents used per node.
+    pub mean_distinct_parents: f64,
+    /// Mean normalised parent entropy per node (0 = one parent always,
+    /// 1 = uniform over all parents used).
+    pub mean_parent_entropy: f64,
+    /// Fraction of nodes that never changed parent.
+    pub stable_fraction: f64,
+}
+
+/// Computes churn metrics from per-node parent logs.
+///
+/// `logs[i]` is node `i`'s `(time, new_parent)` history (the first entry is
+/// the initial adoption); `duration` is the observed window. Nodes with
+/// empty logs (e.g. the sink) are skipped.
+pub fn churn_report(logs: &[&[(SimTime, NodeId)]], duration: SimTime) -> ChurnReport {
+    let mut total_changes = 0u64;
+    let mut distinct_sum = 0.0;
+    let mut entropy_sum = 0.0;
+    let mut stable = 0u64;
+    let mut counted_nodes = 0u64;
+    for log in logs {
+        if log.is_empty() {
+            continue;
+        }
+        counted_nodes += 1;
+        let changes = (log.len() - 1) as u64;
+        total_changes += changes;
+        if changes == 0 {
+            stable += 1;
+        }
+        // Time-weighted parent occupancy for the entropy metric.
+        let mut occupancy: HashMap<NodeId, f64> = HashMap::new();
+        for (i, &(t, p)) in log.iter().enumerate() {
+            let end = log
+                .get(i + 1)
+                .map(|&(t2, _)| t2)
+                .unwrap_or(duration.max(t));
+            let span = end.since(t).as_secs_f64();
+            *occupancy.entry(p).or_insert(0.0) += span;
+        }
+        let k = occupancy.len();
+        distinct_sum += k as f64;
+        if k > 1 {
+            let total: f64 = occupancy.values().sum();
+            if total > 0.0 {
+                let h: f64 = occupancy
+                    .values()
+                    .filter(|&&w| w > 0.0)
+                    .map(|&w| {
+                        let p = w / total;
+                        -p * p.log2()
+                    })
+                    .sum();
+                entropy_sum += h / (k as f64).log2();
+            }
+        }
+    }
+    let hours = duration.as_secs_f64() / 3600.0;
+    let n = counted_nodes.max(1) as f64;
+    ChurnReport {
+        total_changes,
+        changes_per_node_hour: if hours > 0.0 {
+            total_changes as f64 / n / hours
+        } else {
+            0.0
+        },
+        mean_distinct_parents: distinct_sum / n,
+        mean_parent_entropy: entropy_sum / n,
+        stable_fraction: stable as f64 / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_micros(s * 1_000_000)
+    }
+
+    #[test]
+    fn stable_network_has_zero_churn() {
+        let a = [(t(1), NodeId(5))];
+        let b = [(t(2), NodeId(7))];
+        let logs: Vec<&[(SimTime, NodeId)]> = vec![&a, &b];
+        let r = churn_report(&logs, t(3600));
+        assert_eq!(r.total_changes, 0);
+        assert_eq!(r.changes_per_node_hour, 0.0);
+        assert_eq!(r.mean_distinct_parents, 1.0);
+        assert_eq!(r.mean_parent_entropy, 0.0);
+        assert_eq!(r.stable_fraction, 1.0);
+    }
+
+    #[test]
+    fn churn_counts_changes() {
+        let a = [(t(0), NodeId(5)), (t(100), NodeId(6)), (t(200), NodeId(5))];
+        let logs: Vec<&[(SimTime, NodeId)]> = vec![&a];
+        let r = churn_report(&logs, t(3600));
+        assert_eq!(r.total_changes, 2);
+        assert_eq!(r.mean_distinct_parents, 2.0);
+        assert!((r.changes_per_node_hour - 2.0).abs() < 1e-9);
+        assert_eq!(r.stable_fraction, 0.0);
+        assert!(r.mean_parent_entropy > 0.0);
+    }
+
+    #[test]
+    fn entropy_reflects_balance() {
+        // Half the time on each of two parents → normalised entropy 1.
+        let a = [(t(0), NodeId(1)), (t(1800), NodeId(2))];
+        let logs: Vec<&[(SimTime, NodeId)]> = vec![&a];
+        let r = churn_report(&logs, t(3600));
+        assert!((r.mean_parent_entropy - 1.0).abs() < 1e-9);
+
+        // 90/10 split → entropy well below 1.
+        let b = [(t(0), NodeId(1)), (t(3240), NodeId(2))];
+        let logs: Vec<&[(SimTime, NodeId)]> = vec![&b];
+        let r2 = churn_report(&logs, t(3600));
+        assert!(r2.mean_parent_entropy < 0.6);
+    }
+
+    #[test]
+    fn empty_logs_skipped() {
+        let a: [(SimTime, NodeId); 0] = [];
+        let b = [(t(0), NodeId(2)), (t(10), NodeId(3))];
+        let logs: Vec<&[(SimTime, NodeId)]> = vec![&a, &b];
+        let r = churn_report(&logs, t(3600));
+        assert_eq!(r.total_changes, 1);
+        // Per-node rate divides by 1 counted node, not 2.
+        assert!((r.changes_per_node_hour - 1.0).abs() < 1e-9);
+    }
+}

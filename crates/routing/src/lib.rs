@@ -1,0 +1,27 @@
+//! # dophy-routing
+//!
+//! CTP-style dynamic collection routing for the Dophy reproduction: the
+//! substrate that makes routing paths *dynamic*, which is the entire reason
+//! Dophy exists (static-tree tomography assumes paths don't move).
+//!
+//! * [`table`] — per-neighbor link estimation (beacon-gap PRR + data-driven
+//!   ETX, CTP's hybrid estimator);
+//! * [`beacon`] — Trickle-paced adaptive beaconing;
+//! * [`ctp`] — the embeddable [`ctp::Router`]: dynamic parent selection
+//!   with switch hysteresis, plus [`ctp::RoutingOnlyNode`] for tree-only
+//!   simulations;
+//! * [`dynamics`] — route-churn metrics (the x-axis of the
+//!   accuracy-vs-dynamics experiments).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod beacon;
+pub mod ctp;
+pub mod dynamics;
+pub mod table;
+
+pub use beacon::{Trickle, TrickleConfig};
+pub use ctp::{BeaconMsg, Router, RouterConfig, RouterStats, RoutingOnlyNode, BEACON_WIRE_BYTES};
+pub use dynamics::{churn_report, ChurnReport};
+pub use table::{EstimatorConfig, NeighborEntry, NeighborTable};

@@ -1,0 +1,366 @@
+//! Per-neighbor routing state: link estimation and advertised routes.
+//!
+//! Each node keeps one [`NeighborEntry`] per out-neighbor in its static
+//! candidate set. Link quality is estimated two ways, mirroring CTP's
+//! hybrid estimator:
+//!
+//! * **Beacon-driven**: neighbors broadcast beacons with sequence numbers;
+//!   gaps reveal losses, feeding an EWMA of the beacon reception ratio.
+//! * **Data-driven**: completed ARQ exchanges report the attempt count,
+//!   which *is* an unbiased ETX sample for the link (including the ACK
+//!   direction); these feed a second EWMA that dominates once data flows.
+
+use dophy_sim::stats::Ewma;
+use dophy_sim::{NodeId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for the link estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// EWMA smoothing for beacon reception ratio.
+    pub beacon_alpha: f64,
+    /// EWMA smoothing for data-driven ETX samples.
+    pub data_alpha: f64,
+    /// ETX charged for an ARQ exchange that exhausted its budget
+    /// (attempts were `R`, but the *expected* cost of an undeliverable
+    /// frame is higher; CTP uses a similar failure penalty).
+    pub failure_penalty_etx: f64,
+    /// ETX assumed for a neighbor never heard from.
+    pub initial_etx: f64,
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        Self {
+            beacon_alpha: 0.2,
+            data_alpha: 0.25,
+            failure_penalty_etx: 12.0,
+            initial_etx: 3.0,
+        }
+    }
+}
+
+/// State tracked for one out-neighbor.
+#[derive(Debug, Clone)]
+pub struct NeighborEntry {
+    /// The neighbor's id.
+    pub id: NodeId,
+    /// EWMA of beacon reception (1 per received, 0 per inferred miss).
+    beacon_prr: Ewma,
+    /// Highest beacon sequence seen.
+    last_beacon_seq: Option<u32>,
+    /// EWMA of data-driven ETX samples (attempts per delivered frame).
+    data_etx: Ewma,
+    /// The neighbor's advertised path ETX to the sink.
+    pub advertised_etx: f64,
+    /// When the advertisement was last refreshed.
+    pub last_heard: Option<SimTime>,
+}
+
+impl NeighborEntry {
+    fn new(id: NodeId) -> Self {
+        Self {
+            id,
+            beacon_prr: Ewma::new(0.2),
+            last_beacon_seq: None,
+            data_etx: Ewma::new(0.25),
+            advertised_etx: f64::INFINITY,
+            last_heard: None,
+        }
+    }
+
+    /// Records a received beacon with sequence `seq`, inferring losses from
+    /// the gap since the last one.
+    ///
+    /// Beacons also *slowly* pull the data-driven ETX toward the
+    /// beacon-implied value. Without this, a link the router abandoned
+    /// keeps its last (bad) data ETX forever and is never re-adopted after
+    /// recovering — CTP's hybrid estimator blends both signals for exactly
+    /// this reason.
+    pub fn record_beacon(&mut self, seq: u32, advertised_etx: f64, now: SimTime) {
+        if let Some(last) = self.last_beacon_seq {
+            // Ignore reordered/duplicate beacons (broadcasts are one-shot,
+            // so this only guards against protocol restarts).
+            if seq <= last {
+                self.last_beacon_seq = Some(seq.max(last));
+                self.advertised_etx = advertised_etx;
+                self.last_heard = Some(now);
+                return;
+            }
+            let missed = seq - last - 1;
+            for _ in 0..missed.min(8) {
+                self.beacon_prr.update(0.0);
+            }
+        }
+        self.beacon_prr.update(1.0);
+        if self.data_etx.value().is_some() {
+            if let Some(prr) = self.beacon_prr.value() {
+                let implied = 1.0 / prr.clamp(0.05, 1.0).powi(2);
+                self.data_etx.update(implied);
+            }
+        }
+        self.last_beacon_seq = Some(seq);
+        self.advertised_etx = advertised_etx;
+        self.last_heard = Some(now);
+    }
+
+    /// Records a completed ARQ exchange toward this neighbor.
+    pub fn record_data(&mut self, attempts: u16, acked: bool, cfg: &EstimatorConfig) {
+        let sample = if acked {
+            f64::from(attempts)
+        } else {
+            cfg.failure_penalty_etx
+        };
+        self.data_etx.update(sample);
+    }
+
+    /// Current single-hop ETX estimate for the link to this neighbor.
+    ///
+    /// Data-driven samples dominate once present; otherwise the beacon PRR
+    /// is inverted (`1/prr²` approximates bidirectional ETX under rough
+    /// symmetry); otherwise a configured prior.
+    pub fn link_etx(&self, cfg: &EstimatorConfig) -> f64 {
+        if let Some(etx) = self.data_etx.value() {
+            return etx.max(1.0);
+        }
+        if let Some(prr) = self.beacon_prr.value() {
+            let prr = prr.clamp(0.05, 1.0);
+            return (1.0 / (prr * prr)).min(cfg.failure_penalty_etx * 2.0);
+        }
+        cfg.initial_etx
+    }
+
+    /// Path ETX through this neighbor (link + its advertised route).
+    pub fn path_etx(&self, cfg: &EstimatorConfig) -> f64 {
+        self.link_etx(cfg) + self.advertised_etx
+    }
+
+    /// Beacon reception estimate, if any beacon arrived yet.
+    pub fn beacon_prr(&self) -> Option<f64> {
+        self.beacon_prr.value()
+    }
+
+    /// True once any beacon has been heard.
+    pub fn heard(&self) -> bool {
+        self.last_heard.is_some()
+    }
+}
+
+/// Fixed-candidate-set neighbor table (candidates come from the topology,
+/// as a deployment's neighbor discovery would populate).
+#[derive(Debug, Clone)]
+pub struct NeighborTable {
+    entries: Vec<NeighborEntry>,
+}
+
+impl NeighborTable {
+    /// Builds a table over the given candidate neighbors.
+    pub fn new(candidates: &[NodeId]) -> Self {
+        Self {
+            entries: candidates.iter().map(|&id| NeighborEntry::new(id)).collect(),
+        }
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[NeighborEntry] {
+        &self.entries
+    }
+
+    /// Entry for `id`, if it is a candidate.
+    pub fn get(&self, id: NodeId) -> Option<&NeighborEntry> {
+        self.entries.iter().find(|e| e.id == id)
+    }
+
+    /// Mutable entry for `id`.
+    pub fn get_mut(&mut self, id: NodeId) -> Option<&mut NeighborEntry> {
+        self.entries.iter_mut().find(|e| e.id == id)
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no candidates (isolated node).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The neighbor minimising path ETX, with its path ETX — the routing
+    /// decision. Only neighbors heard from (with a finite advertised
+    /// route) *recently* qualify: entries silent for longer than `timeout`
+    /// are treated as gone (dead or departed nodes must stop attracting
+    /// traffic).
+    pub fn best(
+        &self,
+        cfg: &EstimatorConfig,
+        now: SimTime,
+        timeout: dophy_sim::SimDuration,
+    ) -> Option<(NodeId, f64)> {
+        self.entries
+            .iter()
+            .filter(|e| e.advertised_etx.is_finite())
+            .filter(|e| match e.last_heard {
+                Some(t) => now.since(t.min(now)) <= timeout,
+                None => false,
+            })
+            .map(|e| (e.id, e.path_etx(cfg)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ETX"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> EstimatorConfig {
+        EstimatorConfig::default()
+    }
+
+    #[test]
+    fn beacon_gaps_count_as_losses() {
+        let mut e = NeighborEntry::new(NodeId(3));
+        e.record_beacon(1, 0.0, SimTime::from_micros(1));
+        assert_eq!(e.beacon_prr(), Some(1.0));
+        // Seq jumps 1 → 4: two missed.
+        e.record_beacon(4, 0.0, SimTime::from_micros(2));
+        let prr = e.beacon_prr().unwrap();
+        assert!(prr < 1.0, "missed beacons must lower the estimate: {prr}");
+    }
+
+    #[test]
+    fn perfect_beacons_keep_prr_at_one() {
+        let mut e = NeighborEntry::new(NodeId(3));
+        for seq in 1..=50 {
+            e.record_beacon(seq, 0.0, SimTime::from_micros(u64::from(seq)));
+        }
+        assert_eq!(e.beacon_prr(), Some(1.0));
+    }
+
+    #[test]
+    fn duplicate_beacon_is_ignored_for_prr() {
+        let mut e = NeighborEntry::new(NodeId(3));
+        e.record_beacon(5, 1.0, SimTime::from_micros(1));
+        let before = e.beacon_prr();
+        e.record_beacon(5, 2.0, SimTime::from_micros(2));
+        assert_eq!(e.beacon_prr(), before);
+        // But the advertisement refreshes.
+        assert_eq!(e.advertised_etx, 2.0);
+    }
+
+    #[test]
+    fn data_samples_dominate_link_etx() {
+        let mut e = NeighborEntry::new(NodeId(3));
+        e.record_beacon(1, 0.0, SimTime::from_micros(1));
+        // Beacon-only estimate: prr 1 → etx 1.
+        assert!((e.link_etx(&cfg()) - 1.0).abs() < 1e-9);
+        for _ in 0..30 {
+            e.record_data(3, true, &cfg());
+        }
+        let etx = e.link_etx(&cfg());
+        assert!((etx - 3.0).abs() < 0.3, "data ETX should approach 3: {etx}");
+    }
+
+    #[test]
+    fn beacons_heal_a_stale_bad_data_etx() {
+        // The link degrades, the router abandons it, then it recovers:
+        // perfect beacons must pull the data ETX back down so the link can
+        // be re-adopted.
+        let mut e = NeighborEntry::new(NodeId(3));
+        e.record_beacon(1, 0.0, SimTime::from_micros(1));
+        for _ in 0..20 {
+            e.record_data(7, false, &cfg()); // failures: ETX ≈ 12
+        }
+        assert!(e.link_etx(&cfg()) > 8.0);
+        // Recovery: only beacons arrive (no data traffic on this link).
+        for seq in 2..60 {
+            e.record_beacon(seq, 0.0, SimTime::from_micros(u64::from(seq)));
+        }
+        let healed = e.link_etx(&cfg());
+        assert!(
+            healed < 3.0,
+            "beacons should heal the stale estimate: {healed}"
+        );
+    }
+
+    #[test]
+    fn failures_penalise_etx() {
+        let mut e = NeighborEntry::new(NodeId(3));
+        for _ in 0..10 {
+            e.record_data(7, false, &cfg());
+        }
+        assert!(e.link_etx(&cfg()) > 7.0);
+    }
+
+    #[test]
+    fn unheard_neighbor_uses_prior() {
+        let e = NeighborEntry::new(NodeId(3));
+        assert_eq!(e.link_etx(&cfg()), cfg().initial_etx);
+        assert!(!e.heard());
+        assert!(e.path_etx(&cfg()).is_infinite());
+    }
+
+    fn long() -> dophy_sim::SimDuration {
+        dophy_sim::SimDuration::from_secs(10_000)
+    }
+
+    #[test]
+    fn best_picks_lowest_path_etx() {
+        let mut t = NeighborTable::new(&[NodeId(1), NodeId(2), NodeId(3)]);
+        // n1: great link, long route. n2: good link, short route. n3: unheard.
+        t.get_mut(NodeId(1))
+            .unwrap()
+            .record_beacon(1, 5.0, SimTime::ZERO);
+        t.get_mut(NodeId(2))
+            .unwrap()
+            .record_beacon(1, 1.0, SimTime::ZERO);
+        let (best, etx) = t.best(&cfg(), SimTime::ZERO, long()).unwrap();
+        assert_eq!(best, NodeId(2));
+        assert!((etx - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_table_has_no_best() {
+        let t = NeighborTable::new(&[]);
+        assert!(t.best(&cfg(), SimTime::ZERO, long()).is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn best_ignores_unheard() {
+        let t = NeighborTable::new(&[NodeId(1), NodeId(2)]);
+        assert!(
+            t.best(&cfg(), SimTime::ZERO, long()).is_none(),
+            "no advertisements yet"
+        );
+    }
+
+    #[test]
+    fn best_evicts_silent_neighbors() {
+        let mut t = NeighborTable::new(&[NodeId(1), NodeId(2)]);
+        t.get_mut(NodeId(1))
+            .unwrap()
+            .record_beacon(1, 1.0, SimTime::from_micros(0));
+        t.get_mut(NodeId(2))
+            .unwrap()
+            .record_beacon(1, 5.0, SimTime::from_micros(90_000_000));
+        let timeout = dophy_sim::SimDuration::from_secs(60);
+        // At t=30s both are fresh; n1 wins on ETX.
+        let now = SimTime::from_micros(30_000_000);
+        assert_eq!(t.best(&cfg(), now, timeout).unwrap().0, NodeId(1));
+        // At t=100s n1 is 100s silent (out), n2 is 10s fresh (in).
+        let now = SimTime::from_micros(100_000_000);
+        assert_eq!(t.best(&cfg(), now, timeout).unwrap().0, NodeId(2));
+        // At t=200s both are silent.
+        let now = SimTime::from_micros(200_000_000);
+        assert!(t.best(&cfg(), now, timeout).is_none());
+    }
+
+    #[test]
+    fn table_lookup() {
+        let t = NeighborTable::new(&[NodeId(4), NodeId(9)]);
+        assert_eq!(t.len(), 2);
+        assert!(t.get(NodeId(4)).is_some());
+        assert!(t.get(NodeId(5)).is_none());
+    }
+}

@@ -1,0 +1,223 @@
+//! Serializable simulation configuration.
+//!
+//! A [`SimConfig`] fully determines a run (together with the protocol
+//! stack): placement, radio curve, MAC parameters, the temporal dynamics
+//! layered over each link's base PRR, and the master seed.
+
+use crate::link::LossModel;
+use crate::mac::MacConfig;
+use crate::radio::RadioModel;
+use crate::rng::{RngHub, StreamKind};
+use crate::topology::{Placement, Topology};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Temporal behaviour layered on top of each link's generated base PRR.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkDynamics {
+    /// Links keep their base PRR forever (i.i.d. Bernoulli loss).
+    Static,
+    /// Bursty Gilbert–Elliott loss around the base PRR: the Good state has
+    /// PRR `base + lift` and the Bad state `base * bad_factor`, with the
+    /// state mix chosen so the stationary mean equals the base PRR.
+    Bursty {
+        /// PRR lift in the Good state (clamped to 0.99).
+        lift: f64,
+        /// Multiplier on the base PRR in the Bad state (`0.0..1.0`).
+        bad_factor: f64,
+        /// Mean sojourn time of the Good+Bad cycle, in seconds.
+        cycle_s: f64,
+    },
+    /// Sinusoidal PRR drift: amplitude `amp`, period `period_s`; each link
+    /// gets a random phase so the network does not oscillate in unison.
+    Drift {
+        /// Oscillation amplitude.
+        amp: f64,
+        /// Period in seconds.
+        period_s: f64,
+    },
+    /// Reflected random-walk PRR with the given volatility.
+    Volatile {
+        /// PRR standard deviation per √second.
+        sigma_per_sqrt_s: f64,
+    },
+}
+
+impl LinkDynamics {
+    /// Builds one loss model per topology link.
+    pub fn build_models(&self, topo: &Topology, hub: &RngHub) -> Vec<LossModel> {
+        topo.links()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| self.model_for(l.base_prr, i, hub))
+            .collect()
+    }
+
+    fn model_for(&self, base: f64, link_id: usize, hub: &RngHub) -> LossModel {
+        match *self {
+            LinkDynamics::Static => LossModel::Bernoulli { prr: base },
+            LinkDynamics::Bursty {
+                lift,
+                bad_factor,
+                cycle_s,
+            } => {
+                let prr_good = (base + lift).min(0.99);
+                let prr_bad = (base * bad_factor).max(0.0);
+                // Solve πG·good + (1-πG)·bad = base for the state mix.
+                let pi_good = if prr_good > prr_bad {
+                    ((base - prr_bad) / (prr_good - prr_bad)).clamp(0.05, 0.95)
+                } else {
+                    0.5
+                };
+                // rate_bg / (rate_gb + rate_bg) = πG with total cycle rate
+                // fixed by cycle_s.
+                let total_rate = 2.0 / cycle_s.max(1e-6);
+                LossModel::GilbertElliott {
+                    prr_good,
+                    prr_bad,
+                    rate_gb: total_rate * (1.0 - pi_good),
+                    rate_bg: total_rate * pi_good,
+                }
+            }
+            LinkDynamics::Drift { amp, period_s } => {
+                let mut rng = hub.stream(StreamKind::LinkDynamics, link_id as u64, 0);
+                LossModel::Sinusoidal {
+                    base,
+                    amp,
+                    period_s,
+                    phase: rng.gen::<f64>() * 2.0 * std::f64::consts::PI,
+                }
+            }
+            LinkDynamics::Volatile { sigma_per_sqrt_s } => LossModel::RandomWalk {
+                start: base,
+                sigma_per_sqrt_s,
+                lo: 0.05,
+                hi: 0.98,
+            },
+        }
+    }
+}
+
+/// Complete description of one simulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Node placement.
+    pub placement: Placement,
+    /// Radio propagation model.
+    pub radio: RadioModel,
+    /// MAC parameters.
+    pub mac: MacConfig,
+    /// Temporal link dynamics.
+    pub dynamics: LinkDynamics,
+    /// Master seed for all random streams.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A 200-node uniform-disk network with defaults matching the canonical
+    /// evaluation scenario.
+    pub fn canonical(seed: u64) -> Self {
+        Self {
+            placement: Placement::UniformDisk {
+                n: 200,
+                radius: 120.0,
+            },
+            radio: RadioModel::default(),
+            mac: MacConfig::default(),
+            dynamics: LinkDynamics::Static,
+            seed,
+        }
+    }
+
+    /// The RNG hub derived from this config's seed.
+    pub fn hub(&self) -> RngHub {
+        RngHub::new(self.seed)
+    }
+
+    /// Generates the topology.
+    pub fn topology(&self) -> Topology {
+        Topology::generate(self.placement, &self.radio, &self.hub())
+    }
+
+    /// Generates the per-link loss models for `topo`.
+    pub fn loss_models(&self, topo: &Topology) -> Vec<LossModel> {
+        self.dynamics.build_models(topo, &self.hub())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_dynamics_preserve_base_prr() {
+        let cfg = SimConfig::canonical(3);
+        let topo = cfg.topology();
+        let models = cfg.loss_models(&topo);
+        for (m, l) in models.iter().zip(topo.links()) {
+            assert_eq!(
+                *m,
+                LossModel::Bernoulli { prr: l.base_prr },
+                "static dynamics must be plain Bernoulli"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_dynamics_keep_stationary_mean() {
+        let dyn_ = LinkDynamics::Bursty {
+            lift: 0.15,
+            bad_factor: 0.3,
+            cycle_s: 20.0,
+        };
+        let hub = RngHub::new(1);
+        for base in [0.3, 0.5, 0.7, 0.9] {
+            let m = dyn_.model_for(base, 0, &hub);
+            let stat = m.stationary_prr();
+            // The πG clamp can shift extremes slightly; mid-range must match.
+            assert!(
+                (stat - base).abs() < 0.05,
+                "base {base} stationary {stat}"
+            );
+        }
+    }
+
+    #[test]
+    fn drift_gets_distinct_phases() {
+        let cfg = SimConfig {
+            dynamics: LinkDynamics::Drift {
+                amp: 0.2,
+                period_s: 300.0,
+            },
+            ..SimConfig::canonical(5)
+        };
+        let topo = cfg.topology();
+        let models = cfg.loss_models(&topo);
+        let phases: Vec<f64> = models
+            .iter()
+            .filter_map(|m| match m {
+                LossModel::Sinusoidal { phase, .. } => Some(*phase),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phases.len(), topo.links().len());
+        // Not all identical.
+        assert!(phases.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-6));
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let cfg = SimConfig::canonical(77);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn same_config_same_topology() {
+        let cfg = SimConfig::canonical(9);
+        let a = cfg.topology();
+        let b = cfg.topology();
+        assert_eq!(a.links().len(), b.links().len());
+    }
+}

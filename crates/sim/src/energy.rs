@@ -1,0 +1,146 @@
+//! Radio energy accounting.
+//!
+//! Measurement overhead in sensor networks matters because it costs
+//! *energy*, the resource that bounds deployment lifetime. This module
+//! converts the byte-level counters in [`crate::trace::Trace`] into Joules
+//! using a CC2420-class energy model, so experiments can report the
+//! energy price of each measurement scheme and translate byte savings into
+//! lifetime.
+
+use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Per-byte and per-event radio energy costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Transmit energy per byte (µJ). CC2420 at 0 dBm: ~17.4 mA × 1.8 V ×
+    /// 32 µs ≈ 1.0 µJ/byte.
+    pub tx_uj_per_byte: f64,
+    /// Receive energy per byte (µJ). CC2420: ~19.7 mA × 1.8 V × 32 µs ≈
+    /// 1.1 µJ/byte.
+    pub rx_uj_per_byte: f64,
+    /// Fixed per-transmission cost (startup, turnaround) in µJ.
+    pub tx_fixed_uj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self {
+            tx_uj_per_byte: 1.0,
+            rx_uj_per_byte: 1.1,
+            tx_fixed_uj: 8.0,
+        }
+    }
+}
+
+/// Energy summary of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Total transmit energy (J).
+    pub tx_joules: f64,
+    /// Receive energy of successfully received frames (J). (Idle listening
+    /// is duty-cycle dependent and out of scope; relative scheme
+    /// comparisons are unaffected.)
+    pub rx_joules: f64,
+}
+
+impl EnergyReport {
+    /// Total radio energy (J).
+    pub fn total_joules(&self) -> f64 {
+        self.tx_joules + self.rx_joules
+    }
+}
+
+impl EnergyModel {
+    /// Converts a run's trace into an energy report.
+    ///
+    /// Transmissions: every byte on air plus a fixed cost per data attempt,
+    /// ACK, and broadcast. Receptions: bytes of successfully received
+    /// copies (data + ACK + broadcast).
+    pub fn report(&self, trace: &Trace, mean_frame_bytes: f64, ack_bytes: f64) -> EnergyReport {
+        let mut tx_events = 0.0;
+        let mut rx_bytes = 0.0;
+        for l in trace.links() {
+            tx_events += (l.data_tx + l.ack_tx) as f64;
+            rx_bytes += l.data_rx as f64 * mean_frame_bytes + l.ack_rx as f64 * ack_bytes;
+            rx_bytes += l.bcast_rx as f64 * mean_frame_bytes;
+        }
+        tx_events += trace.broadcast_tx as f64;
+        let tx_joules = (trace.bytes_on_air as f64 * self.tx_uj_per_byte
+            + tx_events * self.tx_fixed_uj)
+            / 1e6;
+        let rx_joules = rx_bytes * self.rx_uj_per_byte / 1e6;
+        EnergyReport {
+            tx_joules,
+            rx_joules,
+        }
+    }
+
+    /// Energy (J) of shipping `bytes` of extra payload once across one hop
+    /// (tx + rx). Used to price measurement overhead analytically.
+    pub fn per_hop_byte_joules(&self) -> f64 {
+        (self.tx_uj_per_byte + self.rx_uj_per_byte) / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radio::RadioModel;
+    use crate::rng::RngHub;
+    use crate::topology::{Placement, Topology};
+
+    fn traced() -> (Topology, Trace) {
+        let topo = Topology::generate(
+            Placement::Grid {
+                side: 3,
+                spacing: 10.0,
+            },
+            &RadioModel::default(),
+            &RngHub::new(2),
+        );
+        let mut t = Trace::for_topology(&topo);
+        t.record_data_attempt(0, true, 50);
+        t.record_data_attempt(0, false, 50);
+        t.record_ack_attempt(0, true, 11);
+        t.record_broadcast_attempt(1, true);
+        t.broadcast_tx = 1;
+        t.broadcast_rx = 1;
+        t.bytes_on_air += 20; // the broadcast frame itself
+        (topo, t)
+    }
+
+    #[test]
+    fn report_accounts_tx_and_rx() {
+        let (_, trace) = traced();
+        let m = EnergyModel::default();
+        let r = m.report(&trace, 50.0, 11.0);
+        // TX: 131 bytes (2×50 + 11 + 20) × 1.0 µJ + 4 events × 8 µJ.
+        let expect_tx = (131.0 + 4.0 * 8.0) / 1e6;
+        assert!((r.tx_joules - expect_tx).abs() < 1e-12, "{}", r.tx_joules);
+        // RX: (1×50 + 1×11 + 1×50 (bcast copy)) × 1.1 µJ.
+        let expect_rx = 111.0 * 1.1 / 1e6;
+        assert!((r.rx_joules - expect_rx).abs() < 1e-12, "{}", r.rx_joules);
+        assert!((r.total_joules() - expect_tx - expect_rx).abs() < 1e-15);
+    }
+
+    #[test]
+    fn more_bytes_more_energy() {
+        let (topo, _) = traced();
+        let m = EnergyModel::default();
+        let mut small = Trace::for_topology(&topo);
+        small.record_data_attempt(0, true, 40);
+        let mut big = Trace::for_topology(&topo);
+        big.record_data_attempt(0, true, 80);
+        assert!(
+            m.report(&big, 80.0, 11.0).total_joules()
+                > m.report(&small, 40.0, 11.0).total_joules()
+        );
+    }
+
+    #[test]
+    fn per_hop_byte_price() {
+        let m = EnergyModel::default();
+        assert!((m.per_hop_byte_joules() - 2.1e-6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,173 @@
+//! The discrete-event queue.
+//!
+//! A binary heap ordered by `(time, sequence)`: the sequence number makes
+//! simultaneous events fire in insertion order, which keeps runs
+//! deterministic regardless of heap internals.
+
+use crate::packet::{Frame, SendDone, TimerId};
+use crate::time::SimTime;
+use crate::topology::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A protocol timer on `node` expires.
+    Timer {
+        /// Owning node.
+        node: NodeId,
+        /// Protocol-defined timer id.
+        timer: TimerId,
+    },
+    /// A frame copy arrives at `frame.dst`.
+    Deliver {
+        /// The delivered frame.
+        frame: Frame,
+    },
+    /// A unicast ARQ exchange on `node` completed (or its frame was
+    /// dropped); the MAC becomes free afterwards.
+    SendDone {
+        /// The transmitting node.
+        node: NodeId,
+        /// Outcome report.
+        done: SendDone,
+    },
+}
+
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Time-ordered event queue with FIFO tie-breaking.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+        self.heap.pop().map(|e| (e.at, e.kind))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: u16, id: u32) -> EventKind {
+        EventKind::Timer {
+            node: NodeId(node),
+            timer: TimerId(id),
+        }
+    }
+
+    fn timer_id(kind: &EventKind) -> u32 {
+        match kind {
+            EventKind::Timer { timer, .. } => timer.0,
+            _ => panic!("not a timer"),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), timer(0, 3));
+        q.push(SimTime::from_micros(10), timer(0, 1));
+        q.push(SimTime::from_micros(20), timer(0, 2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| timer_id(&k))
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for id in 0..50 {
+            q.push(t, timer(0, id));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| timer_id(&k))
+            .collect();
+        assert_eq!(order, (0..50).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(7), timer(1, 9));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop().unwrap();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(10), timer(0, 10));
+        q.push(SimTime::from_micros(5), timer(0, 5));
+        let (t, k) = q.pop().unwrap();
+        assert_eq!(t.as_micros(), 5);
+        assert_eq!(timer_id(&k), 5);
+        q.push(SimTime::from_micros(7), timer(0, 7));
+        q.push(SimTime::from_micros(20), timer(0, 20));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(t, _)| t.as_micros())
+            .collect();
+        assert_eq!(order, vec![7, 10, 20]);
+    }
+}

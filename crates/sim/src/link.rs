@@ -1,0 +1,410 @@
+//! Per-link packet-loss processes.
+//!
+//! Every directed link owns a [`LossProcess`] that is sampled once per
+//! physical transmission attempt. Three families cover the regimes the
+//! tomography literature cares about:
+//!
+//! * [`LossModel::Bernoulli`] — i.i.d. loss, the assumption both Dophy's
+//!   estimator and classical tomography are derived under;
+//! * [`LossModel::GilbertElliott`] — two-state bursty loss, used to stress
+//!   the i.i.d. assumption (ablation `ablation-burstiness`);
+//! * [`LossModel::Sinusoidal`] / [`LossModel::RandomWalk`] — slow PRR drift,
+//!   the non-stationarity that motivates Dophy's periodic model updates.
+//!
+//! Processes evolve in continuous simulated time: each sample advances the
+//! hidden state by the elapsed interval, so results do not depend on how
+//! often a link happens to be used.
+
+use crate::time::SimTime;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Declarative description of a loss process (serializable configuration).
+/// `prr` parameters are packet-reception ratios in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LossModel {
+    /// Independent loss with fixed reception probability.
+    Bernoulli {
+        /// Packet reception ratio.
+        prr: f64,
+    },
+    /// Two-state continuous-time Gilbert–Elliott channel.
+    GilbertElliott {
+        /// Reception ratio while in the Good state.
+        prr_good: f64,
+        /// Reception ratio while in the Bad state.
+        prr_bad: f64,
+        /// Good→Bad transition rate (events per second).
+        rate_gb: f64,
+        /// Bad→Good transition rate (events per second).
+        rate_bg: f64,
+    },
+    /// PRR oscillates sinusoidally around `base`.
+    Sinusoidal {
+        /// Centre reception ratio.
+        base: f64,
+        /// Oscillation amplitude.
+        amp: f64,
+        /// Oscillation period in seconds.
+        period_s: f64,
+        /// Phase offset in radians.
+        phase: f64,
+    },
+    /// PRR performs a reflected Gaussian random walk.
+    RandomWalk {
+        /// Starting reception ratio.
+        start: f64,
+        /// Standard deviation of the PRR change per √second.
+        sigma_per_sqrt_s: f64,
+        /// Lower reflection bound.
+        lo: f64,
+        /// Upper reflection bound.
+        hi: f64,
+    },
+}
+
+impl LossModel {
+    /// Long-run mean reception ratio (stationary mean for GE; centre for
+    /// drift models).
+    pub fn stationary_prr(&self) -> f64 {
+        match *self {
+            LossModel::Bernoulli { prr } => prr,
+            LossModel::GilbertElliott {
+                prr_good,
+                prr_bad,
+                rate_gb,
+                rate_bg,
+            } => {
+                let pi_good = rate_bg / (rate_gb + rate_bg);
+                pi_good * prr_good + (1.0 - pi_good) * prr_bad
+            }
+            LossModel::Sinusoidal { base, .. } => base,
+            LossModel::RandomWalk { lo, hi, .. } => (lo + hi) / 2.0,
+        }
+    }
+
+    /// Instantiates the runtime process.
+    pub fn build(&self) -> LossProcess {
+        let state = match *self {
+            LossModel::Bernoulli { .. } => ProcessState::Stateless,
+            LossModel::GilbertElliott {
+                rate_gb, rate_bg, ..
+            } => {
+                // Start in the stationary distribution's more likely state;
+                // the first sample re-randomises via the transition kernel
+                // anyway, so this choice decays immediately.
+                let pi_good = rate_bg / (rate_gb + rate_bg);
+                ProcessState::Ge {
+                    good: pi_good >= 0.5,
+                    last: SimTime::ZERO,
+                }
+            }
+            LossModel::Sinusoidal { .. } => ProcessState::Stateless,
+            LossModel::RandomWalk { start, .. } => ProcessState::Walk {
+                prr: start,
+                last: SimTime::ZERO,
+            },
+        };
+        LossProcess {
+            model: *self,
+            state,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ProcessState {
+    Stateless,
+    Ge { good: bool, last: SimTime },
+    Walk { prr: f64, last: SimTime },
+}
+
+/// Runtime loss process: holds the evolving hidden state for one directed
+/// link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossProcess {
+    model: LossModel,
+    state: ProcessState,
+}
+
+impl LossProcess {
+    /// The declarative model this process realises.
+    pub fn model(&self) -> &LossModel {
+        &self.model
+    }
+
+    /// Instantaneous reception probability at `now` (advances drift state).
+    pub fn prr_at(&mut self, now: SimTime, rng: &mut SmallRng) -> f64 {
+        match self.model {
+            LossModel::Bernoulli { prr } => prr,
+            LossModel::GilbertElliott {
+                prr_good, prr_bad, ..
+            } => {
+                self.evolve_ge(now, rng);
+                match self.state {
+                    ProcessState::Ge { good: true, .. } => prr_good,
+                    _ => prr_bad,
+                }
+            }
+            LossModel::Sinusoidal {
+                base,
+                amp,
+                period_s,
+                phase,
+            } => {
+                let t = now.as_secs_f64();
+                let v = base + amp * (2.0 * std::f64::consts::PI * t / period_s + phase).sin();
+                v.clamp(0.01, 0.99)
+            }
+            LossModel::RandomWalk {
+                sigma_per_sqrt_s,
+                lo,
+                hi,
+                ..
+            } => {
+                if let ProcessState::Walk { prr, last } = self.state {
+                    let dt = now.since(last).as_secs_f64();
+                    let new = if dt > 0.0 {
+                        let z = sample_standard_normal(rng);
+                        reflect(prr + z * sigma_per_sqrt_s * dt.sqrt(), lo, hi)
+                    } else {
+                        prr
+                    };
+                    self.state = ProcessState::Walk { prr: new, last: now };
+                    new
+                } else {
+                    unreachable!("walk model carries walk state")
+                }
+            }
+        }
+    }
+
+    /// Draws one transmission outcome at `now` (true = frame received).
+    pub fn sample(&mut self, now: SimTime, rng: &mut SmallRng) -> bool {
+        let prr = self.prr_at(now, rng);
+        rng.gen::<f64>() < prr
+    }
+
+    fn evolve_ge(&mut self, now: SimTime, rng: &mut SmallRng) {
+        let LossModel::GilbertElliott {
+            rate_gb, rate_bg, ..
+        } = self.model
+        else {
+            return;
+        };
+        let ProcessState::Ge { good, last } = self.state else {
+            return;
+        };
+        let dt = now.since(last).as_secs_f64();
+        if dt > 0.0 {
+            // Exact 2-state CTMC transition kernel over the elapsed gap.
+            let total = rate_gb + rate_bg;
+            let pi_good = rate_bg / total;
+            let decay = (-total * dt).exp();
+            let p_good_now = if good {
+                pi_good + (1.0 - pi_good) * decay
+            } else {
+                pi_good * (1.0 - decay)
+            };
+            let good_now = rng.gen::<f64>() < p_good_now;
+            self.state = ProcessState::Ge {
+                good: good_now,
+                last: now,
+            };
+        }
+    }
+}
+
+/// Reflects `x` into `[lo, hi]`.
+fn reflect(mut x: f64, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo < hi);
+    let span = hi - lo;
+    // Fold into a 2*span sawtooth, then mirror.
+    let mut rel = (x - lo) % (2.0 * span);
+    if rel < 0.0 {
+        rel += 2.0 * span;
+    }
+    x = if rel <= span { rel } else { 2.0 * span - rel };
+    lo + x
+}
+
+/// Box–Muller standard normal (keeps us off extra distribution crates).
+fn sample_standard_normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{RngHub, StreamKind};
+    use crate::time::SimDuration;
+
+    fn rng() -> SmallRng {
+        RngHub::new(99).stream(StreamKind::LinkLoss, 1, 2)
+    }
+
+    /// Samples `n` draws spaced `gap_us` apart, returns empirical PRR.
+    fn empirical_prr(model: LossModel, n: u32, gap_us: u64) -> f64 {
+        let mut p = model.build();
+        let mut r = rng();
+        let mut t = SimTime::ZERO;
+        let mut ok = 0u32;
+        for _ in 0..n {
+            if p.sample(t, &mut r) {
+                ok += 1;
+            }
+            t += SimDuration::from_micros(gap_us);
+        }
+        f64::from(ok) / f64::from(n)
+    }
+
+    #[test]
+    fn bernoulli_matches_prr() {
+        let e = empirical_prr(LossModel::Bernoulli { prr: 0.8 }, 20_000, 1000);
+        assert!((e - 0.8).abs() < 0.01, "empirical {e}");
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        assert_eq!(empirical_prr(LossModel::Bernoulli { prr: 1.0 }, 1000, 1), 1.0);
+        assert_eq!(empirical_prr(LossModel::Bernoulli { prr: 0.0 }, 1000, 1), 0.0);
+    }
+
+    #[test]
+    fn gilbert_elliott_stationary_mean() {
+        let model = LossModel::GilbertElliott {
+            prr_good: 0.95,
+            prr_bad: 0.2,
+            rate_gb: 0.5,
+            rate_bg: 1.5,
+        };
+        // πG = 0.75 → mean = 0.75*0.95 + 0.25*0.2 = 0.7625.
+        assert!((model.stationary_prr() - 0.7625).abs() < 1e-12);
+        let e = empirical_prr(model, 60_000, 50_000);
+        assert!(
+            (e - 0.7625).abs() < 0.02,
+            "empirical {e} vs stationary 0.7625"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_is_bursty() {
+        // With slow transitions and closely spaced samples, consecutive
+        // outcomes must be positively correlated (unlike Bernoulli).
+        let model = LossModel::GilbertElliott {
+            prr_good: 1.0,
+            prr_bad: 0.0,
+            rate_gb: 1.0,
+            rate_bg: 1.0,
+        };
+        let mut p = model.build();
+        let mut r = rng();
+        let mut t = SimTime::ZERO;
+        let mut prev = p.sample(t, &mut r);
+        let (mut same, mut n) = (0u32, 0u32);
+        for _ in 0..20_000 {
+            t += SimDuration::from_micros(1_000); // 1ms ≪ 1s sojourn
+            let cur = p.sample(t, &mut r);
+            same += u32::from(cur == prev);
+            n += 1;
+            prev = cur;
+        }
+        let agreement = f64::from(same) / f64::from(n);
+        assert!(agreement > 0.9, "agreement {agreement} should be near 1");
+    }
+
+    #[test]
+    fn sinusoidal_oscillates() {
+        let model = LossModel::Sinusoidal {
+            base: 0.5,
+            amp: 0.4,
+            period_s: 100.0,
+            phase: 0.0,
+        };
+        let mut p = model.build();
+        let mut r = rng();
+        // Quarter period: sin = 1 → prr 0.9; three quarters: prr 0.1.
+        let hi = p.prr_at(SimTime::from_micros(25_000_000), &mut r);
+        let lo = p.prr_at(SimTime::from_micros(75_000_000), &mut r);
+        assert!((hi - 0.9).abs() < 1e-9, "hi {hi}");
+        assert!((lo - 0.1).abs() < 1e-9, "lo {lo}");
+    }
+
+    #[test]
+    fn sinusoidal_clamped() {
+        let model = LossModel::Sinusoidal {
+            base: 0.9,
+            amp: 0.5,
+            period_s: 10.0,
+            phase: 0.0,
+        };
+        let mut p = model.build();
+        let mut r = rng();
+        for s in 0..100 {
+            let prr = p.prr_at(SimTime::from_micros(s * 500_000), &mut r);
+            assert!((0.01..=0.99).contains(&prr));
+        }
+    }
+
+    #[test]
+    fn random_walk_stays_in_bounds() {
+        let model = LossModel::RandomWalk {
+            start: 0.8,
+            sigma_per_sqrt_s: 0.3,
+            lo: 0.1,
+            hi: 0.95,
+        };
+        let mut p = model.build();
+        let mut r = rng();
+        let mut t = SimTime::ZERO;
+        for _ in 0..5_000 {
+            t += SimDuration::from_millis(100);
+            let prr = p.prr_at(t, &mut r);
+            assert!((0.1..=0.95).contains(&prr), "prr {prr} escaped bounds");
+        }
+    }
+
+    #[test]
+    fn random_walk_actually_moves() {
+        let model = LossModel::RandomWalk {
+            start: 0.5,
+            sigma_per_sqrt_s: 0.1,
+            lo: 0.05,
+            hi: 0.95,
+        };
+        let mut p = model.build();
+        let mut r = rng();
+        let first = p.prr_at(SimTime::from_micros(1), &mut r);
+        let later = p.prr_at(SimTime::from_micros(100_000_000), &mut r);
+        assert!((first - later).abs() > 1e-6, "walk froze");
+    }
+
+    #[test]
+    fn reflect_folds_correctly() {
+        assert!((reflect(0.5, 0.0, 1.0) - 0.5).abs() < 1e-12);
+        assert!((reflect(1.2, 0.0, 1.0) - 0.8).abs() < 1e-12);
+        assert!((reflect(-0.3, 0.0, 1.0) - 0.3).abs() < 1e-12);
+        assert!((reflect(2.1, 0.0, 1.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let model = LossModel::GilbertElliott {
+            prr_good: 0.9,
+            prr_bad: 0.3,
+            rate_gb: 1.0,
+            rate_bg: 2.0,
+        };
+        let run = || {
+            let mut p = model.build();
+            let mut r = rng();
+            (0..500)
+                .map(|i| p.sample(SimTime::from_micros(i * 10_000), &mut r))
+                .collect::<Vec<bool>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

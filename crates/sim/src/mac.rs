@@ -1,0 +1,105 @@
+//! MAC-layer configuration and timing.
+//!
+//! The MAC implements the behaviour Dophy relies on: **stop-and-wait ARQ**
+//! with a bounded retransmission budget, as in the TinyOS packet link layer.
+//! Each unicast frame is transmitted up to `max_attempts` times; every
+//! physical attempt draws independently from the link's loss process, the
+//! corresponding ACK draws from the reverse link, and the exchange ends at
+//! the first received ACK or when the budget is exhausted.
+//!
+//! Timing follows 802.15.4 at 250 kbit/s (32 µs per byte) with a contention
+//! backoff before each attempt. Full CSMA contention/collision modelling is
+//! deliberately omitted: interference-induced loss is already absorbed by
+//! the configurable link loss processes, and the quantities tomography
+//! observes (per-attempt outcomes) are unaffected by queueing detail. This
+//! substitution is recorded in DESIGN.md.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// MAC parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MacConfig {
+    /// Maximum physical transmissions per unicast frame (the ARQ budget
+    /// `R`). Attempt numbers observed by receivers lie in `1..=R`.
+    pub max_attempts: u16,
+    /// Radio throughput in microseconds per byte (32 for 802.15.4).
+    pub us_per_byte: u64,
+    /// Fixed per-frame radio overhead (preamble, SFD, turnaround) in µs.
+    pub frame_overhead_us: u64,
+    /// Mean contention backoff before each attempt, in µs. The realised
+    /// backoff is uniform in `[backoff/2, 3*backoff/2)`.
+    pub backoff_us: u64,
+    /// ACK duration + turnaround in µs.
+    pub ack_us: u64,
+    /// MAC transmit-queue capacity; frames arriving at a full queue are
+    /// dropped (reported via `SendDone::was_dropped`).
+    pub queue_capacity: usize,
+}
+
+impl Default for MacConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 7,
+            us_per_byte: 32,
+            frame_overhead_us: 352,
+            backoff_us: 1_000,
+            ack_us: 544,
+            queue_capacity: 16,
+        }
+    }
+}
+
+impl MacConfig {
+    /// Airtime of a data frame of `bytes` bytes.
+    pub fn tx_time(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_micros(self.frame_overhead_us + self.us_per_byte * bytes as u64)
+    }
+
+    /// Duration of one full failed or ACK-pending attempt cycle, excluding
+    /// the random part of the backoff.
+    pub fn attempt_floor(&self, bytes: usize) -> SimDuration {
+        self.tx_time(bytes) + SimDuration::from_micros(self.ack_us)
+    }
+
+    /// Worst-case duration of a full ARQ exchange (for sanity checks).
+    pub fn worst_case_exchange(&self, bytes: usize) -> SimDuration {
+        (self.attempt_floor(bytes) + SimDuration::from_micros(self.backoff_us * 2))
+            * u64::from(self.max_attempts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = MacConfig::default();
+        assert!(c.max_attempts >= 1);
+        assert!(c.queue_capacity > 0);
+    }
+
+    #[test]
+    fn tx_time_scales_with_bytes() {
+        let c = MacConfig::default();
+        let t40 = c.tx_time(40);
+        let t80 = c.tx_time(80);
+        assert_eq!(
+            (t80 - t40).as_micros(),
+            40 * c.us_per_byte,
+            "airtime must scale linearly"
+        );
+        assert_eq!(t40.as_micros(), 352 + 40 * 32);
+    }
+
+    #[test]
+    fn worst_case_bounds_single_attempt() {
+        let c = MacConfig::default();
+        assert!(c.worst_case_exchange(40) > c.attempt_floor(40));
+        assert!(
+            c.worst_case_exchange(40).as_micros()
+                >= u64::from(c.max_attempts) * c.attempt_floor(40).as_micros()
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Radio propagation: distance → packet-reception-ratio curve.
+//!
+//! Physical-layer detail matters to loss tomography only through the PRR of
+//! each link, so we model propagation with the empirically observed shape of
+//! 802.15.4 links: a high-PRR *connected* region, a wide *transitional*
+//! region with intermediate and highly variable PRR, and a disconnected
+//! region. A logistic curve in distance plus per-link log-normal-shadowing
+//! jitter reproduces this three-region structure (cf. Zuniga & Krishnamachari,
+//! "Analyzing the transitional region in low power wireless links").
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the PRR-vs-distance model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadioModel {
+    /// Distance (metres) at which the mean PRR crosses 0.5.
+    pub d50: f64,
+    /// Width parameter of the logistic transition (metres); larger = wider
+    /// transitional region.
+    pub transition_width: f64,
+    /// Standard deviation of the per-link PRR jitter induced by shadowing.
+    pub shadowing_sigma: f64,
+    /// Links with generated PRR below this are not usable (pruned).
+    pub min_prr: f64,
+}
+
+impl Default for RadioModel {
+    fn default() -> Self {
+        Self {
+            d50: 30.0,
+            transition_width: 6.0,
+            shadowing_sigma: 0.1,
+            min_prr: 0.05,
+        }
+    }
+}
+
+impl RadioModel {
+    /// Mean PRR at distance `d` (no shadowing).
+    pub fn mean_prr(&self, d: f64) -> f64 {
+        1.0 / (1.0 + ((d - self.d50) / self.transition_width).exp())
+    }
+
+    /// Effective PRR jitter at a given base PRR. Shadowing acts on SNR (in
+    /// dB); pushed through the steep SNR→PRR curve its effect on PRR is
+    /// largest mid-transition and vanishes deep in the connected or
+    /// disconnected regions. `4·base·(1-base)` reproduces that shape with
+    /// peak sigma `shadowing_sigma`.
+    pub fn jitter_sigma(&self, base: f64) -> f64 {
+        self.shadowing_sigma * 4.0 * base * (1.0 - base)
+    }
+
+    /// Draws the static PRR of one directed link at distance `d`,
+    /// including shadowing jitter. Returns `None` when the link falls below
+    /// `min_prr` (unusable).
+    ///
+    /// Jitter is drawn per *direction*, so links come out naturally
+    /// asymmetric — a well-documented property of real sensor links.
+    pub fn link_prr(&self, d: f64, rng: &mut SmallRng) -> Option<f64> {
+        let base = self.mean_prr(d);
+        // Box–Muller draw for the shadowing term.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let prr = (base + z * self.jitter_sigma(base)).clamp(0.0, 0.99);
+        (prr >= self.min_prr).then_some(prr)
+    }
+
+    /// Distance beyond which even a +4σ shadowing draw cannot produce a
+    /// usable link; used to prune the candidate pair set cheaply.
+    pub fn max_usable_distance(&self) -> f64 {
+        // Usability needs base + 4σ·4·base(1-base) >= min_prr; bound the
+        // left side by base(1 + 16σ) (valid since base(1-base) <= base) and
+        // solve base(1 + 16σ) = min_prr on the logistic curve.
+        let target = (self.min_prr / (1.0 + 16.0 * self.shadowing_sigma)).clamp(1e-9, 0.999);
+        self.d50 + self.transition_width * ((1.0 - target) / target).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{RngHub, StreamKind};
+
+    #[test]
+    fn curve_shape() {
+        let m = RadioModel::default();
+        assert!(m.mean_prr(0.0) > 0.98);
+        assert!((m.mean_prr(m.d50) - 0.5).abs() < 1e-12);
+        assert!(m.mean_prr(2.0 * m.d50) < 0.02);
+        // Monotone decreasing.
+        let mut last = 1.1;
+        for d in 0..100 {
+            let p = m.mean_prr(f64::from(d));
+            assert!(p < last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn link_prr_respects_min() {
+        let m = RadioModel::default();
+        let mut rng = RngHub::new(5).stream(StreamKind::Topology, 0, 0);
+        for _ in 0..1000 {
+            if let Some(prr) = m.link_prr(45.0, &mut rng) {
+                assert!(prr >= m.min_prr && prr <= 0.99);
+            }
+        }
+    }
+
+    #[test]
+    fn close_links_almost_always_usable() {
+        let m = RadioModel::default();
+        let mut rng = RngHub::new(5).stream(StreamKind::Topology, 1, 1);
+        let usable = (0..1000)
+            .filter(|_| m.link_prr(5.0, &mut rng).is_some())
+            .count();
+        assert!(usable > 990, "usable {usable}/1000");
+    }
+
+    #[test]
+    fn distant_links_almost_never_usable() {
+        let m = RadioModel::default();
+        let mut rng = RngHub::new(5).stream(StreamKind::Topology, 2, 2);
+        let usable = (0..1000)
+            .filter(|_| m.link_prr(3.0 * m.d50, &mut rng).is_some())
+            .count();
+        assert!(usable < 10, "usable {usable}/1000");
+    }
+
+    #[test]
+    fn max_usable_distance_is_conservative() {
+        let m = RadioModel::default();
+        let dmax = m.max_usable_distance();
+        assert!(dmax > m.d50);
+        // Beyond dmax no draw out of many should be usable.
+        let mut rng = RngHub::new(17).stream(StreamKind::Topology, 9, 9);
+        let usable = (0..5000)
+            .filter(|_| m.link_prr(dmax + 0.01, &mut rng).is_some())
+            .count();
+        assert_eq!(usable, 0, "links usable beyond dmax");
+    }
+
+    #[test]
+    fn shadowing_makes_links_asymmetric() {
+        let m = RadioModel::default();
+        let mut rng = RngHub::new(5).stream(StreamKind::Topology, 3, 3);
+        let a = m.link_prr(25.0, &mut rng);
+        let b = m.link_prr(25.0, &mut rng);
+        assert_ne!(a, b, "independent directional draws should differ");
+    }
+}

@@ -1,0 +1,165 @@
+//! Deterministic, named random-number streams.
+//!
+//! Every stochastic component of the simulator (each link's loss process,
+//! each node's backoff jitter, each traffic generator) draws from its own
+//! stream, derived from a single master seed and a stable *purpose* label.
+//! This gives two properties experiments depend on:
+//!
+//! * **Bit-reproducibility** — the same master seed replays the exact same
+//!   simulation, regardless of iteration order elsewhere in the program.
+//! * **Variance isolation** — changing one component (say, adding a protocol
+//!   timer) does not perturb the random draws of unrelated components, so
+//!   A/B comparisons between schemes see identical channel realisations.
+//!
+//! Streams are `SmallRng` instances seeded via SplitMix64 over a hash of
+//! `(master_seed, purpose, a, b)`.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// SplitMix64 step — a fast, well-mixed 64-bit finalizer used to derive
+/// stream seeds.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Stable purpose labels for derived streams.
+///
+/// Using an enum (not strings) keeps derivation cheap and typo-proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StreamKind {
+    /// Per-directed-link data-frame loss draws.
+    LinkLoss,
+    /// Per-directed-link acknowledgement loss draws.
+    AckLoss,
+    /// Link-process state evolution (Gilbert–Elliott transitions, drift).
+    LinkDynamics,
+    /// Node MAC backoff jitter.
+    Backoff,
+    /// Application traffic generation.
+    Traffic,
+    /// Topology/placement generation.
+    Topology,
+    /// Protocol-internal randomness (e.g. Trickle intervals).
+    Protocol,
+}
+
+impl StreamKind {
+    fn tag(self) -> u64 {
+        match self {
+            StreamKind::LinkLoss => 0x01,
+            StreamKind::AckLoss => 0x02,
+            StreamKind::LinkDynamics => 0x03,
+            StreamKind::Backoff => 0x04,
+            StreamKind::Traffic => 0x05,
+            StreamKind::Topology => 0x06,
+            StreamKind::Protocol => 0x07,
+        }
+    }
+}
+
+/// Factory for named random streams derived from one master seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RngHub {
+    master: u64,
+}
+
+impl RngHub {
+    /// Creates a hub for `master_seed`.
+    pub fn new(master_seed: u64) -> Self {
+        Self {
+            master: master_seed,
+        }
+    }
+
+    /// The master seed.
+    pub fn master_seed(&self) -> u64 {
+        self.master
+    }
+
+    /// Derives the 64-bit seed for stream `(kind, a, b)`.
+    pub fn derive_seed(&self, kind: StreamKind, a: u64, b: u64) -> u64 {
+        // Chain SplitMix64 over the identifying tuple; each stage fully
+        // mixes, so (a, b) collisions across kinds are astronomically rare.
+        let mut s = splitmix64(self.master ^ 0xD0F4_11D0_F411_D0F4);
+        s = splitmix64(s ^ kind.tag());
+        s = splitmix64(s ^ a);
+        s = splitmix64(s ^ b);
+        s
+    }
+
+    /// A fresh `SmallRng` for stream `(kind, a, b)`.
+    ///
+    /// `a`/`b` identify the component: e.g. `(LinkLoss, src, dst)` for a
+    /// directed link, `(Backoff, node, 0)` for a node's MAC.
+    pub fn stream(&self, kind: StreamKind, a: u64, b: u64) -> SmallRng {
+        SmallRng::seed_from_u64(self.derive_seed(kind, a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_identity_same_stream() {
+        let hub = RngHub::new(42);
+        let mut a = hub.stream(StreamKind::LinkLoss, 3, 7);
+        let mut b = hub.stream(StreamKind::LinkLoss, 3, 7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_identities_different_streams() {
+        let hub = RngHub::new(42);
+        let seeds = [
+            hub.derive_seed(StreamKind::LinkLoss, 3, 7),
+            hub.derive_seed(StreamKind::LinkLoss, 7, 3),
+            hub.derive_seed(StreamKind::AckLoss, 3, 7),
+            hub.derive_seed(StreamKind::LinkLoss, 3, 8),
+            hub.derive_seed(StreamKind::Backoff, 3, 7),
+        ];
+        for i in 0..seeds.len() {
+            for j in i + 1..seeds.len() {
+                assert_ne!(seeds[i], seeds[j], "streams {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn different_master_seeds_diverge() {
+        let a = RngHub::new(1).derive_seed(StreamKind::Traffic, 0, 0);
+        let b = RngHub::new(2).derive_seed(StreamKind::Traffic, 0, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn splitmix_known_values() {
+        // Reference values from the canonical SplitMix64 implementation.
+        assert_eq!(splitmix64(0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(1), 0x910A_2DEC_8902_5CC1);
+    }
+
+    #[test]
+    fn stream_draws_are_uniformish() {
+        // Smoke test that the derived stream is not obviously broken.
+        let hub = RngHub::new(7);
+        let mut rng = hub.stream(StreamKind::Traffic, 1, 2);
+        let n = 10_000;
+        let mut ones = 0u32;
+        for _ in 0..n {
+            if rng.gen::<bool>() {
+                ones += 1;
+            }
+        }
+        let frac = f64::from(ones) / f64::from(n);
+        assert!((0.45..0.55).contains(&frac), "bool frac {frac}");
+    }
+}

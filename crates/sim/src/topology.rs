@@ -1,0 +1,524 @@
+//! Node placement and connectivity-graph generation.
+//!
+//! A [`Topology`] fixes node positions, the sink, and the set of usable
+//! directed links with their base PRRs. The simulation engine later attaches
+//! a stochastic [`crate::link::LossProcess`] to each link; routing discovers
+//! links through beacons; the sink's decoder consults the same neighbor
+//! tables (mirroring the control-plane topology reports a real deployment
+//! would collect).
+
+use crate::radio::RadioModel;
+use crate::rng::{RngHub, StreamKind};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Node identifier. The sink is always [`NodeId::SINK`] (id 0).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The data sink / collection root.
+    pub const SINK: NodeId = NodeId(0);
+
+    /// Index into dense per-node arrays.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// 2-D position in metres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Position {
+    /// X coordinate (m).
+    pub x: f64,
+    /// Y coordinate (m).
+    pub y: f64,
+}
+
+impl Position {
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// A usable directed link with its generated base reception ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Transmitter.
+    pub src: NodeId,
+    /// Receiver.
+    pub dst: NodeId,
+    /// Base PRR generated from the radio model (before any temporal loss
+    /// process is layered on top).
+    pub base_prr: f64,
+}
+
+/// Node placement schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Placement {
+    /// `side × side` grid with the given spacing (m); sink at a corner.
+    Grid {
+        /// Nodes per side.
+        side: u16,
+        /// Grid spacing in metres.
+        spacing: f64,
+    },
+    /// `n` nodes uniform in a disk of the given radius; sink at the centre.
+    UniformDisk {
+        /// Total number of nodes (including the sink).
+        n: u16,
+        /// Disk radius in metres.
+        radius: f64,
+    },
+    /// `n` nodes in a line with the given spacing; sink at one end.
+    /// Produces maximal path lengths — used for encoding-overhead sweeps.
+    Line {
+        /// Total number of nodes (including the sink).
+        n: u16,
+        /// Inter-node spacing in metres.
+        spacing: f64,
+    },
+    /// Clustered deployment: `clusters` groups of `per_cluster` nodes, each
+    /// group uniform in a small disk around a uniformly placed centre; the
+    /// sink sits at the origin. Models room/zone deployments with dense
+    /// intra-cluster and sparse inter-cluster links.
+    Clustered {
+        /// Number of clusters.
+        clusters: u16,
+        /// Nodes per cluster.
+        per_cluster: u16,
+        /// Radius of the deployment area (cluster centres).
+        area_radius: f64,
+        /// Radius of each cluster.
+        cluster_radius: f64,
+    },
+}
+
+impl Placement {
+    /// Number of nodes this placement produces.
+    pub fn node_count(&self) -> usize {
+        match *self {
+            Placement::Grid { side, .. } => usize::from(side) * usize::from(side),
+            Placement::UniformDisk { n, .. } | Placement::Line { n, .. } => usize::from(n),
+            Placement::Clustered {
+                clusters,
+                per_cluster,
+                ..
+            } => 1 + usize::from(clusters) * usize::from(per_cluster),
+        }
+    }
+
+    /// Generates node positions; index 0 is the sink.
+    pub fn positions(&self, hub: &RngHub) -> Vec<Position> {
+        match *self {
+            Placement::Grid { side, spacing } => {
+                let mut pos = Vec::with_capacity(usize::from(side) * usize::from(side));
+                for r in 0..side {
+                    for c in 0..side {
+                        pos.push(Position {
+                            x: f64::from(c) * spacing,
+                            y: f64::from(r) * spacing,
+                        });
+                    }
+                }
+                pos
+            }
+            Placement::UniformDisk { n, radius } => {
+                let mut rng = hub.stream(StreamKind::Topology, 0xD15C, 0);
+                let mut pos = Vec::with_capacity(usize::from(n));
+                pos.push(Position { x: 0.0, y: 0.0 }); // sink at centre
+                for _ in 1..n {
+                    // Uniform in the disk via sqrt radius transform.
+                    let r = radius * rng.gen::<f64>().sqrt();
+                    let theta = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+                    pos.push(Position {
+                        x: r * theta.cos(),
+                        y: r * theta.sin(),
+                    });
+                }
+                pos
+            }
+            Placement::Line { n, spacing } => (0..n)
+                .map(|i| Position {
+                    x: f64::from(i) * spacing,
+                    y: 0.0,
+                })
+                .collect(),
+            Placement::Clustered {
+                clusters,
+                per_cluster,
+                area_radius,
+                cluster_radius,
+            } => {
+                let mut rng = hub.stream(StreamKind::Topology, 0xC1A5, 0);
+                let mut pos = Vec::with_capacity(self.node_count());
+                pos.push(Position { x: 0.0, y: 0.0 }); // sink
+                for _ in 0..clusters {
+                    let r = area_radius * rng.gen::<f64>().sqrt();
+                    let theta = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+                    let (cx, cy) = (r * theta.cos(), r * theta.sin());
+                    for _ in 0..per_cluster {
+                        let rr = cluster_radius * rng.gen::<f64>().sqrt();
+                        let tt = rng.gen::<f64>() * 2.0 * std::f64::consts::PI;
+                        pos.push(Position {
+                            x: cx + rr * tt.cos(),
+                            y: cy + rr * tt.sin(),
+                        });
+                    }
+                }
+                pos
+            }
+        }
+    }
+}
+
+/// Immutable network structure: positions plus usable directed links.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    positions: Vec<Position>,
+    links: Vec<LinkSpec>,
+    /// `out_neighbors[u]` = nodes v with a usable link u→v, sorted by
+    /// descending base PRR (so index 0 is the best candidate).
+    out_neighbors: Vec<Vec<NodeId>>,
+    /// `link_index[u]` parallel to `out_neighbors[u]`: index into `links`.
+    link_index: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Generates a topology: place nodes, then draw per-directed-link PRRs
+    /// from `radio`, pruning unusable pairs.
+    pub fn generate(placement: Placement, radio: &RadioModel, hub: &RngHub) -> Self {
+        let positions = placement.positions(hub);
+        let n = positions.len();
+        let dmax = radio.max_usable_distance();
+        let mut links = Vec::new();
+        let mut out_neighbors = vec![Vec::new(); n];
+        let mut link_index = vec![Vec::new(); n];
+        for u in 0..n {
+            for v in 0..n {
+                if u == v {
+                    continue;
+                }
+                let d = positions[u].distance(&positions[v]);
+                if d > dmax {
+                    continue;
+                }
+                // Stream keyed by the directed pair: regenerating the same
+                // topology yields identical links.
+                let mut rng = hub.stream(StreamKind::Topology, u as u64 + 1, v as u64 + 1);
+                if let Some(prr) = radio.link_prr(d, &mut rng) {
+                    let idx = links.len();
+                    links.push(LinkSpec {
+                        src: NodeId(u as u16),
+                        dst: NodeId(v as u16),
+                        base_prr: prr,
+                    });
+                    out_neighbors[u].push(NodeId(v as u16));
+                    link_index[u].push(idx);
+                }
+            }
+        }
+        // Sort each neighbor list by descending PRR.
+        for u in 0..n {
+            let mut order: Vec<usize> = (0..out_neighbors[u].len()).collect();
+            order.sort_by(|&a, &b| {
+                links[link_index[u][b]]
+                    .base_prr
+                    .partial_cmp(&links[link_index[u][a]].base_prr)
+                    .expect("PRRs are finite")
+            });
+            out_neighbors[u] = order.iter().map(|&i| out_neighbors[u][i]).collect();
+            link_index[u] = order.iter().map(|&i| link_index[u][i]).collect();
+        }
+        Self {
+            positions,
+            links,
+            out_neighbors,
+            link_index,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Node positions (index = node id).
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
+    /// All usable directed links.
+    pub fn links(&self) -> &[LinkSpec] {
+        &self.links
+    }
+
+    /// Out-neighbors of `u`, best base PRR first.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.out_neighbors[u.index()]
+    }
+
+    /// Link index (into [`links`](Self::links)) for `u → v`, if usable.
+    pub fn link_id(&self, u: NodeId, v: NodeId) -> Option<usize> {
+        let pos = self.out_neighbors[u.index()].iter().position(|&x| x == v)?;
+        Some(self.link_index[u.index()][pos])
+    }
+
+    /// Base PRR of `u → v`, if usable.
+    pub fn base_prr(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.link_id(u, v).map(|i| self.links[i].base_prr)
+    }
+
+    /// True if every node can reach the sink through usable links
+    /// (direction of data flow: node → sink).
+    pub fn is_collectable(&self) -> bool {
+        // BFS on reversed edges from the sink.
+        let n = self.node_count();
+        let mut reach = vec![false; n];
+        reach[NodeId::SINK.index()] = true;
+        let mut frontier = vec![NodeId::SINK];
+        // Reverse adjacency built on the fly.
+        let mut in_neighbors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for l in &self.links {
+            in_neighbors[l.dst.index()].push(l.src);
+        }
+        while let Some(v) = frontier.pop() {
+            for &u in &in_neighbors[v.index()] {
+                if !reach[u.index()] {
+                    reach[u.index()] = true;
+                    frontier.push(u);
+                }
+            }
+        }
+        reach.iter().all(|&r| r)
+    }
+
+    /// Minimum hop distance from each node to the sink (usize::MAX if
+    /// disconnected). Used for ground-truth path-length statistics.
+    pub fn hops_to_sink(&self) -> Vec<usize> {
+        let n = self.node_count();
+        let mut dist = vec![usize::MAX; n];
+        dist[NodeId::SINK.index()] = 0;
+        let mut in_neighbors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for l in &self.links {
+            in_neighbors[l.dst.index()].push(l.src);
+        }
+        let mut frontier = std::collections::VecDeque::from([NodeId::SINK]);
+        while let Some(v) = frontier.pop_front() {
+            for &u in &in_neighbors[v.index()] {
+                if dist[u.index()] == usize::MAX {
+                    dist[u.index()] = dist[v.index()] + 1;
+                    frontier.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hub() -> RngHub {
+        RngHub::new(1234)
+    }
+
+    #[test]
+    fn grid_positions() {
+        let pos = Placement::Grid {
+            side: 3,
+            spacing: 10.0,
+        }
+        .positions(&hub());
+        assert_eq!(pos.len(), 9);
+        assert_eq!(pos[0].x, 0.0);
+        assert_eq!(pos[4].x, 10.0);
+        assert_eq!(pos[4].y, 10.0);
+        assert_eq!(pos[8].x, 20.0);
+    }
+
+    #[test]
+    fn disk_positions_inside_radius() {
+        let pos = Placement::UniformDisk { n: 200, radius: 80.0 }.positions(&hub());
+        assert_eq!(pos.len(), 200);
+        let origin = Position { x: 0.0, y: 0.0 };
+        assert_eq!(pos[0].distance(&origin), 0.0, "sink at centre");
+        for p in &pos {
+            assert!(p.distance(&origin) <= 80.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn line_positions() {
+        let pos = Placement::Line { n: 5, spacing: 20.0 }.positions(&hub());
+        assert_eq!(pos.len(), 5);
+        assert_eq!(pos[4].x, 80.0);
+        assert!(pos.iter().all(|p| p.y == 0.0));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let radio = RadioModel::default();
+        let place = Placement::UniformDisk { n: 60, radius: 100.0 };
+        let a = Topology::generate(place, &radio, &hub());
+        let b = Topology::generate(place, &radio, &hub());
+        assert_eq!(a.links().len(), b.links().len());
+        for (x, y) in a.links().iter().zip(b.links()) {
+            assert_eq!(x.src, y.src);
+            assert_eq!(x.dst, y.dst);
+            assert_eq!(x.base_prr, y.base_prr);
+        }
+    }
+
+    #[test]
+    fn neighbors_sorted_by_prr() {
+        let radio = RadioModel::default();
+        let topo = Topology::generate(
+            Placement::UniformDisk { n: 80, radius: 90.0 },
+            &radio,
+            &hub(),
+        );
+        for u in 0..topo.node_count() {
+            let u = NodeId(u as u16);
+            let prrs: Vec<f64> = topo
+                .neighbors(u)
+                .iter()
+                .map(|&v| topo.base_prr(u, v).unwrap())
+                .collect();
+            for w in prrs.windows(2) {
+                assert!(w[0] >= w[1], "neighbors of {u} not sorted: {prrs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_grid_is_collectable() {
+        let radio = RadioModel::default();
+        let topo = Topology::generate(
+            Placement::Grid {
+                side: 5,
+                spacing: 15.0,
+            },
+            &radio,
+            &hub(),
+        );
+        assert!(topo.is_collectable());
+        let hops = topo.hops_to_sink();
+        assert_eq!(hops[0], 0);
+        assert!(hops.iter().all(|&h| h != usize::MAX));
+    }
+
+    #[test]
+    fn sparse_line_multi_hop() {
+        let radio = RadioModel::default();
+        // 25 m spacing with d50=30: only adjacent nodes connect reliably.
+        let topo = Topology::generate(
+            Placement::Line { n: 8, spacing: 25.0 },
+            &radio,
+            &hub(),
+        );
+        let hops = topo.hops_to_sink();
+        // Far end must be several hops out.
+        assert!(hops[7] >= 3, "hops {hops:?}");
+    }
+
+    #[test]
+    fn link_id_lookup() {
+        let radio = RadioModel::default();
+        let topo = Topology::generate(
+            Placement::Grid {
+                side: 3,
+                spacing: 10.0,
+            },
+            &radio,
+            &hub(),
+        );
+        for l in topo.links() {
+            let id = topo.link_id(l.src, l.dst).unwrap();
+            assert_eq!(topo.links()[id].src, l.src);
+            assert_eq!(topo.links()[id].dst, l.dst);
+        }
+        assert_eq!(topo.link_id(NodeId(0), NodeId(0)), None);
+    }
+
+    #[test]
+    fn node_count_matches_placement() {
+        for place in [
+            Placement::Grid { side: 4, spacing: 10.0 },
+            Placement::UniformDisk { n: 33, radius: 50.0 },
+            Placement::Line { n: 12, spacing: 10.0 },
+            Placement::Clustered {
+                clusters: 5,
+                per_cluster: 8,
+                area_radius: 100.0,
+                cluster_radius: 12.0,
+            },
+        ] {
+            assert_eq!(place.positions(&hub()).len(), place.node_count());
+        }
+    }
+
+    #[test]
+    fn clustered_nodes_stay_near_centres() {
+        let place = Placement::Clustered {
+            clusters: 4,
+            per_cluster: 10,
+            area_radius: 90.0,
+            cluster_radius: 10.0,
+        };
+        let pos = place.positions(&hub());
+        assert_eq!(pos.len(), 41);
+        let origin = Position { x: 0.0, y: 0.0 };
+        assert_eq!(pos[0].distance(&origin), 0.0, "sink at origin");
+        // Each cluster of 10 consecutive nodes spans at most its diameter.
+        for c in 0..4 {
+            let group = &pos[1 + c * 10..1 + (c + 1) * 10];
+            for a in group {
+                for b in group {
+                    assert!(a.distance(b) <= 20.0 + 1e-9, "cluster too spread");
+                }
+            }
+        }
+        // All inside the deployment area (+ cluster radius).
+        for p in &pos {
+            assert!(p.distance(&origin) <= 100.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn clustered_intra_links_denser_than_inter() {
+        let place = Placement::Clustered {
+            clusters: 4,
+            per_cluster: 10,
+            area_radius: 80.0,
+            cluster_radius: 8.0,
+        };
+        let topo = Topology::generate(place, &RadioModel::default(), &hub());
+        let cluster_of = |id: NodeId| -> Option<usize> {
+            (id.0 > 0).then(|| (usize::from(id.0) - 1) / 10)
+        };
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for l in topo.links() {
+            match (cluster_of(l.src), cluster_of(l.dst)) {
+                (Some(a), Some(b)) if a == b => intra += 1,
+                (Some(_), Some(_)) => inter += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            intra > inter,
+            "clusters should be internally dense: intra {intra} vs inter {inter}"
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Ground-truth tracing.
+//!
+//! The engine records every physical transmission outcome here. Experiments
+//! read the trace to obtain the *true* per-link reception ratios that
+//! tomography estimates are scored against, plus traffic-level statistics
+//! (delivery ratio, attempt histograms).
+//!
+//! Two notions of truth coexist:
+//!
+//! * **Empirical PRR** — successes ÷ attempts actually drawn on the link.
+//!   This is the fair reference for estimator error: it removes the sampling
+//!   noise floor that even a perfect estimator could not beat.
+//! * **Model PRR** — the loss process's analytic mean, available from the
+//!   topology/config for links that were never used.
+//!
+//! Windowed snapshots ([`Trace::snapshot_links`] + [`LinkTruth::diff`])
+//! support time-varying scenarios where truth must be computed per epoch.
+
+use crate::stats::CountHistogram;
+use crate::topology::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Physical-layer counters for one directed link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkTruth {
+    /// Data-frame transmissions attempted on the link.
+    pub data_tx: u64,
+    /// Of which physically received.
+    pub data_rx: u64,
+    /// ACK transmissions attempted on the reverse link (counted here,
+    /// against the *data* link, for convenience).
+    pub ack_tx: u64,
+    /// Of which received by the data sender.
+    pub ack_rx: u64,
+    /// Broadcast (beacon) copies sampled on this link.
+    pub bcast_tx: u64,
+    /// Of which received.
+    pub bcast_rx: u64,
+}
+
+impl LinkTruth {
+    /// Empirical reception ratio; `None` until the link carried traffic.
+    pub fn empirical_prr(&self) -> Option<f64> {
+        (self.data_tx > 0).then(|| self.data_rx as f64 / self.data_tx as f64)
+    }
+
+    /// Empirical loss ratio (`1 - PRR`); `None` until the link carried
+    /// traffic.
+    pub fn empirical_loss(&self) -> Option<f64> {
+        self.empirical_prr().map(|p| 1.0 - p)
+    }
+
+    /// Empirical PRR pooling data and beacon samples (more precise truth on
+    /// links that carried little data traffic).
+    pub fn pooled_prr(&self) -> Option<f64> {
+        let tx = self.data_tx + self.bcast_tx;
+        (tx > 0).then(|| (self.data_rx + self.bcast_rx) as f64 / tx as f64)
+    }
+
+    /// Counter delta `self - earlier` (for windowed truth).
+    pub fn diff(&self, earlier: &LinkTruth) -> LinkTruth {
+        LinkTruth {
+            data_tx: self.data_tx - earlier.data_tx,
+            data_rx: self.data_rx - earlier.data_rx,
+            ack_tx: self.ack_tx - earlier.ack_tx,
+            ack_rx: self.ack_rx - earlier.ack_rx,
+            bcast_tx: self.bcast_tx - earlier.bcast_tx,
+            bcast_rx: self.bcast_rx - earlier.bcast_rx,
+        }
+    }
+}
+
+/// Whole-run ground truth collected by the engine.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    links: Vec<LinkTruth>,
+    /// Broadcast frames transmitted.
+    pub broadcast_tx: u64,
+    /// Broadcast copies received.
+    pub broadcast_rx: u64,
+    /// Unicast ARQ exchanges started.
+    pub unicast_started: u64,
+    /// Of which acknowledged.
+    pub unicast_acked: u64,
+    /// Of which exhausted their retry budget.
+    pub unicast_failed: u64,
+    /// Frames dropped at MAC queues.
+    pub queue_drops: u64,
+    /// Histogram of attempts-until-ACK for acknowledged exchanges.
+    pub attempts_hist: CountHistogram,
+    /// Total bytes put on air (data + ACK), for energy-style accounting.
+    pub bytes_on_air: u64,
+}
+
+impl Trace {
+    /// Creates a trace sized for `topology`.
+    pub fn for_topology(topology: &Topology) -> Self {
+        Self {
+            links: vec![LinkTruth::default(); topology.links().len()],
+            ..Self::default()
+        }
+    }
+
+    /// Records one physical data transmission on link `link_id`.
+    pub fn record_data_attempt(&mut self, link_id: usize, received: bool, bytes: usize) {
+        let l = &mut self.links[link_id];
+        l.data_tx += 1;
+        if received {
+            l.data_rx += 1;
+        }
+        self.bytes_on_air += bytes as u64;
+    }
+
+    /// Records one broadcast-copy sample on link `link_id` (airtime for the
+    /// broadcast frame itself is charged once by the engine, not per copy).
+    pub fn record_broadcast_attempt(&mut self, link_id: usize, received: bool) {
+        let l = &mut self.links[link_id];
+        l.bcast_tx += 1;
+        if received {
+            l.bcast_rx += 1;
+        }
+    }
+
+    /// Records one ACK transmission for the data link `link_id`.
+    pub fn record_ack_attempt(&mut self, link_id: usize, received: bool, ack_bytes: usize) {
+        let l = &mut self.links[link_id];
+        l.ack_tx += 1;
+        if received {
+            l.ack_rx += 1;
+        }
+        self.bytes_on_air += ack_bytes as u64;
+    }
+
+    /// Per-link counters, indexed by topology link id.
+    pub fn links(&self) -> &[LinkTruth] {
+        &self.links
+    }
+
+    /// Copy of the per-link counters (epoch snapshot).
+    pub fn snapshot_links(&self) -> Vec<LinkTruth> {
+        self.links.clone()
+    }
+
+    /// Fraction of started unicast exchanges that were acknowledged.
+    pub fn unicast_delivery_ratio(&self) -> Option<f64> {
+        (self.unicast_started > 0)
+            .then(|| self.unicast_acked as f64 / self.unicast_started as f64)
+    }
+
+    /// Convenience: empirical PRR of `u → v`, if the link exists and
+    /// carried traffic.
+    pub fn link_prr(&self, topology: &Topology, u: NodeId, v: NodeId) -> Option<f64> {
+        let id = topology.link_id(u, v)?;
+        self.links[id].empirical_prr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radio::RadioModel;
+    use crate::rng::RngHub;
+    use crate::topology::Placement;
+
+    fn topo() -> Topology {
+        Topology::generate(
+            Placement::Grid {
+                side: 3,
+                spacing: 10.0,
+            },
+            &RadioModel::default(),
+            &RngHub::new(1),
+        )
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let t = topo();
+        let mut tr = Trace::for_topology(&t);
+        tr.record_data_attempt(0, true, 40);
+        tr.record_data_attempt(0, false, 40);
+        tr.record_data_attempt(0, true, 40);
+        tr.record_ack_attempt(0, true, 11);
+        let l = tr.links()[0];
+        assert_eq!(l.data_tx, 3);
+        assert_eq!(l.data_rx, 2);
+        assert_eq!(l.ack_tx, 1);
+        assert_eq!(l.ack_rx, 1);
+        assert_eq!(tr.bytes_on_air, 131);
+        assert!((l.empirical_prr().unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((l.empirical_loss().unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unused_link_has_no_empirical_prr() {
+        let l = LinkTruth::default();
+        assert_eq!(l.empirical_prr(), None);
+        assert_eq!(l.empirical_loss(), None);
+    }
+
+    #[test]
+    fn diff_gives_window_counts() {
+        let t = topo();
+        let mut tr = Trace::for_topology(&t);
+        tr.record_data_attempt(1, true, 40);
+        let snap = tr.snapshot_links();
+        tr.record_data_attempt(1, true, 40);
+        tr.record_data_attempt(1, false, 40);
+        let window = tr.links()[1].diff(&snap[1]);
+        assert_eq!(window.data_tx, 2);
+        assert_eq!(window.data_rx, 1);
+    }
+
+    #[test]
+    fn delivery_ratio() {
+        let t = topo();
+        let mut tr = Trace::for_topology(&t);
+        assert_eq!(tr.unicast_delivery_ratio(), None);
+        tr.unicast_started = 10;
+        tr.unicast_acked = 9;
+        tr.unicast_failed = 1;
+        assert!((tr.unicast_delivery_ratio().unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn link_prr_lookup_via_topology() {
+        let t = topo();
+        let mut tr = Trace::for_topology(&t);
+        let l = t.links()[3];
+        tr.record_data_attempt(3, true, 40);
+        assert_eq!(tr.link_prr(&t, l.src, l.dst), Some(1.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Application traffic patterns.
+//!
+//! The data-collection workloads the paper targets report either on a
+//! fixed schedule (periodic sensing, with jitter to avoid network-wide
+//! synchronisation) or event-driven (well modelled as Poisson). A
+//! [`TrafficPattern`] yields successive inter-arrival times from the
+//! node's deterministic RNG stream.
+
+use crate::time::SimDuration;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// When the next packet is generated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Fixed mean period with uniform ±50% jitter (desynchronises nodes
+    /// without changing the long-run rate).
+    Periodic {
+        /// Mean inter-packet period.
+        period: SimDuration,
+    },
+    /// Poisson arrivals (exponential inter-arrival times).
+    Poisson {
+        /// Mean inter-packet period (1 / rate).
+        mean_period: SimDuration,
+    },
+}
+
+impl TrafficPattern {
+    /// Long-run mean inter-arrival time.
+    pub fn mean_period(&self) -> SimDuration {
+        match *self {
+            TrafficPattern::Periodic { period } => period,
+            TrafficPattern::Poisson { mean_period } => mean_period,
+        }
+    }
+
+    /// Draws the next inter-arrival interval.
+    pub fn next_interval(&self, rng: &mut SmallRng) -> SimDuration {
+        match *self {
+            TrafficPattern::Periodic { period } => {
+                let base = period.as_micros().max(2);
+                SimDuration::from_micros(rng.gen_range(base / 2..base + base / 2))
+            }
+            TrafficPattern::Poisson { mean_period } => {
+                let mean = mean_period.as_micros().max(1) as f64;
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                // Inverse-CDF exponential draw, clamped to keep pathological
+                // tails from stalling a node for hours.
+                let draw = -mean * u.ln();
+                SimDuration::from_micros((draw as u64).clamp(1, (mean * 20.0) as u64))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{RngHub, StreamKind};
+
+    fn rng() -> SmallRng {
+        RngHub::new(7).stream(StreamKind::Traffic, 3, 0)
+    }
+
+    fn mean_of(pattern: TrafficPattern, n: u32) -> f64 {
+        let mut r = rng();
+        let total: u64 = (0..n).map(|_| pattern.next_interval(&mut r).as_micros()).sum();
+        total as f64 / f64::from(n)
+    }
+
+    #[test]
+    fn periodic_mean_matches() {
+        let p = TrafficPattern::Periodic {
+            period: SimDuration::from_secs(10),
+        };
+        let mean = mean_of(p, 20_000);
+        assert!((mean / 1e6 - 10.0).abs() < 0.1, "mean {}s", mean / 1e6);
+    }
+
+    #[test]
+    fn periodic_jitter_bounded() {
+        let p = TrafficPattern::Periodic {
+            period: SimDuration::from_millis(100),
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let iv = p.next_interval(&mut r).as_micros();
+            assert!((50_000..150_000).contains(&iv), "interval {iv}");
+        }
+    }
+
+    #[test]
+    fn poisson_mean_matches() {
+        let p = TrafficPattern::Poisson {
+            mean_period: SimDuration::from_secs(10),
+        };
+        let mean = mean_of(p, 50_000);
+        assert!((mean / 1e6 - 10.0).abs() < 0.2, "mean {}s", mean / 1e6);
+    }
+
+    #[test]
+    fn poisson_is_memoryless_shaped() {
+        // CV of exponential ≈ 1; periodic jitter CV ≈ 0.29.
+        let cv = |pattern: TrafficPattern| -> f64 {
+            let mut r = rng();
+            let xs: Vec<f64> = (0..20_000)
+                .map(|_| pattern.next_interval(&mut r).as_micros() as f64)
+                .collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+            var.sqrt() / mean
+        };
+        let cv_poisson = cv(TrafficPattern::Poisson {
+            mean_period: SimDuration::from_secs(5),
+        });
+        let cv_periodic = cv(TrafficPattern::Periodic {
+            period: SimDuration::from_secs(5),
+        });
+        assert!(cv_poisson > 0.9, "poisson CV {cv_poisson}");
+        assert!(cv_periodic < 0.35, "periodic CV {cv_periodic}");
+    }
+
+    #[test]
+    fn intervals_always_positive() {
+        for pattern in [
+            TrafficPattern::Periodic {
+                period: SimDuration::from_micros(3),
+            },
+            TrafficPattern::Poisson {
+                mean_period: SimDuration::from_micros(3),
+            },
+        ] {
+            let mut r = rng();
+            for _ in 0..1000 {
+                assert!(pattern.next_interval(&mut r).as_micros() >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Edge-case integration tests: degenerate topologies, saturation, and
+//! unusual configurations must degrade gracefully, never panic.
+
+use dophy::protocol::{build_simulation, DophyConfig, NodeChurnConfig, TrafficShape};
+use dophy_sim::{
+    LinkDynamics, MacConfig, NodeId, Placement, RadioModel, SimConfig, SimDuration,
+};
+
+fn base(placement: Placement, seed: u64) -> SimConfig {
+    SimConfig {
+        placement,
+        radio: RadioModel::default(),
+        mac: MacConfig::default(),
+        dynamics: LinkDynamics::Static,
+        seed,
+    }
+}
+
+#[test]
+fn sink_only_network_idles_cleanly() {
+    let sim = base(Placement::Line { n: 1, spacing: 1.0 }, 1);
+    let (mut engine, shared) = build_simulation(&sim, &DophyConfig::default());
+    engine.start();
+    engine.run_for(SimDuration::from_secs(600));
+    let s = shared.lock();
+    assert_eq!(s.overhead.packets, 0);
+    assert_eq!(s.sent_per_origin.iter().sum::<u64>(), 0);
+}
+
+#[test]
+fn two_node_network_works() {
+    let sim = base(Placement::Line { n: 2, spacing: 5.0 }, 2);
+    let cfg = DophyConfig {
+        traffic_period: SimDuration::from_secs(1),
+        warmup: SimDuration::from_secs(10),
+        ..DophyConfig::default()
+    };
+    let (mut engine, shared) = build_simulation(&sim, &cfg);
+    engine.start();
+    engine.run_for(SimDuration::from_secs(300));
+    let s = shared.lock();
+    assert!(s.overhead.packets > 200);
+    // All 1-hop: streams are empty, decode always succeeds.
+    assert_eq!(s.decode.success_ratio(), 1.0);
+    assert_eq!(s.overhead.mean_stream_bytes(), 0.0);
+    assert!(s.estimator.covered_links() >= 1);
+}
+
+#[test]
+fn disconnected_nodes_drop_without_panic() {
+    // Two far-apart line segments: nodes beyond the gap can never reach
+    // the sink.
+    let sim = base(
+        Placement::Line {
+            n: 8,
+            spacing: 70.0, // far beyond usable range
+        },
+        3,
+    );
+    let topo = sim.topology();
+    assert!(!topo.is_collectable(), "gap must disconnect the line");
+    let cfg = DophyConfig {
+        traffic_period: SimDuration::from_secs(2),
+        warmup: SimDuration::from_secs(10),
+        ..DophyConfig::default()
+    };
+    let (mut engine, shared) = build_simulation(&sim, &cfg);
+    engine.start();
+    engine.run_for(SimDuration::from_secs(300));
+    let s = shared.lock();
+    // Disconnected origins count their packets as no-route drops.
+    assert!(s.no_route_drops > 0);
+    assert_eq!(s.overhead.packets, 0, "nothing can reach the sink");
+}
+
+#[test]
+fn queue_saturation_drops_but_survives() {
+    let sim = SimConfig {
+        mac: MacConfig {
+            queue_capacity: 2,
+            ..MacConfig::default()
+        },
+        ..base(
+            Placement::Grid {
+                side: 4,
+                spacing: 12.0,
+            },
+            4,
+        )
+    };
+    // Absurd traffic rate: 50 ms periods through 2-deep queues.
+    let cfg = DophyConfig {
+        traffic_period: SimDuration::from_millis(50),
+        warmup: SimDuration::from_secs(5),
+        ..DophyConfig::default()
+    };
+    let (mut engine, shared) = build_simulation(&sim, &cfg);
+    engine.start();
+    engine.run_for(SimDuration::from_secs(120));
+    assert!(engine.trace().queue_drops > 0, "saturation must drop frames");
+    let s = shared.lock();
+    assert!(s.overhead.packets > 0, "some packets still flow");
+    // Decoded packets stay consistent even under loss.
+    assert_eq!(s.decode.bad_index + s.decode.path_mismatch, 0);
+}
+
+#[test]
+fn poisson_traffic_flows_end_to_end() {
+    let sim = base(
+        Placement::Grid {
+            side: 4,
+            spacing: 14.0,
+        },
+        5,
+    );
+    let cfg = DophyConfig {
+        traffic_period: SimDuration::from_secs(2),
+        traffic_shape: TrafficShape::Poisson,
+        warmup: SimDuration::from_secs(20),
+        ..DophyConfig::default()
+    };
+    let (mut engine, shared) = build_simulation(&sim, &cfg);
+    engine.start();
+    engine.run_for(SimDuration::from_secs(600));
+    let s = shared.lock();
+    // 15 origins × ~290 s of traffic at 0.5 pkt/s ≈ 2100 expected.
+    assert!(
+        s.overhead.packets > 1000,
+        "poisson traffic too thin: {}",
+        s.overhead.packets
+    );
+    assert!(s.decode.success_ratio() > 0.95);
+}
+
+#[test]
+fn tiny_retry_budget_still_estimates() {
+    // R = 1: no retransmissions at all; every observation is attempt 1 and
+    // links are only measured through delivery/truncation. The stack must
+    // run and produce (coarse) estimates without panicking.
+    let sim = SimConfig {
+        mac: MacConfig {
+            max_attempts: 1,
+            ..MacConfig::default()
+        },
+        ..base(
+            Placement::Grid {
+                side: 3,
+                spacing: 10.0,
+            },
+            6,
+        )
+    };
+    let cfg = DophyConfig {
+        traffic_period: SimDuration::from_secs(1),
+        warmup: SimDuration::from_secs(10),
+        // Cap must fit the budget.
+        aggregation: dophy_coding::aggregate::AggregationPolicy::Identity,
+        ..DophyConfig::default()
+    };
+    let (mut engine, shared) = build_simulation(&sim, &cfg);
+    engine.start();
+    engine.run_for(SimDuration::from_secs(300));
+    let s = shared.lock();
+    assert!(s.overhead.packets > 50);
+    for (_, est) in s.estimator.estimates(1, 10) {
+        assert!(est.loss >= 0.0 && est.loss <= 1.0);
+    }
+}
+
+#[test]
+fn node_churn_degrades_gracefully() {
+    let sim = base(
+        Placement::Grid {
+            side: 5,
+            spacing: 14.0,
+        },
+        8,
+    );
+    let cfg = DophyConfig {
+        traffic_period: SimDuration::from_secs(2),
+        warmup: SimDuration::from_secs(20),
+        churn: Some(NodeChurnConfig {
+            mean_up: SimDuration::from_secs(180),
+            mean_down: SimDuration::from_secs(30),
+        }),
+        ..DophyConfig::default()
+    };
+    let (mut engine, shared) = build_simulation(&sim, &cfg);
+    engine.start();
+    engine.run_for(SimDuration::from_secs(1200));
+    let s = shared.lock();
+    // Traffic still flows and decodes despite constant reboots.
+    assert!(s.overhead.packets > 1000, "packets {}", s.overhead.packets);
+    assert!(
+        s.decode.success_ratio() > 0.95,
+        "decode under churn: {:?}",
+        s.decode
+    );
+    // Hard decode failures must stay zero (death only loses packets, never
+    // corrupts streams).
+    assert_eq!(s.decode.bad_index + s.decode.path_mismatch + s.decode.coding, 0);
+    // Delivery suffers — that's the point of the stressor.
+    let dr = s.total_delivery_ratio().unwrap();
+    assert!(dr > 0.5 && dr < 0.999, "delivery {dr}");
+    drop(s);
+    // Some nodes are down right now (statistically certain with 24 nodes
+    // cycling 180s/30s).
+    let down = (1..engine.topology().node_count())
+        .filter(|&i| !engine.radio_on(dophy_sim::NodeId(i as u16)))
+        .count();
+    assert!(down > 0, "expected some nodes down at snapshot time");
+}
+
+#[test]
+fn very_long_line_produces_deep_paths() {
+    let sim = base(
+        Placement::Line {
+            n: 15,
+            spacing: 22.0,
+        },
+        7,
+    );
+    let cfg = DophyConfig {
+        traffic_period: SimDuration::from_secs(2),
+        warmup: SimDuration::from_secs(60),
+        ..DophyConfig::default()
+    };
+    let (mut engine, shared) = build_simulation(&sim, &cfg);
+    engine.start();
+    engine.run_for(SimDuration::from_secs(900));
+    let s = shared.lock();
+    let max_hops = s.overhead.hops_hist.max_value().unwrap_or(0);
+    assert!(max_hops >= 8, "line should produce deep paths: {max_hops}");
+    assert!(
+        s.decode.success_ratio() > 0.95,
+        "deep paths must still decode: {:?}",
+        s.decode
+    );
+    drop(s);
+    // Far node has a working route.
+    assert!(engine
+        .protocol(NodeId(14))
+        .router()
+        .next_hop()
+        .is_some());
+}

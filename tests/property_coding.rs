@@ -1,0 +1,196 @@
+//! Property-based tests on the coding stack: for *any* valid hop sequence,
+//! model shape, and aggregation policy, Dophy's in-packet encoding must
+//! decode back exactly (paths always; attempts exactly in refine mode,
+//! within the censoring range otherwise).
+
+use dophy::decoder::decode_packet;
+use dophy::encoder::encode_hop;
+use dophy::header::DophyHeader;
+use dophy::model_mgr::ModelSet;
+use dophy::symbols::SymbolSpaces;
+use dophy_coding::aggregate::{AggregationPolicy, AttemptObservation, SymbolMapper};
+use dophy_coding::model::{AdaptiveModel, StaticModel, SymbolModel};
+use dophy_coding::range::{RangeDecoder, RangeEncoder};
+use dophy_sim::{NodeId, Placement, RadioModel, RngHub, Topology};
+use proptest::prelude::*;
+
+fn topology() -> Topology {
+    // One fixed, well-connected topology is enough: properties range over
+    // hop choices, attempts, models, and policies.
+    Topology::generate(
+        Placement::Grid {
+            side: 4,
+            spacing: 12.0,
+        },
+        &RadioModel::default(),
+        &RngHub::new(99),
+    )
+}
+
+fn policy_strategy() -> impl Strategy<Value = AggregationPolicy> {
+    prop_oneof![
+        Just(AggregationPolicy::Identity),
+        (1u8..=7).prop_map(|cap| AggregationPolicy::Cap { cap }),
+        Just(AggregationPolicy::ExpBuckets),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary symbol/frequency streams round-trip through the range
+    /// coder under arbitrary static models.
+    #[test]
+    fn range_coder_round_trips_any_model(
+        freqs in proptest::collection::vec(1u32..5000, 2..40),
+        picks in proptest::collection::vec(0usize..1000, 0..300),
+    ) {
+        let model = StaticModel::from_frequencies(&freqs);
+        let n = model.num_symbols();
+        let syms: Vec<usize> = picks.iter().map(|p| p % n).collect();
+        let mut m = model.clone();
+        let mut enc = RangeEncoder::new();
+        for &s in &syms {
+            m.encode_symbol(&mut enc, s).unwrap();
+        }
+        let wire = enc.finish_wire().unwrap();
+        let mut dec = RangeDecoder::from_wire(&wire).unwrap();
+        let mut m2 = model;
+        for &s in &syms {
+            prop_assert_eq!(m2.decode_symbol(&mut dec).unwrap(), s);
+        }
+    }
+
+    /// Adaptive models stay in encoder/decoder lockstep on any input.
+    #[test]
+    fn adaptive_model_lockstep(
+        n in 2usize..30,
+        picks in proptest::collection::vec(0usize..1000, 1..400),
+    ) {
+        let syms: Vec<usize> = picks.iter().map(|p| p % n).collect();
+        let mut enc_model = AdaptiveModel::new(n);
+        let mut enc = RangeEncoder::new();
+        for &s in &syms {
+            enc_model.encode_symbol(&mut enc, s).unwrap();
+        }
+        let bytes = enc.finish().unwrap();
+        let mut dec_model = AdaptiveModel::new(n);
+        let mut dec = RangeDecoder::new(&bytes).unwrap();
+        for &s in &syms {
+            prop_assert_eq!(dec_model.decode_symbol(&mut dec).unwrap(), s);
+        }
+        prop_assert_eq!(enc_model, dec_model);
+    }
+
+    /// Hop-by-hop suspend/resume across nodes equals straight-through
+    /// encoding for any symbol sequence.
+    #[test]
+    fn suspend_resume_transparent(
+        picks in proptest::collection::vec((0u32..12, 1u32..65536), 0..200),
+    ) {
+        let mut direct = RangeEncoder::new();
+        for &(sym, total_seed) in &picks {
+            let total = 2 + total_seed % 200;
+            direct.encode_uniform(sym % total, total).unwrap();
+        }
+        let direct_bytes = direct.finish().unwrap();
+
+        let mut state = dophy_coding::range::EncoderState::fresh();
+        let mut carried = Vec::new();
+        for &(sym, total_seed) in &picks {
+            let total = 2 + total_seed % 200;
+            let mut enc = RangeEncoder::resume(state, carried);
+            enc.encode_uniform(sym % total, total).unwrap();
+            let (s, b) = enc.suspend();
+            state = s;
+            carried = b;
+        }
+        let hopwise = RangeEncoder::resume(state, carried).finish().unwrap();
+        prop_assert_eq!(direct_bytes, hopwise);
+    }
+
+    /// Full Dophy packet round trip over random walks and attempts, all
+    /// aggregation policies.
+    #[test]
+    fn packet_round_trip(
+        steps in proptest::collection::vec((0usize..16, 1u16..=7), 1..12),
+        policy in policy_strategy(),
+        refine in any::<bool>(),
+        seed_hop_p in 0.2f64..0.9,
+    ) {
+        let topo = topology();
+        let max_degree = (0..topo.node_count())
+            .map(|i| topo.neighbors(NodeId(i as u16)).len())
+            .max()
+            .unwrap();
+        let spaces = SymbolSpaces::new(max_degree, 7, policy, refine);
+        // Random-ish but valid models for both contexts.
+        let models = ModelSet {
+            epoch: 0,
+            hop: StaticModel::truncated_geometric(spaces.hop_alphabet(), seed_hop_p),
+            attempt: StaticModel::truncated_geometric(spaces.attempt_alphabet(), seed_hop_p),
+        };
+
+        // Build the walk: at each step pick neighbor (index % degree).
+        let origin = NodeId(15);
+        let mut path = vec![origin];
+        let mut attempts = Vec::new();
+        for &(nbr, att) in &steps {
+            let cur = *path.last().unwrap();
+            let nbrs = topo.neighbors(cur);
+            path.push(nbrs[nbr % nbrs.len()]);
+            attempts.push(att);
+        }
+
+        let mut header = DophyHeader::new(origin, 1, 0);
+        for (i, w) in path.windows(2).enumerate() {
+            encode_hop(&mut header, &topo, &spaces, &models, w[0], w[1], attempts[i]).unwrap();
+        }
+        let final_sender = *path.last().unwrap();
+        let decoded = decode_packet(&header, &topo, &spaces, &models, final_sender, 1)
+            .expect("round trip");
+
+        // Path recovered exactly.
+        let mut expect_path = path.clone();
+        expect_path.push(NodeId::SINK);
+        prop_assert_eq!(decoded.path(), expect_path);
+        // Attempts recovered exactly (refine) or within range.
+        let mapper = SymbolMapper::new(policy, 7);
+        for (obs, &att) in decoded.observations.iter().zip(&attempts) {
+            match obs.observation {
+                AttemptObservation::Exact(a) => {
+                    if refine || matches!(policy, AggregationPolicy::Identity) {
+                        prop_assert_eq!(a, att);
+                    } else {
+                        // Singleton bucket.
+                        let (lo, hi) = mapper.range_of(mapper.symbol_of(att));
+                        prop_assert!(lo == hi && a == att);
+                    }
+                }
+                AttemptObservation::Range { lo, hi } => {
+                    prop_assert!(!refine);
+                    prop_assert!(lo <= att && att <= hi);
+                }
+            }
+        }
+    }
+
+    /// Wire trimming never breaks decodability regardless of content.
+    #[test]
+    fn wire_trim_safe(
+        picks in proptest::collection::vec(0u32..=65535, 0..500),
+    ) {
+        let total = 65536;
+        let mut enc = RangeEncoder::new();
+        for &v in &picks {
+            enc.encode(v, 1, total).unwrap();
+        }
+        let wire = enc.finish_wire().unwrap();
+        let mut dec = RangeDecoder::from_wire(&wire).unwrap();
+        for &v in &picks {
+            let t = dec.decode_target(total).unwrap();
+            prop_assert_eq!(t, v);
+            dec.decode_advance(v, 1).unwrap();
+        }
+    }
+}

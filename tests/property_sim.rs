@@ -1,0 +1,122 @@
+//! Property tests on the simulator: conservation invariants that must hold
+//! for any topology, seed, dynamics, and MAC configuration.
+
+use dophy_routing::{RouterConfig, RoutingOnlyNode};
+use dophy_sim::{
+    Engine, LinkDynamics, MacConfig, Placement, RadioModel, SimConfig, SimDuration,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn dynamics_strategy() -> impl Strategy<Value = LinkDynamics> {
+    prop_oneof![
+        Just(LinkDynamics::Static),
+        (0.01f64..0.1).prop_map(|s| LinkDynamics::Volatile {
+            sigma_per_sqrt_s: s
+        }),
+        ((0.05f64..0.3), (10.0f64..300.0)).prop_map(|(amp, period_s)| LinkDynamics::Drift {
+            amp,
+            period_s
+        }),
+        ((0.02f64..0.2), (0.1f64..0.9), (2.0f64..120.0)).prop_map(
+            |(lift, bad_factor, cycle_s)| LinkDynamics::Bursty {
+                lift,
+                bad_factor,
+                cycle_s
+            }
+        ),
+    ]
+}
+
+fn placement_strategy() -> impl Strategy<Value = Placement> {
+    prop_oneof![
+        (2u16..5, (8.0f64..20.0)).prop_map(|(side, spacing)| Placement::Grid { side, spacing }),
+        (2u16..25, (30.0f64..80.0)).prop_map(|(n, radius)| Placement::UniformDisk { n, radius }),
+        (2u16..10, (5.0f64..30.0)).prop_map(|(n, spacing)| Placement::Line { n, spacing }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn trace_counters_conserve(
+        placement in placement_strategy(),
+        dynamics in dynamics_strategy(),
+        seed in 0u64..10_000,
+        max_attempts in 1u16..10,
+    ) {
+        let cfg = SimConfig {
+            placement,
+            radio: RadioModel::default(),
+            mac: MacConfig {
+                max_attempts,
+                ..MacConfig::default()
+            },
+            dynamics,
+            seed,
+        };
+        let topo = Arc::new(cfg.topology());
+        let models = cfg.loss_models(&topo);
+        let protos = (0..topo.node_count())
+            .map(|_| RoutingOnlyNode::new(RouterConfig::default()))
+            .collect();
+        let mut e = Engine::new(Arc::clone(&topo), &models, cfg.mac, cfg.hub(), protos);
+        e.start();
+        e.run_for(SimDuration::from_secs(90));
+
+        let t = e.trace();
+        for (i, l) in t.links().iter().enumerate() {
+            prop_assert!(l.data_rx <= l.data_tx, "link {i}: rx > tx");
+            prop_assert!(l.ack_rx <= l.ack_tx, "link {i}: ack rx > tx");
+            prop_assert!(l.bcast_rx <= l.bcast_tx, "link {i}: bcast rx > tx");
+            // ACKs only follow received data frames.
+            prop_assert!(l.ack_tx <= l.data_rx, "link {i}: more acks than receptions");
+        }
+        prop_assert_eq!(
+            t.unicast_acked + t.unicast_failed,
+            t.unicast_started,
+            "every exchange ends exactly once"
+        );
+        if let Some(dr) = t.unicast_delivery_ratio() {
+            prop_assert!((0.0..=1.0).contains(&dr));
+        }
+        let total_bcast_rx: u64 = t.links().iter().map(|l| l.bcast_rx).sum();
+        prop_assert_eq!(total_bcast_rx, t.broadcast_rx);
+        // Attempt counts never exceed the budget.
+        if let Some(max) = t.attempts_hist.max_value() {
+            prop_assert!(max as u16 <= max_attempts);
+        }
+    }
+
+    #[test]
+    fn replay_is_exact(
+        seed in 0u64..10_000,
+        dynamics in dynamics_strategy(),
+    ) {
+        let cfg = SimConfig {
+            placement: Placement::UniformDisk { n: 15, radius: 50.0 },
+            radio: RadioModel::default(),
+            mac: MacConfig::default(),
+            dynamics,
+            seed,
+        };
+        let run = || {
+            let topo = Arc::new(cfg.topology());
+            let models = cfg.loss_models(&topo);
+            let protos = (0..topo.node_count())
+                .map(|_| RoutingOnlyNode::new(RouterConfig::default()))
+                .collect();
+            let mut e = Engine::new(topo, &models, cfg.mac, cfg.hub(), protos);
+            e.start();
+            e.run_for(SimDuration::from_secs(60));
+            (
+                e.trace().bytes_on_air,
+                e.trace().broadcast_tx,
+                e.trace().broadcast_rx,
+                e.trace().links().to_vec(),
+            )
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
