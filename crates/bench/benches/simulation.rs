@@ -5,9 +5,7 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use dophy::protocol::{build_simulation, DophyConfig};
 use dophy_routing::{RouterConfig, RoutingOnlyNode};
-use dophy_sim::{
-    Engine, LinkDynamics, MacConfig, Placement, RadioModel, SimConfig, SimDuration,
-};
+use dophy_sim::{Engine, LinkDynamics, MacConfig, Placement, RadioModel, SimConfig, SimDuration};
 use std::sync::Arc;
 
 fn sim_config(n: u16, seed: u64) -> SimConfig {

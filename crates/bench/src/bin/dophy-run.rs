@@ -4,20 +4,39 @@
 //! dophy-run --print-default > scenario.json   # template to edit
 //! dophy-run scenario.json                     # run it, JSON results to stdout
 //! dophy-run scenario.json --text              # human-readable summary
+//! dophy-run scenario.json --trace-out run.jsonl --metrics-out metrics.json
+//! dophy-run scenario.json --progress          # heartbeat on stderr
 //! ```
 //!
 //! The specification is a [`dophy_bench::RunSpec`]: network (placement,
 //! radio, MAC, link dynamics, seed), Dophy stack configuration, duration,
 //! and runner knobs. Everything a downstream user needs to evaluate their
 //! own deployment shape without writing Rust.
+//!
+//! Observability flags (all optional, none change the results):
+//!
+//! * `--trace-out <path>` — stream structured engine/protocol events as
+//!   JSON Lines (one record per line, sim-time-stamped);
+//! * `--metrics-out <path>` — write the metrics time series (counters,
+//!   gauges, histograms) sampled every `--metrics-every <secs>` (default
+//!   60) of simulated time;
+//! * `--progress` — print a heartbeat (events/sec, sim-vs-wall ratio,
+//!   % complete) to stderr after every attribution window.
+//!
+//! Each run also appends hot-loop telemetry (events/sec) to
+//! `target/BENCH_telemetry.json` so perf changes leave a trail.
 
-use dophy_bench::{run_scenario, RunSpec};
-use dophy::protocol::build_simulation;
 use dophy::diagnosis::{DiagnosisConfig, NetworkHealthReport};
+use dophy::protocol::build_simulation;
+use dophy_bench::{run_scenario_with, telemetry, Instruments, RunSpec};
+use dophy_sim::obs::JsonlTracer;
 use dophy_sim::SimTime;
 use dophy_sim::{SimConfig, SimDuration};
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 #[derive(Serialize)]
 struct LinkRow {
@@ -50,34 +69,92 @@ fn default_spec() -> RunSpec {
     )
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--print-default") {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&default_spec()).expect("spec serializes")
-        );
-        return;
-    }
-    let Some(path) = args.iter().find(|a| !a.starts_with('-')) else {
-        eprintln!("usage: dophy-run <scenario.json> [--text] | --print-default");
-        std::process::exit(2);
-    };
-    let text = args.iter().any(|a| a == "--text");
+struct Cli {
+    spec_path: Option<String>,
+    text: bool,
+    print_default: bool,
+    progress: bool,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    metrics_every_s: f64,
+}
 
-    let raw = match std::fs::read_to_string(path) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            std::process::exit(1);
-        }
+const USAGE: &str = "usage: dophy-run <scenario.json> [--text] [--progress] \
+[--trace-out <path>] [--metrics-out <path>] [--metrics-every <secs>] | --print-default";
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        spec_path: None,
+        text: false,
+        print_default: false,
+        progress: false,
+        trace_out: None,
+        metrics_out: None,
+        metrics_every_s: 60.0,
     };
-    let spec: RunSpec = match serde_json::from_str(&raw) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("invalid scenario: {e}");
-            std::process::exit(1);
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg {
+            "--text" => cli.text = true,
+            "--print-default" => cli.print_default = true,
+            "--progress" => cli.progress = true,
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(value(&mut i)?)),
+            "--metrics-out" => cli.metrics_out = Some(PathBuf::from(value(&mut i)?)),
+            "--metrics-every" => {
+                let raw = value(&mut i)?;
+                cli.metrics_every_s = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| *s > 0.0)
+                    .ok_or_else(|| format!("--metrics-every wants a positive number, got {raw}"))?;
+            }
+            _ if arg.starts_with('-') => return Err(format!("unknown flag {arg}")),
+            _ if cli.spec_path.is_none() => cli.spec_path = Some(arg.to_string()),
+            _ => return Err(format!("unexpected extra argument {arg}")),
         }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+fn run(cli: Cli) -> Result<(), String> {
+    if cli.print_default {
+        let json = serde_json::to_string_pretty(&default_spec())
+            .map_err(|e| format!("cannot serialize default spec: {e}"))?;
+        println!("{json}");
+        return Ok(());
+    }
+    let Some(path) = &cli.spec_path else {
+        return Err(USAGE.to_string());
+    };
+
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let spec: RunSpec =
+        serde_json::from_str(&raw).map_err(|e| format!("invalid scenario {path}: {e}"))?;
+
+    // Attach requested observability before the run starts.
+    let tracer = match &cli.trace_out {
+        Some(out) => {
+            let file = std::fs::File::create(out)
+                .map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+            Some(Arc::new(JsonlTracer::new(BufWriter::new(file))))
+        }
+        None => None,
+    };
+    let inst = Instruments {
+        observer: tracer.clone().map(|t| t as _),
+        metrics_every: cli
+            .metrics_out
+            .is_some()
+            .then(|| SimDuration::from_micros((cli.metrics_every_s * 1e6) as u64)),
+        progress: cli.progress,
     };
 
     eprintln!(
@@ -86,7 +163,41 @@ fn main() {
         spec.duration.as_secs_f64(),
         spec.sim.seed
     );
-    let out = run_scenario(&spec);
+    let out = run_scenario_with(&spec, inst);
+
+    if let Some(tracer) = &tracer {
+        tracer.flush();
+        if tracer.io_errors() > 0 {
+            return Err(format!(
+                "{} write errors on the trace stream",
+                tracer.io_errors()
+            ));
+        }
+        eprintln!(
+            "trace: {} events -> {}",
+            tracer.lines_written(),
+            cli.trace_out.as_deref().unwrap_or(Path::new("?")).display()
+        );
+    }
+    if let Some(out_path) = &cli.metrics_out {
+        let json = serde_json::to_string_pretty(&out.metrics)
+            .map_err(|e| format!("cannot serialize metrics: {e}"))?;
+        std::fs::write(out_path, json)
+            .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+        eprintln!(
+            "metrics: {} snapshots -> {}",
+            out.metrics.len(),
+            out_path.display()
+        );
+    }
+    let t = &out.telemetry;
+    eprintln!(
+        "telemetry: {} events in {:.2} s wall ({:.0} ev/s, sim/wall {:.0}x)",
+        t.events_processed, t.wall_seconds, t.events_per_sec, t.sim_wall_ratio
+    );
+    if let Err(e) = telemetry::write_bench_file(Path::new("target/BENCH_telemetry.json")) {
+        eprintln!("warning: could not write target/BENCH_telemetry.json: {e}");
+    }
 
     let mut links: Vec<LinkRow> = out
         .dophy
@@ -114,7 +225,7 @@ fn main() {
         links,
     };
 
-    if text {
+    if cli.text {
         // Also produce the operator-facing health report from a dedicated
         // run of the same scenario (run_scenario consumes its engine).
         let (mut engine, shared) = build_simulation(&spec.sim, &spec.dophy);
@@ -146,7 +257,10 @@ fn main() {
             results.parent_changes_per_node_hour
         );
         println!("dophy MAE                : {:.4}", results.dophy_mae);
-        println!("traditional EM MAE       : {:.4}", results.traditional_em_mae);
+        println!(
+            "traditional EM MAE       : {:.4}",
+            results.traditional_em_mae
+        );
         // Worst links table.
         let mut by_loss: BTreeMap<u64, &LinkRow> = BTreeMap::new();
         for l in &results.links {
@@ -165,9 +279,31 @@ fn main() {
             );
         }
     } else {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&results).expect("results serialize")
-        );
+        let json = serde_json::to_string_pretty(&results)
+            .map_err(|e| format!("cannot serialize results: {e}"))?;
+        println!("{json}");
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            if !e.starts_with("usage:") {
+                eprintln!("{USAGE}");
+            }
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(cli) {
+        if e.starts_with("usage:") {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+        eprintln!("dophy-run: {e}");
+        std::process::exit(1);
     }
 }

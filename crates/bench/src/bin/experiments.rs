@@ -52,12 +52,36 @@ fn main() {
 
     for (id, f) in selected {
         let t0 = Instant::now();
-        eprintln!(">>> running {id}{} ...", if quick { " (quick)" } else { "" });
+        eprintln!(
+            ">>> running {id}{} ...",
+            if quick { " (quick)" } else { "" }
+        );
+        let runs_before = dophy_bench::telemetry::recorded_runs().len();
         let fig = f(quick);
         println!("{}", fig.render());
+        // Per-run telemetry summary for every simulation this figure ran.
+        for rec in &dophy_bench::telemetry::recorded_runs()[runs_before..] {
+            eprintln!(
+                "    run {}: {} events, {:.0} ev/s, sim/wall {:.0}x",
+                rec.label,
+                rec.telemetry.events_processed,
+                rec.telemetry.events_per_sec,
+                rec.telemetry.sim_wall_ratio
+            );
+        }
         match fig.save() {
-            Ok(path) => eprintln!("    saved {} ({:.1}s)", path.display(), t0.elapsed().as_secs_f64()),
+            Ok(path) => eprintln!(
+                "    saved {} ({:.1}s)",
+                path.display(),
+                t0.elapsed().as_secs_f64()
+            ),
             Err(e) => eprintln!("    could not save JSON: {e}"),
         }
+    }
+
+    let bench_path = std::path::Path::new("target/experiments/BENCH_telemetry.json");
+    match dophy_bench::telemetry::write_bench_file(bench_path) {
+        Ok(()) => eprintln!("telemetry saved to {}", bench_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", bench_path.display()),
     }
 }

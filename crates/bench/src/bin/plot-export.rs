@@ -85,7 +85,10 @@ fn main() {
     let entries = match std::fs::read_dir(&dir) {
         Ok(e) => e,
         Err(e) => {
-            eprintln!("cannot read {}: {e} (run the experiments first)", dir.display());
+            eprintln!(
+                "cannot read {}: {e} (run the experiments first)",
+                dir.display()
+            );
             std::process::exit(1);
         }
     };
@@ -117,5 +120,8 @@ fn main() {
             Err(e) => eprintln!("failed {}: {e}", fig.id),
         }
     }
-    eprintln!("{count} figures exported; render with: cd {} && for f in *.gp; do gnuplot \"$f\"; done", dir.display());
+    eprintln!(
+        "{count} figures exported; render with: cd {} && for f in *.gp; do gnuplot \"$f\"; done",
+        dir.display()
+    );
 }

@@ -13,9 +13,7 @@ use dophy_coding::aggregate::AggregationPolicy;
 use dophy_coding::elias::gamma_len;
 use dophy_coding::fixed::{width_for, FixedRecord};
 use dophy_coding::golomb::RiceCoder;
-use dophy_sim::{
-    LinkDynamics, MacConfig, Placement, RadioModel, SimConfig, SimDuration,
-};
+use dophy_sim::{LinkDynamics, MacConfig, Placement, RadioModel, SimConfig, SimDuration};
 use std::collections::BTreeMap;
 
 /// Link → estimated-loss map, as produced by each scheme.
@@ -57,7 +55,10 @@ fn parallel_sweep<T: Sync, F: Fn(&T) -> RunOutput + Sync>(points: &[T], f: F) ->
     crossbeam::thread::scope(|s| {
         let f = &f;
         let handles: Vec<_> = points.iter().map(|p| s.spawn(move |_| f(p))).collect();
-        handles.into_iter().map(|h| h.join().expect("sweep worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker"))
+            .collect()
     })
     .expect("sweep scope")
 }
@@ -167,7 +168,11 @@ pub fn fig4_aggregation(quick: bool) -> FigureResult {
             aggregation: AggregationPolicy::Cap { cap },
             ..canonical_dophy()
         };
-        run_scenario(&RunSpec::new(canonical_sim(47, quick), dophy, duration(quick)))
+        run_scenario(&RunSpec::new(
+            canonical_sim(47, quick),
+            dophy,
+            duration(quick),
+        ))
     });
 
     let mut fig = FigureResult::new(
@@ -335,10 +340,20 @@ pub fn fig7_accuracy_vs_dynamics(quick: bool) -> FigureResult {
         "loss-ratio MAE / churn rate",
     );
     let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
-        sigmas.iter().zip(&outs).map(|(&s, o)| (s, sel(o))).collect()
+        sigmas
+            .iter()
+            .zip(&outs)
+            .map(|(&s, o)| (s, sel(o)))
+            .collect()
     };
-    fig.push_series(Series::new("dophy-mle", collect(&|o| o.score_scheme(&o.dophy).mae)));
-    fig.push_series(Series::new("traditional-em", collect(&|o| o.score_scheme(&o.em).mae)));
+    fig.push_series(Series::new(
+        "dophy-mle",
+        collect(&|o| o.score_scheme(&o.dophy).mae),
+    ));
+    fig.push_series(Series::new(
+        "traditional-em",
+        collect(&|o| o.score_scheme(&o.em).mae),
+    ));
     fig.push_series(Series::new(
         "traditional-logls",
         collect(&|o| o.score_scheme(&o.ls).mae),
@@ -347,7 +362,9 @@ pub fn fig7_accuracy_vs_dynamics(quick: bool) -> FigureResult {
         "churn/node/hour",
         collect(&|o| o.churn.changes_per_node_hour),
     ));
-    fig.note("Dophy's error should stay nearly flat while traditional tomography degrades".to_string());
+    fig.note(
+        "Dophy's error should stay nearly flat while traditional tomography degrades".to_string(),
+    );
     fig
 }
 
@@ -384,13 +401,22 @@ pub fn fig8_accuracy_vs_size(quick: bool) -> FigureResult {
             .map(|(&n, o)| (f64::from(n), sel(o)))
             .collect()
     };
-    fig.push_series(Series::new("dophy-mle", collect(&|o| o.score_scheme(&o.dophy).mae)));
-    fig.push_series(Series::new("traditional-em", collect(&|o| o.score_scheme(&o.em).mae)));
+    fig.push_series(Series::new(
+        "dophy-mle",
+        collect(&|o| o.score_scheme(&o.dophy).mae),
+    ));
+    fig.push_series(Series::new(
+        "traditional-em",
+        collect(&|o| o.score_scheme(&o.em).mae),
+    ));
     fig.push_series(Series::new(
         "stream-bytes/pkt",
         collect(&|o| o.overhead.mean_stream_bytes()),
     ));
-    fig.push_series(Series::new("delivery-ratio", collect(&|o| o.delivery_ratio)));
+    fig.push_series(Series::new(
+        "delivery-ratio",
+        collect(&|o| o.delivery_ratio),
+    ));
     fig.push_series(Series::new(
         "decode-success",
         collect(&|o| o.decode.success_ratio()),
@@ -436,7 +462,10 @@ pub fn fig9_error_cdf(quick: bool) -> FigureResult {
     fig.push_series(Series::new("dophy-naive", at_quantiles(&out.naive)));
     fig.push_series(Series::new("traditional-em", at_quantiles(&out.em)));
     fig.push_series(Series::new("traditional-logls", at_quantiles(&out.ls)));
-    fig.note(format!("links scored: {}", out.score_scheme(&out.dophy).scored_links));
+    fig.note(format!(
+        "links scored: {}",
+        out.score_scheme(&out.dophy).scored_links
+    ));
     fig
 }
 
@@ -524,7 +553,11 @@ pub fn tab2_decode(quick: bool) -> FigureResult {
             traffic_period: SimDuration::from_secs(5),
             ..canonical_dophy()
         };
-        run_scenario(&RunSpec::new(canonical_sim(113, quick), dophy, duration(quick)))
+        run_scenario(&RunSpec::new(
+            canonical_sim(113, quick),
+            dophy,
+            duration(quick),
+        ))
     });
 
     let mut fig = FigureResult::new(
@@ -547,7 +580,11 @@ pub fn tab2_decode(quick: bool) -> FigureResult {
     let worst = outs
         .iter()
         .map(|o| o.decode)
-        .min_by(|a, b| a.success_ratio().partial_cmp(&b.success_ratio()).expect("finite"))
+        .min_by(|a, b| {
+            a.success_ratio()
+                .partial_cmp(&b.success_ratio())
+                .expect("finite")
+        })
         .expect("non-empty sweep");
     fig.note(format!("worst cell decode stats: {worst:?}"));
     fig
@@ -637,7 +674,11 @@ pub fn ablation_klgate(quick: bool) -> FigureResult {
             traffic_period: SimDuration::from_secs(2),
             ..canonical_dophy()
         };
-        run_scenario(&RunSpec::new(canonical_sim(173, quick), dophy, duration(quick)))
+        run_scenario(&RunSpec::new(
+            canonical_sim(173, quick),
+            dophy,
+            duration(quick),
+        ))
     });
 
     let mut fig = FigureResult::new(
@@ -661,7 +702,9 @@ pub fn ablation_klgate(quick: bool) -> FigureResult {
                 + o.dissemination_bytes as f64 / o.overhead.packets.max(1) as f64
         }),
     ));
-    fig.note("the gate should cut refresh count sharply with little stream-size penalty".to_string());
+    fig.note(
+        "the gate should cut refresh count sharply with little stream-size penalty".to_string(),
+    );
     fig
 }
 
@@ -697,9 +740,18 @@ pub fn ablation_prior(quick: bool) -> FigureResult {
             .map(|(&d, o)| (d as f64, sel(o)))
             .collect()
     };
-    fig.push_series(Series::new("mle", collect(&|o| o.score_scheme(&o.dophy).mae)));
-    fig.push_series(Series::new("naive", collect(&|o| o.score_scheme(&o.naive).mae)));
-    fig.push_series(Series::new("bayes", collect(&|o| o.score_scheme(&o.bayes).mae)));
+    fig.push_series(Series::new(
+        "mle",
+        collect(&|o| o.score_scheme(&o.dophy).mae),
+    ));
+    fig.push_series(Series::new(
+        "naive",
+        collect(&|o| o.score_scheme(&o.naive).mae),
+    ));
+    fig.push_series(Series::new(
+        "bayes",
+        collect(&|o| o.score_scheme(&o.bayes).mae),
+    ));
     fig.note(
         "measured outcome: the exact (censoring/truncation-aware) MLE matches or beats \
          conjugate shrinkage at every budget — the Beta prior's O(1) updates trade away \
@@ -737,12 +789,28 @@ pub fn ablation_burst(quick: bool) -> FigureResult {
         "loss-ratio MAE",
     );
     let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
-        cycles.iter().zip(&outs).map(|(&c, o)| (c, sel(o))).collect()
+        cycles
+            .iter()
+            .zip(&outs)
+            .map(|(&c, o)| (c, sel(o)))
+            .collect()
     };
-    fig.push_series(Series::new("dophy-mle", collect(&|o| o.score_scheme(&o.dophy).mae)));
-    fig.push_series(Series::new("traditional-em", collect(&|o| o.score_scheme(&o.em).mae)));
-    fig.push_series(Series::new("delivery-ratio", collect(&|o| o.delivery_ratio)));
-    fig.note("long bursts correlate consecutive attempts; the geometric model degrades gracefully".to_string());
+    fig.push_series(Series::new(
+        "dophy-mle",
+        collect(&|o| o.score_scheme(&o.dophy).mae),
+    ));
+    fig.push_series(Series::new(
+        "traditional-em",
+        collect(&|o| o.score_scheme(&o.em).mae),
+    ));
+    fig.push_series(Series::new(
+        "delivery-ratio",
+        collect(&|o| o.delivery_ratio),
+    ));
+    fig.note(
+        "long bursts correlate consecutive attempts; the geometric model degrades gracefully"
+            .to_string(),
+    );
     fig
 }
 
@@ -759,10 +827,7 @@ pub fn fig10_tracking(quick: bool) -> FigureResult {
 
     let period_s = 1200.0;
     let sim = SimConfig {
-        dynamics: LinkDynamics::Drift {
-            amp: 0.3,
-            period_s,
-        },
+        dynamics: LinkDynamics::Drift { amp: 0.3, period_s },
         ..canonical_sim(151, quick)
     };
     let dophy_cfg = DophyConfig {
@@ -805,7 +870,10 @@ pub fn fig10_tracking(quick: bool) -> FigureResult {
         let true_loss = 1.0 - engine.true_prr_now(link_id);
         truth_pts.push((x, true_loss));
         let s = shared.lock();
-        if let Some(e) = s.windowed.estimate(engine.now(), src, dst, sim.mac.max_attempts) {
+        if let Some(e) = s
+            .windowed
+            .estimate(engine.now(), src, dst, sim.mac.max_attempts)
+        {
             windowed_pts.push((x, e.loss));
         }
         if let Some(le) = s.estimator.link(src, dst) {
@@ -908,13 +976,22 @@ pub fn fig11_topology(quick: bool) -> FigureResult {
             .map(|(&(x, _), o)| (x, sel(o)))
             .collect()
     };
-    fig.push_series(Series::new("dophy-mle", collect(&|o| o.score_scheme(&o.dophy).mae)));
-    fig.push_series(Series::new("traditional-em", collect(&|o| o.score_scheme(&o.em).mae)));
+    fig.push_series(Series::new(
+        "dophy-mle",
+        collect(&|o| o.score_scheme(&o.dophy).mae),
+    ));
+    fig.push_series(Series::new(
+        "traditional-em",
+        collect(&|o| o.score_scheme(&o.em).mae),
+    ));
     fig.push_series(Series::new(
         "stream-bytes/pkt",
         collect(&|o| o.overhead.mean_stream_bytes()),
     ));
-    fig.push_series(Series::new("delivery-ratio", collect(&|o| o.delivery_ratio)));
+    fig.push_series(Series::new(
+        "delivery-ratio",
+        collect(&|o| o.delivery_ratio),
+    ));
     fig.note("line topologies maximise path length (overhead); clustered ones stress the hop-index context".to_string());
     fig
 }
@@ -948,8 +1025,14 @@ pub fn tab3_seeds(quick: bool) -> FigureResult {
         "loss-ratio MAE",
     );
     let schemes: Vec<SchemeSel> = vec![
-        ("dophy-mle", Box::new(|o: &RunOutput| o.score_scheme(&o.dophy).mae)),
-        ("traditional-em", Box::new(|o: &RunOutput| o.score_scheme(&o.em).mae)),
+        (
+            "dophy-mle",
+            Box::new(|o: &RunOutput| o.score_scheme(&o.dophy).mae),
+        ),
+        (
+            "traditional-em",
+            Box::new(|o: &RunOutput| o.score_scheme(&o.em).mae),
+        ),
         (
             "traditional-logls",
             Box::new(|o: &RunOutput| o.score_scheme(&o.ls).mae),
@@ -962,10 +1045,7 @@ pub fn tab3_seeds(quick: bool) -> FigureResult {
             .map(|(i, _)| (i as f64 + 1.0, sel(&outs[i])))
             .collect();
         let mean = pts.iter().map(|&(_, y)| y).sum::<f64>() / pts.len() as f64;
-        let var = pts
-            .iter()
-            .map(|&(_, y)| (y - mean).powi(2))
-            .sum::<f64>()
+        let var = pts.iter().map(|&(_, y)| (y - mean).powi(2)).sum::<f64>()
             / (pts.len() - 1).max(1) as f64;
         fig.note(format!("{name}: mean {:.4} ± {:.4}", mean, var.sqrt()));
         fig.push_series(Series::new(*name, pts));
@@ -974,7 +1054,9 @@ pub fn tab3_seeds(quick: bool) -> FigureResult {
     let always_wins = outs
         .iter()
         .all(|o| o.score_scheme(&o.dophy).mae < o.score_scheme(&o.em).mae);
-    fig.note(format!("dophy beats traditional on every seed: {always_wins}"));
+    fig.note(format!(
+        "dophy beats traditional on every seed: {always_wins}"
+    ));
     fig
 }
 
@@ -997,7 +1079,11 @@ pub fn fig12_node_churn(quick: bool) -> FigureResult {
             }),
             ..canonical_dophy()
         };
-        run_scenario(&RunSpec::new(canonical_sim(191, quick), dophy, duration(quick)))
+        run_scenario(&RunSpec::new(
+            canonical_sim(191, quick),
+            dophy,
+            duration(quick),
+        ))
     });
 
     let mut fig = FigureResult::new(
@@ -1013,9 +1099,18 @@ pub fn fig12_node_churn(quick: bool) -> FigureResult {
             .map(|(&u, o)| (u as f64, sel(o)))
             .collect()
     };
-    fig.push_series(Series::new("dophy-mle", collect(&|o| o.score_scheme(&o.dophy).mae)));
-    fig.push_series(Series::new("traditional-em", collect(&|o| o.score_scheme(&o.em).mae)));
-    fig.push_series(Series::new("delivery-ratio", collect(&|o| o.delivery_ratio)));
+    fig.push_series(Series::new(
+        "dophy-mle",
+        collect(&|o| o.score_scheme(&o.dophy).mae),
+    ));
+    fig.push_series(Series::new(
+        "traditional-em",
+        collect(&|o| o.score_scheme(&o.em).mae),
+    ));
+    fig.push_series(Series::new(
+        "delivery-ratio",
+        collect(&|o| o.delivery_ratio),
+    ));
     fig.push_series(Series::new(
         "decode-success",
         collect(&|o| o.decode.success_ratio()),
@@ -1072,7 +1167,11 @@ pub fn tab4_energy(quick: bool) -> FigureResult {
             .get(k)
             .map(|st| st.mean())
             .unwrap_or(0.0);
-        let per_hop_stream = if k > 1 { stream_final / (kf - 1.0) } else { 0.0 };
+        let per_hop_stream = if k > 1 {
+            stream_final / (kf - 1.0)
+        } else {
+            0.0
+        };
         let mut d = 0.0;
         let mut e = 0.0;
         let mut r = 0.0;
@@ -1090,9 +1189,7 @@ pub fn tab4_energy(quick: bool) -> FigureResult {
         state_bh += c * st;
     }
     let per_pkt = |bh: f64| bh / packets.max(1.0);
-    let joules_per_hour = |bh: f64| {
-        bh * per_byte_hop * 3600.0 / duration(quick).as_secs_f64()
-    };
+    let joules_per_hour = |bh: f64| bh * per_byte_hop * 3600.0 / duration(quick).as_secs_f64();
     let share = |bh: f64| {
         let j = bh * per_byte_hop;
         100.0 * j / (base.total_joules().max(1e-12))
@@ -1116,7 +1213,10 @@ pub fn tab4_energy(quick: bool) -> FigureResult {
     ));
     fig.push_series(Series::new(
         "joules/hour",
-        schemes.iter().map(|&(x, bh)| (x, joules_per_hour(bh))).collect(),
+        schemes
+            .iter()
+            .map(|&(x, bh)| (x, joules_per_hour(bh)))
+            .collect(),
     ));
     fig.push_series(Series::new(
         "%-of-radio-energy",
@@ -1152,7 +1252,11 @@ pub fn tab5_corruption(quick: bool) -> FigureResult {
     use rand::Rng;
 
     // Build a packet population from a real run's ground-truth hop logs.
-    let spec = RunSpec::new(canonical_sim(199, quick), canonical_dophy(), duration(quick) / 4);
+    let spec = RunSpec::new(
+        canonical_sim(199, quick),
+        canonical_dophy(),
+        duration(quick) / 4,
+    );
     let sim = spec.sim;
     let out = run_scenario(&spec);
     let topo = sim.topology();
@@ -1184,8 +1288,16 @@ pub fn tab5_corruption(quick: bool) -> FigureResult {
             let mut h = DophyHeader::new(NodeId(*origin), *seq, 0);
             let mut ok = true;
             for &(snd, rcv, att) in &hops[..hops.len() - 1] {
-                if encode_hop(&mut h, &topo, &spaces, &models, NodeId(snd), NodeId(rcv), att)
-                    .is_err()
+                if encode_hop(
+                    &mut h,
+                    &topo,
+                    &spaces,
+                    &models,
+                    NodeId(snd),
+                    NodeId(rcv),
+                    att,
+                )
+                .is_err()
                 {
                     ok = false;
                     break;
@@ -1214,11 +1326,15 @@ pub fn tab5_corruption(quick: bool) -> FigureResult {
                 Err(_) => det += 1,
                 Ok(decoded) => {
                     let truth_matches = decoded.observations.len() == hops.len()
-                        && decoded.observations.iter().zip(hops).all(|(o, &(s, r, a))| {
-                            o.sender == NodeId(s)
-                                && o.receiver == NodeId(r)
-                                && o.observation == AttemptObservation::Exact(a)
-                        });
+                        && decoded
+                            .observations
+                            .iter()
+                            .zip(hops)
+                            .all(|(o, &(s, r, a))| {
+                                o.sender == NodeId(s)
+                                    && o.receiver == NodeId(r)
+                                    && o.observation == AttemptObservation::Exact(a)
+                            });
                     if truth_matches {
                         same += 1;
                     } else {

@@ -23,6 +23,8 @@
 pub mod figures;
 pub mod report;
 pub mod scenario;
+pub mod telemetry;
 
 pub use report::{FigureResult, Series};
-pub use scenario::{run_scenario, RunOutput, RunSpec};
+pub use scenario::{run_scenario, run_scenario_with, Instruments, RunOutput, RunSpec};
+pub use telemetry::{ProgressMeter, RunTelemetry};

@@ -126,7 +126,10 @@ impl FigureResult {
         let dir = PathBuf::from("target/experiments");
         std::fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        std::fs::write(&path, serde_json::to_string_pretty(self).expect("serializable"))?;
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(self).expect("serializable"),
+        )?;
         Ok(path)
     }
 }
@@ -152,7 +155,10 @@ mod tests {
         assert!(text.contains("Title"));
         // x=1 has a gap for series b; x=3 for series a.
         let lines: Vec<&str> = text.lines().collect();
-        let row1 = lines.iter().find(|l| l.trim_start().starts_with("1.0")).unwrap();
+        let row1 = lines
+            .iter()
+            .find(|l| l.trim_start().starts_with("1.0"))
+            .unwrap();
         assert!(row1.contains('-'));
         assert_eq!(
             text.lines().filter(|l| l.contains(".0000")).count(),

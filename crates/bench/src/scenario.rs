@@ -9,15 +9,20 @@
 //! sent/delivered counts are attributed to the snapshot path. Under dynamic
 //! routing this attribution is exactly what goes stale.
 
+use crate::telemetry::{record_run, ProgressMeter, RunTelemetry};
 use dophy::baseline::{
     survival_to_transmission_loss, PathMeasurement, TraditionalConfig, TraditionalTomography,
 };
 use dophy::metrics::{score, AccuracyReport};
 use dophy::protocol::{build_simulation, DecodeStats, DophyConfig, DophyNode, OverheadStats};
+use dophy::telemetry::sample_metrics;
 use dophy_routing::{churn_report, ChurnReport};
+use dophy_sim::obs::{MetricsRegistry, MetricsSnapshot, Observer};
 use dophy_sim::{Engine, NodeId, SimConfig, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Directed link key.
 pub type LinkKey = (u16, u16);
@@ -79,6 +84,22 @@ pub struct Checkpoint {
     pub dophy_coverage: f64,
 }
 
+/// Optional observability instrumentation attached to a run.
+///
+/// Everything here is read-only with respect to the simulation, so an
+/// instrumented run produces bit-identical results to a bare one (the
+/// integration tests enforce this).
+#[derive(Default)]
+pub struct Instruments {
+    /// Structured-event observer installed on the engine before start.
+    pub observer: Option<Arc<dyn Observer>>,
+    /// Sample the metrics registry on this sim-time cadence (also
+    /// snapshotted once at the end of the run when set).
+    pub metrics_every: Option<SimDuration>,
+    /// Print a progress heartbeat to stderr after every window.
+    pub progress: bool,
+}
+
 /// Everything a finished run yields.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
@@ -116,6 +137,10 @@ pub struct RunOutput {
     pub max_attempts: u16,
     /// Accuracy trajectory (when `checkpoints` was set).
     pub checkpoints: Vec<Checkpoint>,
+    /// Metrics time series (when [`Instruments::metrics_every`] was set).
+    pub metrics: Vec<MetricsSnapshot>,
+    /// Wall-clock performance of the simulation loop.
+    pub telemetry: RunTelemetry,
 }
 
 impl RunOutput {
@@ -156,9 +181,7 @@ fn truth_map(engine: &Engine<DophyNode>, min_tx: u64) -> HashMap<LinkKey, f64> {
     truth
 }
 
-fn estimates_to_loss(
-    v: Vec<((u16, u16), dophy::LossEstimate)>,
-) -> HashMap<LinkKey, f64> {
+fn estimates_to_loss(v: Vec<((u16, u16), dophy::LossEstimate)>) -> HashMap<LinkKey, f64> {
     v.into_iter().map(|(k, e)| (k, e.loss)).collect()
 }
 
@@ -168,9 +191,20 @@ fn convert_survival(map: HashMap<LinkKey, f64>, r: u16) -> HashMap<LinkKey, f64>
         .collect()
 }
 
-/// Runs a scenario to completion.
+/// Runs a scenario to completion without instrumentation.
 pub fn run_scenario(spec: &RunSpec) -> RunOutput {
+    run_scenario_with(spec, Instruments::default())
+}
+
+/// Runs a scenario to completion with optional observability attached.
+pub fn run_scenario_with(spec: &RunSpec, inst: Instruments) -> RunOutput {
     let (mut engine, shared) = build_simulation(&spec.sim, &spec.dophy);
+    if let Some(observer) = inst.observer {
+        engine.set_observer(observer);
+    }
+    let mut registry = inst.metrics_every.map(|_| MetricsRegistry::new());
+    let meter = inst.progress.then(|| ProgressMeter::new(spec.duration));
+    let wall_start = Instant::now();
     engine.start();
 
     let r = spec.sim.mac.max_attempts;
@@ -189,8 +223,27 @@ pub fn run_scenario(spec: &RunSpec) -> RunOutput {
             .map(|i| current_path(&engine, NodeId(i as u16)))
             .collect();
         let step = spec.window.min(spec.duration - elapsed);
-        engine.run_for(step);
+        match (&mut registry, inst.metrics_every) {
+            (Some(reg), Some(every)) => {
+                // Split the window so metrics are sampled on their own
+                // cadence. Chunked run_until calls execute the exact same
+                // event sequence as a single one, so instrumentation does
+                // not change run behaviour.
+                let mut done = SimDuration::ZERO;
+                while done < step {
+                    let sub = every.min(step - done);
+                    engine.run_for(sub);
+                    done = done + sub;
+                    sample_metrics(reg, &engine, &shared.lock());
+                    reg.snapshot(engine.now());
+                }
+            }
+            _ => engine.run_for(step),
+        }
         elapsed = elapsed + step;
+        if let Some(meter) = &meter {
+            meter.tick(elapsed, engine.events_processed());
+        }
 
         {
             let s = shared.lock();
@@ -218,8 +271,7 @@ pub fn run_scenario(spec: &RunSpec) -> RunOutput {
             let truth = truth_map(&engine, spec.min_truth_tx);
             let s = shared.lock();
             let dophy_est = estimates_to_loss(s.estimator.estimates(r, spec.min_est_samples));
-            let naive_est =
-                estimates_to_loss(s.estimator.naive_estimates(spec.min_est_samples));
+            let naive_est = estimates_to_loss(s.estimator.naive_estimates(spec.min_est_samples));
             let delivered: u64 = s.delivered_per_origin.iter().sum();
             drop(s);
             let em = convert_survival(tomo.estimate_em(&tomo_cfg), r);
@@ -237,6 +289,21 @@ pub fn run_scenario(spec: &RunSpec) -> RunOutput {
             });
         }
     }
+
+    let telemetry = RunTelemetry::from_measurement(
+        engine.events_processed(),
+        wall_start.elapsed().as_secs_f64(),
+        spec.duration.as_secs_f64(),
+    );
+    record_run(
+        format!(
+            "{}n-{}s-seed{}",
+            engine.topology().node_count(),
+            spec.duration.as_secs_f64() as u64,
+            spec.sim.seed
+        ),
+        telemetry,
+    );
 
     let truth = truth_map(&engine, spec.min_truth_tx);
     let duration_t = SimTime::ZERO + spec.duration;
@@ -276,6 +343,10 @@ pub fn run_scenario(spec: &RunSpec) -> RunOutput {
         max_degree,
         max_attempts: r,
         checkpoints,
+        metrics: registry
+            .map(|reg| reg.series().to_vec())
+            .unwrap_or_default(),
+        telemetry,
     }
 }
 
@@ -328,10 +399,7 @@ mod tests {
         let out = run_scenario(&quick_spec());
         let d = out.score_scheme(&out.dophy).mae;
         let em = out.score_scheme(&out.em).mae;
-        assert!(
-            d < em,
-            "Dophy MAE {d} should beat traditional EM MAE {em}"
-        );
+        assert!(d < em, "Dophy MAE {d} should beat traditional EM MAE {em}");
     }
 
     #[test]

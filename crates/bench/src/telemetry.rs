@@ -1,0 +1,162 @@
+//! Run telemetry: wall-clock instrumentation of the simulation hot loop.
+//!
+//! Every [`crate::run_scenario`] call measures how fast the engine chewed
+//! through its event queue and records a [`RunTelemetry`]. Harness
+//! binaries collect these (via [`record_run`]) and export them to
+//! `BENCH_telemetry.json` with [`write_bench_file`], giving perf work a
+//! baseline trajectory across commits. [`ProgressMeter`] prints the
+//! live heartbeat behind `dophy-run --progress`.
+
+use dophy_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Wall-clock performance of one finished simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunTelemetry {
+    /// Events executed by the engine.
+    pub events_processed: u64,
+    /// Wall-clock seconds spent inside the simulation loop.
+    pub wall_seconds: f64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Simulated seconds covered.
+    pub sim_seconds: f64,
+    /// Simulated seconds per wall-clock second (how much faster than
+    /// real time the simulation ran).
+    pub sim_wall_ratio: f64,
+}
+
+impl RunTelemetry {
+    /// Builds telemetry from raw loop measurements.
+    #[must_use]
+    pub fn from_measurement(events_processed: u64, wall_seconds: f64, sim_seconds: f64) -> Self {
+        let wall = wall_seconds.max(1e-9);
+        Self {
+            events_processed,
+            wall_seconds,
+            events_per_sec: events_processed as f64 / wall,
+            sim_seconds,
+            sim_wall_ratio: sim_seconds / wall,
+        }
+    }
+}
+
+/// One labelled telemetry record for the `BENCH_telemetry.json` export.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Human-readable run label (`<nodes>n-<sim secs>s-seed<seed>`).
+    pub label: String,
+    /// The measured telemetry.
+    pub telemetry: RunTelemetry,
+}
+
+fn collector() -> &'static Mutex<Vec<RunRecord>> {
+    static RUNS: OnceLock<Mutex<Vec<RunRecord>>> = OnceLock::new();
+    RUNS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Records one run's telemetry into the process-wide collector.
+pub fn record_run(label: impl Into<String>, telemetry: RunTelemetry) {
+    collector()
+        .lock()
+        .expect("telemetry collector poisoned")
+        .push(RunRecord {
+            label: label.into(),
+            telemetry,
+        });
+}
+
+/// Snapshot of everything recorded so far (in recording order).
+#[must_use]
+pub fn recorded_runs() -> Vec<RunRecord> {
+    collector()
+        .lock()
+        .expect("telemetry collector poisoned")
+        .clone()
+}
+
+/// Writes all recorded runs as pretty JSON to `path`
+/// (conventionally `target/BENCH_telemetry.json`).
+pub fn write_bench_file(path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let runs = recorded_runs();
+    let json = serde_json::to_string_pretty(&runs)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, json)
+}
+
+/// Live heartbeat printer for long runs (`dophy-run --progress`).
+///
+/// Prints to stderr so machine-readable stdout stays clean.
+pub struct ProgressMeter {
+    t0: Instant,
+    total_sim_s: f64,
+}
+
+impl ProgressMeter {
+    /// Meter for a run covering `total_sim` of simulated time.
+    #[must_use]
+    pub fn new(total_sim: SimDuration) -> Self {
+        Self {
+            t0: Instant::now(),
+            total_sim_s: total_sim.as_secs_f64().max(1e-9),
+        }
+    }
+
+    /// Emits one heartbeat line: % complete, events/sec, sim-vs-wall.
+    pub fn tick(&self, sim_elapsed: SimDuration, events_processed: u64) {
+        let wall = self.t0.elapsed().as_secs_f64().max(1e-9);
+        let sim_s = sim_elapsed.as_secs_f64();
+        let pct = 100.0 * sim_s / self.total_sim_s;
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(
+            err,
+            "[progress] {pct:5.1}% | {events_processed} events | {:.0} ev/s | sim/wall {:.0}x",
+            events_processed as f64 / wall,
+            sim_s / wall,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn telemetry_derives_rates() {
+        let t = RunTelemetry::from_measurement(1_000_000, 2.0, 1800.0);
+        assert_eq!(t.events_processed, 1_000_000);
+        assert!((t.events_per_sec - 500_000.0).abs() < 1e-6);
+        assert!((t.sim_wall_ratio - 900.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn telemetry_json_round_trips() {
+        let t = RunTelemetry::from_measurement(10, 0.5, 60.0);
+        let j = serde_json::to_string(&t).unwrap();
+        let back: RunTelemetry = serde_json::from_str(&j).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn collector_accumulates_and_exports() {
+        record_run("test-run", RunTelemetry::from_measurement(5, 1.0, 10.0));
+        let runs = recorded_runs();
+        assert!(runs.iter().any(|r| r.label == "test-run"));
+        let dir = std::env::temp_dir().join("dophy-telemetry-test");
+        let path = dir.join("BENCH_telemetry.json");
+        write_bench_file(&path).unwrap();
+        let raw = std::fs::read_to_string(&path).unwrap();
+        let back: Vec<RunRecord> = serde_json::from_str(&raw).unwrap();
+        assert!(back.iter().any(|r| r.label == "test-run"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

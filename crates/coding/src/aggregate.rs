@@ -96,7 +96,10 @@ impl SymbolMapper {
             AggregationPolicy::Identity => (1..=max_attempts).map(|a| (a, a)).collect(),
             AggregationPolicy::Cap { cap } => {
                 let cap = u16::from(cap);
-                assert!(cap >= 1 && cap <= max_attempts, "cap must be in 1..=max_attempts");
+                assert!(
+                    cap >= 1 && cap <= max_attempts,
+                    "cap must be in 1..=max_attempts"
+                );
                 (1..cap)
                     .map(|a| (a, a))
                     .chain(std::iter::once((cap, max_attempts)))
@@ -154,13 +157,10 @@ impl SymbolMapper {
         );
         match self.policy {
             AggregationPolicy::Identity => usize::from(attempt) - 1,
-            AggregationPolicy::Cap { cap } => {
-                usize::from(attempt.min(u16::from(cap))) - 1
+            AggregationPolicy::Cap { cap } => usize::from(attempt.min(u16::from(cap))) - 1,
+            AggregationPolicy::ExpBuckets => {
+                self.ranges.partition_point(|&(lo, _)| lo <= attempt) - 1
             }
-            AggregationPolicy::ExpBuckets => self
-                .ranges
-                .partition_point(|&(lo, _)| lo <= attempt)
-                - 1,
         }
     }
 
@@ -210,7 +210,10 @@ impl SymbolMapper {
     pub fn join(&self, sym: usize, residual: u32) -> u16 {
         let (lo, hi) = self.range_of(sym);
         let attempt = lo + residual as u16;
-        assert!(attempt <= hi, "residual {residual} out of range for symbol {sym}");
+        assert!(
+            attempt <= hi,
+            "residual {residual} out of range for symbol {sym}"
+        );
         attempt
     }
 }
@@ -252,7 +255,10 @@ mod tests {
         let m = SymbolMapper::new(AggregationPolicy::Cap { cap: 7 }, 7);
         assert_eq!(m.num_symbols(), 7);
         for a in 1..=7u16 {
-            assert_eq!(m.observation_of(m.symbol_of(a)), AttemptObservation::Exact(a));
+            assert_eq!(
+                m.observation_of(m.symbol_of(a)),
+                AttemptObservation::Exact(a)
+            );
         }
     }
 

@@ -166,7 +166,9 @@ mod tests {
     #[test]
     fn single_bits_round_trip() {
         let mut w = BitWriter::new();
-        let pattern = [true, false, true, true, false, false, true, false, true, true];
+        let pattern = [
+            true, false, true, true, false, false, true, false, true, true,
+        ];
         for &b in &pattern {
             w.write_bit(b);
         }

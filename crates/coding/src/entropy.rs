@@ -61,9 +61,7 @@ pub fn kl_divergence_bits(true_weights: &[f64], model: &StaticModel) -> f64 {
 /// encoding cost.
 pub fn truncated_geometric_entropy_bits(p: f64, r: u16) -> f64 {
     let p = p.clamp(1e-9, 1.0 - 1e-9);
-    let weights: Vec<f64> = (0..r)
-        .map(|k| (1.0 - p).powi(i32::from(k)) * p)
-        .collect();
+    let weights: Vec<f64> = (0..r).map(|k| (1.0 - p).powi(i32::from(k)) * p).collect();
     entropy_bits(&weights)
 }
 

@@ -380,7 +380,15 @@ mod tests {
     fn fenwick_matches_naive() {
         let mut t = FenwickTree::new(13);
         let mut naive = [0u32; 13];
-        let updates = [(0, 5i64), (12, 3), (6, 7), (6, 2), (3, 1), (12, -3), (0, -1)];
+        let updates = [
+            (0, 5i64),
+            (12, 3),
+            (6, 7),
+            (6, 2),
+            (3, 1),
+            (12, -3),
+            (0, -1),
+        ];
         for &(i, d) in &updates {
             t.add(i, d);
             naive[i] = (i64::from(naive[i]) + d) as u32;
@@ -484,7 +492,9 @@ mod tests {
     #[test]
     fn adaptive_model_beats_uniform_on_skewed_input() {
         // 95% zeros from a 16-symbol alphabet.
-        let syms: Vec<usize> = (0..4000).map(|i| if i % 20 == 0 { i % 16 } else { 0 }).collect();
+        let syms: Vec<usize> = (0..4000)
+            .map(|i| if i % 20 == 0 { i % 16 } else { 0 })
+            .collect();
 
         let encode_with = |mut model: Box<dyn SymbolModel>| -> usize {
             let mut enc = RangeEncoder::new();

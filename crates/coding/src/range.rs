@@ -425,7 +425,9 @@ mod tests {
 
     #[test]
     fn uniform_round_trip_max_total() {
-        let syms: Vec<u32> = (0..500).map(|i| (i * 2654435761u64 % 65536) as u32).collect();
+        let syms: Vec<u32> = (0..500)
+            .map(|i| (i * 2654435761u64 % 65536) as u32)
+            .collect();
         round_trip_uniform(&syms, MAX_TOTAL);
     }
 
@@ -555,7 +557,11 @@ mod tests {
             enc.encode_uniform(i % 8, 8).unwrap();
         }
         let wire = enc.finish_wire().unwrap();
-        assert!(wire.len() <= 5, "30 bits should fit 5 wire bytes, got {}", wire.len());
+        assert!(
+            wire.len() <= 5,
+            "30 bits should fit 5 wire bytes, got {}",
+            wire.len()
+        );
     }
 
     #[test]
@@ -584,7 +590,10 @@ mod tests {
     fn empty_wire_stream_decodes() {
         let enc = RangeEncoder::new();
         let wire = enc.finish_wire().unwrap();
-        assert!(wire.is_empty(), "no symbols → zero wire bytes, got {wire:?}");
+        assert!(
+            wire.is_empty(),
+            "no symbols → zero wire bytes, got {wire:?}"
+        );
         RangeDecoder::from_wire(&wire).unwrap();
     }
 
@@ -639,11 +648,7 @@ mod tests {
         let mut enc = RangeEncoder::new();
         let mut expect = Vec::new();
         for i in 0..5000u32 {
-            let (cum, freq) = if i % 2 == 0 {
-                (65535, 1)
-            } else {
-                (0, 1)
-            };
+            let (cum, freq) = if i % 2 == 0 { (65535, 1) } else { (0, 1) };
             expect.push((cum, freq));
             enc.encode(cum, freq, total).unwrap();
         }

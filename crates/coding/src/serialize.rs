@@ -208,7 +208,10 @@ mod tests {
         let model = StaticModel::from_frequencies(&[60000, 3000, 200, 17]);
         let (_, canon1) = ModelBlob::canonical(&model);
         let (_, canon2) = ModelBlob::canonical(&canon1);
-        assert_eq!(canon1, canon2, "re-quantizing a quantized model must be a no-op");
+        assert_eq!(
+            canon1, canon2,
+            "re-quantizing a quantized model must be a no-op"
+        );
     }
 
     #[test]

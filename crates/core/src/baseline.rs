@@ -107,7 +107,9 @@ impl TraditionalTomography {
         &'a self,
         cfg: &'a TraditionalConfig,
     ) -> impl Iterator<Item = &'a PathMeasurement> {
-        self.measurements.iter().filter(move |m| m.sent >= cfg.min_sent)
+        self.measurements
+            .iter()
+            .filter(move |m| m.sent >= cfg.min_sent)
     }
 
     /// All links appearing in usable measurements.
@@ -222,12 +224,7 @@ impl TraditionalTomography {
                 let (mut num, mut den) = (0.0f64, 0.0f64);
                 for &r in &membership[l] {
                     let row = &rows[r];
-                    let others: f64 = row
-                        .idx
-                        .iter()
-                        .filter(|&&k| k != l)
-                        .map(|&k| x[k])
-                        .sum();
+                    let others: f64 = row.idx.iter().filter(|&&k| k != l).map(|&k| x[k]).sum();
                     // A link may appear twice on a looping path; count its
                     // multiplicity.
                     let mult = row.idx.iter().filter(|&&k| k == l).count() as f64;
@@ -244,10 +241,7 @@ impl TraditionalTomography {
                 break;
             }
         }
-        links
-            .into_iter()
-            .zip(x.into_iter().map(f64::exp))
-            .collect()
+        links.into_iter().zip(x.into_iter().map(f64::exp)).collect()
     }
 }
 
@@ -318,7 +312,11 @@ mod tests {
             delivered: (50_000.0 * shared).round() as u64,
         });
         let est = t.estimate_em(&TraditionalConfig::default());
-        assert!((est[&(9, 0)] - shared).abs() < 0.02, "shared {}", est[&(9, 0)]);
+        assert!(
+            (est[&(9, 0)] - shared).abs() < 0.02,
+            "shared {}",
+            est[&(9, 0)]
+        );
         for (i, &f) in firsts.iter().enumerate() {
             let o = (i + 1) as u16;
             assert!(

@@ -357,15 +357,16 @@ mod tests {
         match decode_packet(&h, &t, &s, &dec_models, cur, 1) {
             Err(_) => {}
             Ok(decoded) => {
-                let agrees = decoded
-                    .observations
-                    .iter()
-                    .zip(&truth)
-                    .all(|(o, &(snd, rcv, att))| {
-                        o.sender == snd
-                            && o.receiver == rcv
-                            && o.observation == AttemptObservation::Exact(att)
-                    });
+                let agrees =
+                    decoded
+                        .observations
+                        .iter()
+                        .zip(&truth)
+                        .all(|(o, &(snd, rcv, att))| {
+                            o.sender == snd
+                                && o.receiver == rcv
+                                && o.observation == AttemptObservation::Exact(att)
+                        });
                 assert!(!agrees, "wrong models silently decoded the exact truth");
             }
         }

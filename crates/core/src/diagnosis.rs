@@ -93,10 +93,7 @@ impl NetworkHealthReport {
                     link: (src, dst),
                     loss: est.loss,
                     stderr: est.stderr,
-                    recent_loss: sink
-                        .windowed
-                        .estimate(now, src, dst, r)
-                        .map(|e| e.loss),
+                    recent_loss: sink.windowed.estimate(now, src, dst, r).map(|e| e.loss),
                     expected_tx: le.and_then(|l| l.expected_transmissions(r)),
                     n_samples: est.n_samples,
                 }
@@ -158,7 +155,9 @@ impl NetworkHealthReport {
                 "    {:>10} {:>8.3} {:>8} {:>8} {:>8} {:>8}",
                 format!("n{}->n{}", l.link.0, l.link.1),
                 l.loss,
-                l.stderr.map(|s| format!("{s:.3}")).unwrap_or_else(|| "-".into()),
+                l.stderr
+                    .map(|s| format!("{s:.3}"))
+                    .unwrap_or_else(|| "-".into()),
                 l.recent_loss
                     .map(|r| format!("{r:.3}"))
                     .unwrap_or_else(|| "-".into()),

@@ -151,7 +151,11 @@ mod tests {
         encode_hop(&mut h, &t, &s, &models, receiver, next, 1).unwrap();
         assert_eq!(h.hops, 2);
         // Stream stays tiny for two hops of likely symbols.
-        assert!(h.finished_stream_len() <= 8, "got {}", h.finished_stream_len());
+        assert!(
+            h.finished_stream_len() <= 8,
+            "got {}",
+            h.finished_stream_len()
+        );
     }
 
     #[test]

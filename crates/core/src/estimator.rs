@@ -23,7 +23,7 @@
 
 use dophy_coding::aggregate::AttemptObservation;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A per-link loss estimate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,9 +57,12 @@ pub struct LossEstimate {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LinkEstimator {
     /// `exact[a]` = count of exact observations with attempt `a`.
-    exact: HashMap<u16, u64>,
+    /// Ordered so likelihood sums are evaluated in a fixed order —
+    /// float summation order affects the last bits, and byte-identical
+    /// same-seed output is a hard guarantee.
+    exact: BTreeMap<u16, u64>,
     /// `(lo, hi)` → count of censored observations.
-    ranges: HashMap<(u16, u16), u64>,
+    ranges: BTreeMap<(u16, u16), u64>,
     n: u64,
 }
 
@@ -73,9 +76,7 @@ impl LinkEstimator {
     pub fn observe(&mut self, obs: AttemptObservation) {
         match obs {
             AttemptObservation::Exact(a) => *self.exact.entry(a).or_insert(0) += 1,
-            AttemptObservation::Range { lo, hi } => {
-                *self.ranges.entry((lo, hi)).or_insert(0) += 1
-            }
+            AttemptObservation::Range { lo, hi } => *self.ranges.entry((lo, hi)).or_insert(0) += 1,
         }
         self.n += 1;
     }
@@ -314,7 +315,14 @@ mod tests {
 
     /// Draws geometric attempt samples truncated at `r` for success prob
     /// `p`, feeding `est` through an optional censoring cap.
-    fn feed_samples(est: &mut LinkEstimator, p: f64, r: u16, n: usize, cap: Option<u16>, seed: u64) {
+    fn feed_samples(
+        est: &mut LinkEstimator,
+        p: f64,
+        r: u16,
+        n: usize,
+        cap: Option<u16>,
+        seed: u64,
+    ) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut fed = 0;
         while fed < n {
@@ -457,7 +465,10 @@ mod tests {
         assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // P(A=1) ≈ 0.7 / (1 - 0.3^7) ≈ 0.70.
         assert!((dist[0] - 0.70).abs() < 0.02, "P(1) = {}", dist[0]);
-        assert!(dist[1] > dist[2] && dist[0] > dist[1], "monotone decreasing");
+        assert!(
+            dist[1] > dist[2] && dist[0] > dist[1],
+            "monotone decreasing"
+        );
     }
 
     #[test]

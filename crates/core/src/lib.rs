@@ -74,6 +74,7 @@ pub mod metrics;
 pub mod model_mgr;
 pub mod protocol;
 pub mod symbols;
+pub mod telemetry;
 pub mod tracking;
 
 pub use baseline::{PathMeasurement, TraditionalConfig, TraditionalTomography};
@@ -87,6 +88,7 @@ pub use metrics::{score, AccuracyReport};
 pub use model_mgr::{ModelManager, ModelSet, ModelUpdateConfig};
 pub use protocol::{build_simulation, DophyConfig, DophyNode, SinkState};
 pub use symbols::SymbolSpaces;
+pub use telemetry::sample_metrics;
 pub use tracking::{
     detect_anomalies, ChangeDirection, ChangeEvent, CusumConfig, CusumDetector, LinkAlarm,
     WindowConfig, WindowedNetworkEstimator,

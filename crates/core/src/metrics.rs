@@ -39,14 +39,16 @@ pub const REL_ERROR_FLOOR: f64 = 0.01;
 /// (link → true loss ratio). Links present only in `estimates` are ignored
 /// (they carried no ground truth); links present only in `truth` are
 /// counted as `missing_links`.
-pub fn score(
-    estimates: &HashMap<LinkKey, f64>,
-    truth: &HashMap<LinkKey, f64>,
-) -> AccuracyReport {
+pub fn score(estimates: &HashMap<LinkKey, f64>, truth: &HashMap<LinkKey, f64>) -> AccuracyReport {
     let mut abs_errors = Vec::new();
     let mut rel_sum = 0.0;
     let mut missing = 0usize;
-    for (link, &true_loss) in truth {
+    // Accumulate in link order: float sums depend on summation order, and
+    // HashMap iteration order varies per process — sorting keeps reports
+    // byte-identical across same-seed runs.
+    let mut links: Vec<(&LinkKey, &f64)> = truth.iter().collect();
+    links.sort_by_key(|(k, _)| **k);
+    for (link, &true_loss) in links {
         match estimates.get(link) {
             Some(&est) => {
                 let e = (est - true_loss).abs();

@@ -120,7 +120,12 @@ impl ModelManager {
         let node_count = depths.len();
         // Disconnected nodes (usize::MAX) never originate traffic; give
         // them the maximum finite depth for delay purposes.
-        let max_finite = depths.iter().copied().filter(|&d| d != usize::MAX).max().unwrap_or(0);
+        let max_finite = depths
+            .iter()
+            .copied()
+            .filter(|&d| d != usize::MAX)
+            .max()
+            .unwrap_or(0);
         let depth: Vec<usize> = depths
             .into_iter()
             .map(|d| if d == usize::MAX { max_finite } else { d })
@@ -248,7 +253,11 @@ impl ModelManager {
         let max_depth = self.depth.iter().copied().max().unwrap_or(0);
         let per_hop = (max_us / (max_depth as u64 + 1)).max(1);
         for (n, acts) in self.activation.iter_mut().enumerate() {
-            let mut rng = hub.stream(StreamKind::Protocol, 0xD155_EE00 + n as u64, internal_epoch as u64);
+            let mut rng = hub.stream(
+                StreamKind::Protocol,
+                0xD155_EE00 + n as u64,
+                internal_epoch as u64,
+            );
             let base = per_hop * self.depth[n] as u64;
             let delay = SimDuration::from_micros(base + rng.gen_range(0..per_hop));
             acts.push(now + delay);
@@ -269,8 +278,20 @@ impl ModelManager {
     pub fn pending_redundancy_bits(&self) -> f64 {
         use dophy_coding::entropy::kl_divergence_bits;
         let cur = self.latest();
-        let hop_truth: Vec<f64> = self.hop_learn.snapshot().frequencies().iter().map(|&f| f64::from(f)).collect();
-        let att_truth: Vec<f64> = self.attempt_learn.snapshot().frequencies().iter().map(|&f| f64::from(f)).collect();
+        let hop_truth: Vec<f64> = self
+            .hop_learn
+            .snapshot()
+            .frequencies()
+            .iter()
+            .map(|&f| f64::from(f))
+            .collect();
+        let att_truth: Vec<f64> = self
+            .attempt_learn
+            .snapshot()
+            .frequencies()
+            .iter()
+            .map(|&f| f64::from(f))
+            .collect();
         kl_divergence_bits(&hop_truth, &cur.hop) + kl_divergence_bits(&att_truth, &cur.attempt)
     }
 }
@@ -286,7 +307,11 @@ mod tests {
     }
 
     fn mgr() -> ModelManager {
-        ModelManager::new(spaces(), ModelUpdateConfig::default(), vec![0, 1, 1, 2, 2, 2, 3, 3, 3, 3])
+        ModelManager::new(
+            spaces(),
+            ModelUpdateConfig::default(),
+            vec![0, 1, 1, 2, 2, 2, 3, 3, 3, 3],
+        )
     }
 
     fn t(s: u64) -> SimTime {
@@ -411,7 +436,11 @@ mod tests {
         }
         let kl_matched = m.pending_redundancy_bits();
         if kl_matched < 0.05 {
-            assert_eq!(m.refresh(t(100), &hub), None, "low KL must skip (kl={kl_matched})");
+            assert_eq!(
+                m.refresh(t(100), &hub),
+                None,
+                "low KL must skip (kl={kl_matched})"
+            );
             assert_eq!(m.refreshes, 0);
         }
         // Now feed a wildly different distribution: refresh goes through.

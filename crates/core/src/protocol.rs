@@ -29,6 +29,7 @@ use crate::model_mgr::{ModelManager, ModelUpdateConfig};
 use crate::symbols::SymbolSpaces;
 use dophy_coding::aggregate::AggregationPolicy;
 use dophy_routing::{Router, RouterConfig};
+use dophy_sim::obs::{DecodeEvent, DecodeOutcome, DropEvent, DropReason, EpochSwitchEvent};
 use dophy_sim::stats::{CountHistogram, Streaming};
 use dophy_sim::{
     Ctx, Engine, Frame, NodeId, Protocol, RngHub, SendDone, SimConfig, SimDuration, TimerId,
@@ -358,8 +359,8 @@ impl DophyNode {
 
     fn schedule_churn(&self, ctx: &mut Ctx<'_>, mean: SimDuration) {
         // Exponential phase length via the Poisson traffic pattern's draw.
-        let delay = dophy_sim::TrafficPattern::Poisson { mean_period: mean }
-            .next_interval(ctx.rng());
+        let delay =
+            dophy_sim::TrafficPattern::Poisson { mean_period: mean }.next_interval(ctx.rng());
         ctx.set_timer(delay, TIMER_CHURN);
     }
 
@@ -377,6 +378,16 @@ impl DophyNode {
         shared.sent_per_origin[me.index()] += 1;
         let Some(parent) = parent else {
             shared.no_route_drops += 1;
+            if let Some(observer) = ctx.observer() {
+                observer.on_drop(
+                    ctx.now(),
+                    &DropEvent {
+                        node: me.0,
+                        dst: None,
+                        reason: DropReason::NoRoute,
+                    },
+                );
+            }
             return;
         };
         let epoch = shared.manager.node_current(me.index(), ctx.now()).epoch;
@@ -407,6 +418,16 @@ impl DophyNode {
         let mut shared = self.shared.lock();
         if header.hops >= self.cfg.ttl {
             shared.ttl_drops += 1;
+            if let Some(observer) = ctx.observer() {
+                observer.on_drop(
+                    ctx.now(),
+                    &DropEvent {
+                        node: me.0,
+                        dst: None,
+                        reason: DropReason::TtlExpired,
+                    },
+                );
+            }
             return;
         }
         // Ground-truth hop log (harness channel).
@@ -455,6 +476,16 @@ impl DophyNode {
         let parent = self.router().next_hop();
         let Some(parent) = parent else {
             shared.no_route_drops += 1;
+            if let Some(observer) = ctx.observer() {
+                observer.on_drop(
+                    ctx.now(),
+                    &DropEvent {
+                        node: me.0,
+                        dst: None,
+                        reason: DropReason::NoRoute,
+                    },
+                );
+            }
             return;
         };
         drop(shared);
@@ -483,40 +514,66 @@ impl DophyNode {
             dophy_coding::range::EncoderState::WIRE_SIZE + 1 + stream_len,
         );
 
-        let Some(models) = shared.manager.models_for_epoch(header.epoch).cloned() else {
-            shared.decode.unknown_epoch += 1;
-            return;
-        };
-        match decode_packet(
-            header,
-            &self.topo,
-            &self.spaces,
-            &models,
-            frame.src,
-            frame.attempt,
-        ) {
-            Ok(decoded) => {
-                shared.decode.ok += 1;
-                let now = ctx.now();
-                for obs in &decoded.observations {
-                    shared
-                        .estimator
-                        .observe(obs.sender.0, obs.receiver.0, obs.observation);
-                    shared
-                        .windowed
-                        .observe(now, obs.sender.0, obs.receiver.0, obs.observation);
-                    shared
-                        .bayes
-                        .observe(obs.sender.0, obs.receiver.0, obs.observation);
-                    if let (Some(h), Some(a)) = (obs.hop_sym, obs.attempt_sym) {
-                        shared.manager.observe(h, a);
-                    }
-                }
+        let decode_outcome = match shared.manager.models_for_epoch(header.epoch).cloned() {
+            None => {
+                shared.decode.unknown_epoch += 1;
+                DecodeOutcome::UnknownEpoch
             }
-            Err(DecodeError::IndexOutOfRange { .. }) => shared.decode.bad_index += 1,
-            Err(DecodeError::PathMismatch { .. }) => shared.decode.path_mismatch += 1,
-            Err(DecodeError::Coding(_)) => shared.decode.coding += 1,
-            Err(DecodeError::CodingDisabled) => shared.decode.disabled += 1,
+            Some(models) => match decode_packet(
+                header,
+                &self.topo,
+                &self.spaces,
+                &models,
+                frame.src,
+                frame.attempt,
+            ) {
+                Ok(decoded) => {
+                    shared.decode.ok += 1;
+                    let now = ctx.now();
+                    for obs in &decoded.observations {
+                        shared
+                            .estimator
+                            .observe(obs.sender.0, obs.receiver.0, obs.observation);
+                        shared
+                            .windowed
+                            .observe(now, obs.sender.0, obs.receiver.0, obs.observation);
+                        shared
+                            .bayes
+                            .observe(obs.sender.0, obs.receiver.0, obs.observation);
+                        if let (Some(h), Some(a)) = (obs.hop_sym, obs.attempt_sym) {
+                            shared.manager.observe(h, a);
+                        }
+                    }
+                    DecodeOutcome::Ok
+                }
+                Err(DecodeError::IndexOutOfRange { .. }) => {
+                    shared.decode.bad_index += 1;
+                    DecodeOutcome::BadIndex
+                }
+                Err(DecodeError::PathMismatch { .. }) => {
+                    shared.decode.path_mismatch += 1;
+                    DecodeOutcome::PathMismatch
+                }
+                Err(DecodeError::Coding(_)) => {
+                    shared.decode.coding += 1;
+                    DecodeOutcome::Coding
+                }
+                Err(DecodeError::CodingDisabled) => {
+                    shared.decode.disabled += 1;
+                    DecodeOutcome::Disabled
+                }
+            },
+        };
+        if let Some(observer) = ctx.observer() {
+            observer.on_decode(
+                ctx.now(),
+                &DecodeEvent {
+                    origin: header.origin.0,
+                    seq: header.seq,
+                    hops: u16::from(header.hops),
+                    outcome: decode_outcome,
+                },
+            );
         }
     }
 }
@@ -570,11 +627,21 @@ impl Protocol for DophyNode {
                 self.schedule_traffic(ctx);
             }
             TIMER_MODEL_UPDATE => {
-                {
+                let switched = {
                     let mut shared = self.shared.lock();
                     let hub = shared.hub;
                     let now = ctx.now();
-                    shared.manager.refresh(now, &hub);
+                    shared.manager.refresh(now, &hub)
+                };
+                if let Some(epoch) = switched {
+                    if let Some(observer) = ctx.observer() {
+                        observer.on_epoch_switch(
+                            ctx.now(),
+                            &EpochSwitchEvent {
+                                epoch: epoch as u64,
+                            },
+                        );
+                    }
                 }
                 ctx.set_timer(self.cfg.model_update.update_period, TIMER_MODEL_UPDATE);
             }
@@ -645,7 +712,14 @@ pub fn build_simulation(
         hub,
     }));
     let protocols: Vec<DophyNode> = (0..n)
-        .map(|_| DophyNode::new(*dophy, Arc::clone(&topo), spaces.clone(), Arc::clone(&shared)))
+        .map(|_| {
+            DophyNode::new(
+                *dophy,
+                Arc::clone(&topo),
+                spaces.clone(),
+                Arc::clone(&shared),
+            )
+        })
         .collect();
     let engine = Engine::new(topo, &models, sim.mac, hub, protocols);
     (engine, shared)
@@ -777,12 +851,21 @@ mod tests {
         engine.start();
         engine.run_for(SimDuration::from_secs(600));
         let s = shared.lock();
-        assert!(s.manager.refreshes >= 2, "refreshes {}", s.manager.refreshes);
+        assert!(
+            s.manager.refreshes >= 2,
+            "refreshes {}",
+            s.manager.refreshes
+        );
         assert!(s.manager.dissemination_bytes > 0);
         // Updated models must still decode (epoch machinery consistent);
         // only dissemination transients may disable coding.
         assert!(s.decode.success_ratio() > 0.93, "{:?}", s.decode);
-        assert_eq!(s.decode.bad_index + s.decode.path_mismatch, 0, "{:?}", s.decode);
+        assert_eq!(
+            s.decode.bad_index + s.decode.path_mismatch,
+            0,
+            "{:?}",
+            s.decode
+        );
     }
 
     #[test]

@@ -361,7 +361,11 @@ mod tests {
         feed_window(&mut est, 300, 600, 3, 5);
         let late = est.estimate(t(599), 1, 0, 7).unwrap();
         assert!(early.loss < 0.02, "early loss {}", early.loss);
-        assert!(late.loss > 0.4, "late loss {} should reflect the step", late.loss);
+        assert!(
+            late.loss > 0.4,
+            "late loss {} should reflect the step",
+            late.loss
+        );
     }
 
     #[test]
@@ -409,12 +413,7 @@ mod tests {
         assert!(est.estimates(t(19), 7, 21).is_empty());
     }
 
-    fn feed_cusum(
-        d: &mut CusumDetector,
-        from: u64,
-        n: u64,
-        attempt: u16,
-    ) -> Option<ChangeEvent> {
+    fn feed_cusum(d: &mut CusumDetector, from: u64, n: u64, attempt: u16) -> Option<ChangeEvent> {
         for i in 0..n {
             if let Some(e) = d.observe(t(from + i), AttemptObservation::Exact(attempt)) {
                 return Some(e);
@@ -426,7 +425,10 @@ mod tests {
     #[test]
     fn cusum_detects_degradation_quickly() {
         let mut d = CusumDetector::new(CusumConfig::default());
-        assert!(feed_cusum(&mut d, 0, 200, 1).is_none(), "stationary: no alarm");
+        assert!(
+            feed_cusum(&mut d, 0, 200, 1).is_none(),
+            "stationary: no alarm"
+        );
         assert_eq!(d.baseline(), Some(1.0));
         // Step to attempt 3 (p 1.0 → ~0.33): must fire within a handful of
         // packets (threshold 8 / excess 1.75 ≈ 5 samples).

@@ -21,6 +21,7 @@
 
 use crate::beacon::{Trickle, TrickleConfig};
 use crate::table::{EstimatorConfig, NeighborTable};
+use dophy_sim::obs::ParentChangeEvent;
 use dophy_sim::{Ctx, Frame, NodeId, SendDone, SimTime, TimerId};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -244,10 +245,13 @@ impl Router {
             return;
         };
         // A silent (timed-out) current parent is abandoned unconditionally.
-        let parent_alive = self.parent.and_then(|cur| self.table.get(cur)).is_some_and(|e| {
-            e.last_heard
-                .is_some_and(|t| ctx.now().since(t.min(ctx.now())) <= self.cfg.neighbor_timeout)
-        });
+        let parent_alive = self
+            .parent
+            .and_then(|cur| self.table.get(cur))
+            .is_some_and(|e| {
+                e.last_heard
+                    .is_some_and(|t| ctx.now().since(t.min(ctx.now())) <= self.cfg.neighbor_timeout)
+            });
         match self.parent {
             Some(cur) if cur == best && parent_alive => {
                 // Refresh the metric through the current parent.
@@ -270,6 +274,17 @@ impl Router {
 
     fn adopt(&mut self, ctx: &mut Ctx<'_>, parent: NodeId, etx: f64) {
         let had_parent = self.parent.is_some();
+        if let Some(obs) = ctx.observer() {
+            obs.on_parent_change(
+                ctx.now(),
+                &ParentChangeEvent {
+                    node: ctx.node_id().0,
+                    old_parent: self.parent.map(|p| p.0),
+                    new_parent: parent.0,
+                    etx,
+                },
+            );
+        }
         self.parent = Some(parent);
         self.parent_etx = etx;
         self.parent_log.push((ctx.now(), parent));
@@ -395,7 +410,10 @@ mod tests {
     #[test]
     fn sink_advertises_zero_and_has_no_parent() {
         let cfg = SimConfig {
-            placement: Placement::Line { n: 3, spacing: 10.0 },
+            placement: Placement::Line {
+                n: 3,
+                spacing: 10.0,
+            },
             radio: RadioModel::default(),
             mac: MacConfig::default(),
             dynamics: LinkDynamics::Static,
@@ -411,7 +429,10 @@ mod tests {
     #[test]
     fn etx_grows_with_depth_on_a_line() {
         let cfg = SimConfig {
-            placement: Placement::Line { n: 5, spacing: 25.0 },
+            placement: Placement::Line {
+                n: 5,
+                spacing: 25.0,
+            },
             radio: RadioModel::default(),
             mac: MacConfig::default(),
             dynamics: LinkDynamics::Static,
@@ -451,37 +472,44 @@ mod tests {
             .map(|i| e.protocol(NodeId(i)).router().stats().beacons_heard)
             .sum();
         assert!(total_sent >= 9, "each node should beacon at least once");
-        assert!(total_heard > total_sent, "dense grid: multiple hearers per beacon");
+        assert!(
+            total_heard > total_sent,
+            "dense grid: multiple hearers per beacon"
+        );
     }
 
     #[test]
     fn volatile_links_cause_parent_churn() {
-        let base = SimConfig {
-            placement: Placement::UniformDisk {
-                n: 40,
-                radius: 70.0,
-            },
-            radio: RadioModel::default(),
-            mac: MacConfig::default(),
-            dynamics: LinkDynamics::Static,
-            seed: 13,
-        };
-        let stable = run_routing(base, 600);
-        let volatile = run_routing(
-            SimConfig {
-                dynamics: LinkDynamics::Volatile {
-                    sigma_per_sqrt_s: 0.08,
-                },
-                ..base
-            },
-            600,
-        );
         let churn = |e: &Engine<RoutingOnlyNode>| -> u64 {
             (1..e.topology().node_count())
                 .map(|i| e.protocol(NodeId(i as u16)).router().stats().parent_changes)
                 .sum()
         };
-        let (cs, cv) = (churn(&stable), churn(&volatile));
+        // A single seed can land within noise of the static baseline, so
+        // aggregate the churn counts over several seeds before comparing.
+        let (mut cs, mut cv) = (0u64, 0u64);
+        for seed in 13..16 {
+            let base = SimConfig {
+                placement: Placement::UniformDisk {
+                    n: 40,
+                    radius: 70.0,
+                },
+                radio: RadioModel::default(),
+                mac: MacConfig::default(),
+                dynamics: LinkDynamics::Static,
+                seed,
+            };
+            cs += churn(&run_routing(base, 600));
+            cv += churn(&run_routing(
+                SimConfig {
+                    dynamics: LinkDynamics::Volatile {
+                        sigma_per_sqrt_s: 0.08,
+                    },
+                    ..base
+                },
+                600,
+            ));
+        }
         assert!(
             cv > cs,
             "volatile links must cause more parent changes: stable {cs} vs volatile {cv}"

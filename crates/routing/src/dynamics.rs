@@ -6,7 +6,7 @@
 
 use dophy_sim::{NodeId, SimTime};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregate churn metrics for a run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,13 +45,12 @@ pub fn churn_report(logs: &[&[(SimTime, NodeId)]], duration: SimTime) -> ChurnRe
         if changes == 0 {
             stable += 1;
         }
-        // Time-weighted parent occupancy for the entropy metric.
-        let mut occupancy: HashMap<NodeId, f64> = HashMap::new();
+        // Time-weighted parent occupancy for the entropy metric. Kept
+        // ordered so the entropy's float sums run in a fixed order and
+        // reports stay byte-identical across same-seed runs.
+        let mut occupancy: BTreeMap<NodeId, f64> = BTreeMap::new();
         for (i, &(t, p)) in log.iter().enumerate() {
-            let end = log
-                .get(i + 1)
-                .map(|&(t2, _)| t2)
-                .unwrap_or(duration.max(t));
+            let end = log.get(i + 1).map(|&(t2, _)| t2).unwrap_or(duration.max(t));
             let span = end.since(t).as_secs_f64();
             *occupancy.entry(p).or_insert(0.0) += span;
         }

@@ -157,7 +157,10 @@ impl NeighborTable {
     /// Builds a table over the given candidate neighbors.
     pub fn new(candidates: &[NodeId]) -> Self {
         Self {
-            entries: candidates.iter().map(|&id| NeighborEntry::new(id)).collect(),
+            entries: candidates
+                .iter()
+                .map(|&id| NeighborEntry::new(id))
+                .collect(),
         }
     }
 

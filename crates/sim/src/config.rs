@@ -175,10 +175,7 @@ mod tests {
             let m = dyn_.model_for(base, 0, &hub);
             let stat = m.stationary_prr();
             // The πG clamp can shift extremes slightly; mid-range must match.
-            assert!(
-                (stat - base).abs() < 0.05,
-                "base {base} stationary {stat}"
-            );
+            assert!((stat - base).abs() < 0.05, "base {base} stationary {stat}");
         }
     }
 

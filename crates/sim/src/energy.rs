@@ -66,9 +66,8 @@ impl EnergyModel {
             rx_bytes += l.bcast_rx as f64 * mean_frame_bytes;
         }
         tx_events += trace.broadcast_tx as f64;
-        let tx_joules = (trace.bytes_on_air as f64 * self.tx_uj_per_byte
-            + tx_events * self.tx_fixed_uj)
-            / 1e6;
+        let tx_joules =
+            (trace.bytes_on_air as f64 * self.tx_uj_per_byte + tx_events * self.tx_fixed_uj) / 1e6;
         let rx_joules = rx_bytes * self.rx_uj_per_byte / 1e6;
         EnergyReport {
             tx_joules,
@@ -133,8 +132,7 @@ mod tests {
         let mut big = Trace::for_topology(&topo);
         big.record_data_attempt(0, true, 80);
         assert!(
-            m.report(&big, 80.0, 11.0).total_joules()
-                > m.report(&small, 40.0, 11.0).total_joules()
+            m.report(&big, 80.0, 11.0).total_joules() > m.report(&small, 40.0, 11.0).total_joules()
         );
     }
 

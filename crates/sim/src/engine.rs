@@ -22,6 +22,7 @@
 use crate::event::{EventKind, EventQueue};
 use crate::link::{LossModel, LossProcess};
 use crate::mac::MacConfig;
+use crate::obs::{AckEvent, DropEvent, DropReason, Observer, RxEvent, TimerEvent, TxEvent};
 use crate::packet::{Frame, Payload, SendDone, SendToken, TimerId};
 use crate::rng::{RngHub, StreamKind};
 use crate::time::{SimDuration, SimTime};
@@ -82,6 +83,7 @@ pub struct Ctx<'a> {
     rng: &'a mut SmallRng,
     commands: &'a mut Vec<Command>,
     next_token: &'a mut u64,
+    observer: Option<&'a dyn Observer>,
 }
 
 impl Ctx<'_> {
@@ -113,6 +115,13 @@ impl Ctx<'_> {
     /// This node's protocol random stream.
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
+    }
+
+    /// The engine's observer, if one is installed — lets protocol layers
+    /// emit their own structured events (parent changes, epoch switches,
+    /// decode outcomes) alongside the engine's MAC-level events.
+    pub fn observer(&self) -> Option<&dyn Observer> {
+        self.observer
     }
 
     /// Queues a unicast frame to `dst`. `wire_bytes` must be the full
@@ -188,6 +197,11 @@ pub struct Engine<P: Protocol> {
     next_token: u64,
     cmd_buf: Vec<Command>,
     started: bool,
+    /// Optional structured-event observer; `None` costs one untaken
+    /// branch per hook site.
+    observer: Option<Arc<dyn Observer>>,
+    /// Events executed by [`Engine::step`] since construction.
+    events_processed: u64,
 }
 
 impl<P: Protocol> Engine<P> {
@@ -263,7 +277,30 @@ impl<P: Protocol> Engine<P> {
             next_token: 0,
             cmd_buf: Vec::new(),
             started: false,
+            observer: None,
+            events_processed: 0,
         }
+    }
+
+    /// Installs a structured-event observer. Observers only *read* event
+    /// payloads — they cannot touch simulation state or RNG streams, so a
+    /// run behaves bit-identically with or without one.
+    pub fn set_observer(&mut self, observer: Arc<dyn Observer>) {
+        self.observer = Some(observer);
+    }
+
+    /// Number of events executed by [`Engine::step`] so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Current MAC transmit-queue depth of node `n`.
+    pub fn queue_depth(&self, n: NodeId) -> usize {
+        self.macs[n.index()].queue.len()
+    }
+
+    fn obs(&self) -> Option<&dyn Observer> {
+        self.observer.as_deref()
     }
 
     /// Current simulated time.
@@ -344,15 +381,46 @@ impl<P: Protocol> Engine<P> {
         };
         debug_assert!(t >= self.time, "event from the past");
         self.time = t;
+        self.events_processed += 1;
         match kind {
             EventKind::Timer { node, timer } => {
+                if let Some(obs) = self.obs() {
+                    obs.on_timer(
+                        t,
+                        &TimerEvent {
+                            node: node.0,
+                            timer: timer.0,
+                        },
+                    );
+                }
                 self.with_protocol(node, |p, ctx| p.on_timer(ctx, timer));
             }
             EventKind::Deliver { frame } => {
                 let dst = frame.dst;
                 // A copy already in flight when the radio went down is lost.
                 if self.radio_on[dst.index()] {
+                    if let Some(obs) = self.obs() {
+                        obs.on_rx(
+                            t,
+                            &RxEvent {
+                                src: frame.src.0,
+                                dst: dst.0,
+                                attempt: frame.attempt,
+                                bytes: frame.wire_bytes as u32,
+                                broadcast: frame.is_broadcast,
+                            },
+                        );
+                    }
                     self.with_protocol(dst, |p, ctx| p.on_frame(ctx, &frame));
+                } else if let Some(obs) = self.obs() {
+                    obs.on_drop(
+                        t,
+                        &DropEvent {
+                            node: dst.0,
+                            dst: None,
+                            reason: DropReason::ReceiverOff,
+                        },
+                    );
                 }
             }
             EventKind::SendDone { node, done } => {
@@ -402,6 +470,7 @@ impl<P: Protocol> Engine<P> {
                 rng: &mut self.proto_rngs[node.index()],
                 commands: &mut cmds,
                 next_token: &mut self.next_token,
+                observer: self.observer.as_deref(),
             };
             f(&mut proto, &mut ctx);
         }
@@ -461,6 +530,16 @@ impl<P: Protocol> Engine<P> {
         if !self.radio_on[node.index()] {
             // Radio off: the frame silently dies in the driver.
             self.trace.queue_drops += 1;
+            if let Some(obs) = self.obs() {
+                obs.on_drop(
+                    self.time,
+                    &DropEvent {
+                        node: node.0,
+                        dst: tx.dst.map(|d| d.0),
+                        reason: DropReason::RadioOff,
+                    },
+                );
+            }
             if let Some(dst) = tx.dst {
                 self.queue.push(
                     self.time,
@@ -477,9 +556,18 @@ impl<P: Protocol> Engine<P> {
             }
             return;
         }
-        let mac = &mut self.macs[node.index()];
-        if mac.queue.len() >= self.mac_cfg.queue_capacity {
+        if self.macs[node.index()].queue.len() >= self.mac_cfg.queue_capacity {
             self.trace.queue_drops += 1;
+            if let Some(obs) = self.obs() {
+                obs.on_drop(
+                    self.time,
+                    &DropEvent {
+                        node: node.0,
+                        dst: tx.dst.map(|d| d.0),
+                        reason: DropReason::QueueFull,
+                    },
+                );
+            }
             // Report the drop (unicast only; broadcasts are fire-and-forget).
             if let Some(dst) = tx.dst {
                 self.queue.push(
@@ -497,7 +585,7 @@ impl<P: Protocol> Engine<P> {
             }
             return;
         }
-        mac.queue.push_back(tx);
+        self.macs[node.index()].queue.push_back(tx);
         self.try_dequeue(node);
     }
 
@@ -526,14 +614,25 @@ impl<P: Protocol> Engine<P> {
         let t_done = self.time + self.backoff(node) + self.mac_cfg.tx_time(tx.bytes);
         self.trace.broadcast_tx += 1;
         self.trace.bytes_on_air += tx.bytes as u64;
+        if let Some(obs) = self.obs() {
+            obs.on_tx(
+                t_done,
+                &TxEvent {
+                    src: node.0,
+                    dst: None,
+                    attempt: 1,
+                    bytes: tx.bytes as u32,
+                    ok: true,
+                },
+            );
+        }
         let neighbors: Vec<NodeId> = self.topo.neighbors(node).to_vec();
         for v in neighbors {
             if !self.radio_on[v.index()] {
                 continue; // receiver powered down: nothing samples the channel
             }
             let link_id = self.topo.link_id(node, v).expect("neighbor implies link");
-            let ok =
-                self.link_procs[link_id].sample(t_done, &mut self.link_rngs[link_id]);
+            let ok = self.link_procs[link_id].sample(t_done, &mut self.link_rngs[link_id]);
             self.trace.record_broadcast_attempt(link_id, ok);
             if ok {
                 self.trace.broadcast_rx += 1;
@@ -577,6 +676,16 @@ impl<P: Protocol> Engine<P> {
             let t_done = self.time + self.backoff(node) + self.mac_cfg.attempt_floor(tx.bytes);
             self.trace.unicast_started += 1;
             self.trace.unicast_failed += 1;
+            if let Some(obs) = self.obs() {
+                obs.on_drop(
+                    t_done,
+                    &DropEvent {
+                        node: node.0,
+                        dst: Some(dst.0),
+                        reason: DropReason::NoLink,
+                    },
+                );
+            }
             self.queue.push(
                 t_done,
                 EventKind::SendDone {
@@ -603,6 +712,16 @@ impl<P: Protocol> Engine<P> {
             }
             self.trace.unicast_started += 1;
             self.trace.unicast_failed += 1;
+            if let Some(obs) = self.obs() {
+                obs.on_drop(
+                    t,
+                    &DropEvent {
+                        node: node.0,
+                        dst: Some(dst.0),
+                        reason: DropReason::ReceiverOff,
+                    },
+                );
+            }
             self.queue.push(
                 t,
                 EventKind::SendDone {
@@ -625,6 +744,18 @@ impl<P: Protocol> Engine<P> {
             t = t + self.backoff(node) + self.mac_cfg.tx_time(tx.bytes);
             let data_ok = self.link_procs[link_id].sample(t, &mut self.link_rngs[link_id]);
             self.trace.record_data_attempt(link_id, data_ok, tx.bytes);
+            if let Some(obs) = self.obs() {
+                obs.on_tx(
+                    t,
+                    &TxEvent {
+                        src: node.0,
+                        dst: Some(dst.0),
+                        attempt,
+                        bytes: tx.bytes as u32,
+                        ok: data_ok,
+                    },
+                );
+            }
             if data_ok {
                 // Deliver this copy (duplicates possible across attempts).
                 self.queue.push(
@@ -647,6 +778,17 @@ impl<P: Protocol> Engine<P> {
                     None => false, // asymmetric link: ACK direction unusable
                 };
                 self.trace.record_ack_attempt(link_id, ack_ok, ACK_BYTES);
+                if let Some(obs) = self.obs() {
+                    obs.on_ack(
+                        t_ack,
+                        &AckEvent {
+                            src: node.0,
+                            dst: dst.0,
+                            attempt,
+                            ok: ack_ok,
+                        },
+                    );
+                }
                 t = t_ack;
                 if ack_ok {
                     acked_at_attempt = Some(attempt);
@@ -670,6 +812,16 @@ impl<P: Protocol> Engine<P> {
             }
             None => {
                 self.trace.unicast_failed += 1;
+                if let Some(obs) = self.obs() {
+                    obs.on_drop(
+                        t,
+                        &DropEvent {
+                            node: node.0,
+                            dst: Some(dst.0),
+                            reason: DropReason::LinkExhausted,
+                        },
+                    );
+                }
                 SendDone {
                     token: tx.token,
                     dst,
@@ -695,8 +847,8 @@ mod tests {
     struct Pinger {
         to_send: u32,
         period: SimDuration,
-        received: Vec<u16>,       // attempt numbers of received copies
-        dedup_received: u32,      // unique frames (by seqno)
+        received: Vec<u16>,  // attempt numbers of received copies
+        dedup_received: u32, // unique frames (by seqno)
         seen: std::collections::HashSet<u32>,
         acked: u32,
         failed: u32,
@@ -1042,7 +1194,10 @@ mod tests {
             .collect();
         let n_neighbors = topo.neighbors(NodeId(0)).len();
         let protos = (0..topo.node_count())
-            .map(|_| Beaconer { sent: false, got: 0 })
+            .map(|_| Beaconer {
+                sent: false,
+                got: 0,
+            })
             .collect();
         let mut e = Engine::new(topo, &models, MacConfig::default(), hub, protos);
         e.start();

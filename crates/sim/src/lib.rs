@@ -20,7 +20,11 @@
 //! * **ground truth** ([`trace`]): per-link empirical reception ratios and
 //!   traffic statistics that estimates are scored against;
 //! * **bit-reproducibility** ([`rng`]): every stochastic component draws
-//!   from a named stream derived from one master seed.
+//!   from a named stream derived from one master seed;
+//! * **structured observability** ([`obs`]): an [`obs::Observer`] hook
+//!   surface on the engine (tx/rx/ack/drop/timer plus protocol-level
+//!   parent-change, epoch-switch, and decode events), a JSONL tracer, and
+//!   a metrics registry — all guaranteed not to perturb simulation state.
 //!
 //! Protocols (routing, Dophy itself) implement [`engine::Protocol`] and are
 //! driven by callbacks; see `dophy-routing` and `dophy` for the stacks built
@@ -35,6 +39,7 @@ pub mod engine;
 pub mod event;
 pub mod link;
 pub mod mac;
+pub mod obs;
 pub mod packet;
 pub mod radio;
 pub mod rng;
@@ -49,6 +54,10 @@ pub use energy::{EnergyModel, EnergyReport};
 pub use engine::{Ctx, Engine, Protocol};
 pub use link::{LossModel, LossProcess};
 pub use mac::MacConfig;
+pub use obs::{
+    CountingObserver, Event, JsonlTracer, MetricsRegistry, MetricsSnapshot, Observer, Severity,
+    TraceRecord,
+};
 pub use packet::{Frame, Payload, SendDone, SendToken, TimerId};
 pub use radio::RadioModel;
 pub use rng::{RngHub, StreamKind};

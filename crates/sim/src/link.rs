@@ -171,7 +171,10 @@ impl LossProcess {
                     } else {
                         prr
                     };
-                    self.state = ProcessState::Walk { prr: new, last: now };
+                    self.state = ProcessState::Walk {
+                        prr: new,
+                        last: now,
+                    };
                     new
                 } else {
                     unreachable!("walk model carries walk state")
@@ -269,8 +272,14 @@ mod tests {
 
     #[test]
     fn bernoulli_extremes() {
-        assert_eq!(empirical_prr(LossModel::Bernoulli { prr: 1.0 }, 1000, 1), 1.0);
-        assert_eq!(empirical_prr(LossModel::Bernoulli { prr: 0.0 }, 1000, 1), 0.0);
+        assert_eq!(
+            empirical_prr(LossModel::Bernoulli { prr: 1.0 }, 1000, 1),
+            1.0
+        );
+        assert_eq!(
+            empirical_prr(LossModel::Bernoulli { prr: 0.0 }, 1000, 1),
+            0.0
+        );
     }
 
     #[test]

@@ -1,0 +1,951 @@
+//! Structured observability: event tracing and a metrics registry.
+//!
+//! The simulator's ground-truth [`crate::trace::Trace`] records *what the
+//! channel did*; this module records *why a run behaved the way it did*.
+//! It has two halves:
+//!
+//! - **Event tracing.** The [`Observer`] trait receives structured,
+//!   sim-time-stamped events from the engine hot path (tx/rx/ack/drop/
+//!   timer) and from protocol layers (parent changes, model-epoch
+//!   switches, decode outcomes). Every hook has a no-op default, and the
+//!   engine holds an `Option<Arc<dyn Observer>>`, so an unobserved run
+//!   pays only an untaken branch per event. [`JsonlTracer`] is the
+//!   standard observer: it streams one JSON object per event to any
+//!   writer, with severity and category filtering.
+//!
+//! - **Metrics.** [`MetricsRegistry`] holds named counters, gauges, and
+//!   histograms with static label sets, and snapshots them into a
+//!   time-series on whatever sim-time cadence the harness chooses.
+//!
+//! Observers receive `&self` and plain-data event payloads: they cannot
+//! reach simulation RNG streams or mutate engine state, so an observed
+//! run is bit-identical to an unobserved run of the same seed. The
+//! integration tests enforce this zero-perturbation guarantee.
+
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// ---------------------------------------------------------------------------
+// Event payloads
+// ---------------------------------------------------------------------------
+
+/// One physical transmission attempt (unicast attempt or broadcast).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxEvent {
+    /// Sending node.
+    pub src: u16,
+    /// Destination node; `None` for a link-layer broadcast.
+    pub dst: Option<u16>,
+    /// 1-based attempt number within the ARQ exchange (1 for broadcast).
+    pub attempt: u16,
+    /// On-air frame size in bytes.
+    pub bytes: u32,
+    /// Whether the channel delivered this copy (broadcasts report `true`;
+    /// per-neighbor outcomes arrive as [`RxEvent`]s).
+    pub ok: bool,
+}
+
+/// A frame copy delivered to a node's protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RxEvent {
+    /// Sending node.
+    pub src: u16,
+    /// Receiving node.
+    pub dst: u16,
+    /// Attempt number the delivered copy was sent on.
+    pub attempt: u16,
+    /// On-air frame size in bytes.
+    pub bytes: u32,
+    /// Whether the frame was a broadcast.
+    pub broadcast: bool,
+}
+
+/// One link-layer ACK attempt back to the data sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AckEvent {
+    /// Data sender (the ACK's destination).
+    pub src: u16,
+    /// Data receiver (the ACK's sender).
+    pub dst: u16,
+    /// Attempt number being acknowledged.
+    pub attempt: u16,
+    /// Whether the ACK survived the reverse channel.
+    pub ok: bool,
+}
+
+/// Why a frame (or a whole exchange) was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The sending node's radio was off.
+    RadioOff,
+    /// The MAC transmit queue was full.
+    QueueFull,
+    /// The ARQ exchange exhausted its attempt budget unacknowledged.
+    LinkExhausted,
+    /// No physical link exists towards the destination.
+    NoLink,
+    /// The destination's radio was off for the whole exchange.
+    ReceiverOff,
+    /// The routing layer had no parent/route for the packet.
+    NoRoute,
+    /// The packet's TTL/hop budget expired in the network.
+    TtlExpired,
+}
+
+/// A frame or packet dropped before (or instead of) delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DropEvent {
+    /// Node at which the drop happened.
+    pub node: u16,
+    /// Intended destination, when known.
+    pub dst: Option<u16>,
+    /// Why the frame died.
+    pub reason: DropReason,
+}
+
+/// A protocol timer fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimerEvent {
+    /// Node whose timer fired.
+    pub node: u16,
+    /// Raw timer id (protocol-defined meaning).
+    pub timer: u32,
+}
+
+/// A node adopted a (new) routing parent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParentChangeEvent {
+    /// Node switching parents.
+    pub node: u16,
+    /// Previous parent, `None` on first adoption.
+    pub old_parent: Option<u16>,
+    /// Newly adopted parent.
+    pub new_parent: u16,
+    /// Path ETX through the new parent at adoption time.
+    pub etx: f64,
+}
+
+/// The sink published a new model epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochSwitchEvent {
+    /// Internal (unwrapped) epoch number now current.
+    pub epoch: u64,
+}
+
+/// Outcome of decoding one data packet at the sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecodeOutcome {
+    /// Decoded cleanly.
+    Ok,
+    /// Packet carried an epoch the sink has no models for.
+    UnknownEpoch,
+    /// A decoded symbol index fell outside its space.
+    BadIndex,
+    /// The decoded path disagreed with observed forwarding.
+    PathMismatch,
+    /// Range-coder failure mid-stream.
+    Coding,
+    /// A hop had disabled coding (missing epoch models).
+    Disabled,
+}
+
+/// A sink-side packet decode finished (successfully or not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DecodeEvent {
+    /// Origin node of the packet.
+    pub origin: u16,
+    /// Origin sequence number.
+    pub seq: u32,
+    /// Hop count the packet claimed.
+    pub hops: u16,
+    /// What the decoder concluded.
+    pub outcome: DecodeOutcome,
+}
+
+/// Any observable event, tagged by kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// Transmission attempt.
+    Tx(TxEvent),
+    /// Frame delivery.
+    Rx(RxEvent),
+    /// ACK attempt.
+    Ack(AckEvent),
+    /// Drop.
+    Drop(DropEvent),
+    /// Timer fire.
+    Timer(TimerEvent),
+    /// Routing parent change.
+    ParentChange(ParentChangeEvent),
+    /// Model epoch switch.
+    EpochSwitch(EpochSwitchEvent),
+    /// Sink decode outcome.
+    Decode(DecodeEvent),
+}
+
+/// Coarse importance level used for trace filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Per-frame detail (tx/rx/ack/timer).
+    Debug,
+    /// State transitions worth seeing at a glance.
+    Info,
+    /// Losses and failures.
+    Warn,
+}
+
+/// Which subsystem an event belongs to, for category filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// MAC/channel events (tx, rx, ack, link drops).
+    Mac,
+    /// Engine-level events (timers).
+    Engine,
+    /// Routing events (parent changes, route drops).
+    Routing,
+    /// Model/epoch lifecycle events.
+    Model,
+    /// Sink decode events.
+    Decode,
+}
+
+impl Event {
+    /// Severity of this event for filtering.
+    #[must_use]
+    pub fn severity(&self) -> Severity {
+        match self {
+            Event::Tx(_) | Event::Rx(_) | Event::Ack(_) | Event::Timer(_) => Severity::Debug,
+            Event::ParentChange(_) | Event::EpochSwitch(_) => Severity::Info,
+            Event::Drop(_) => Severity::Warn,
+            Event::Decode(e) => {
+                if e.outcome == DecodeOutcome::Ok {
+                    Severity::Debug
+                } else {
+                    Severity::Warn
+                }
+            }
+        }
+    }
+
+    /// Subsystem category of this event for filtering.
+    #[must_use]
+    pub fn category(&self) -> Category {
+        match self {
+            Event::Tx(_) | Event::Rx(_) | Event::Ack(_) => Category::Mac,
+            Event::Timer(_) => Category::Engine,
+            Event::Drop(e) => match e.reason {
+                DropReason::NoRoute | DropReason::TtlExpired => Category::Routing,
+                _ => Category::Mac,
+            },
+            Event::ParentChange(_) => Category::Routing,
+            Event::EpochSwitch(_) => Category::Model,
+            Event::Decode(_) => Category::Decode,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observer
+// ---------------------------------------------------------------------------
+
+/// Receives structured events from the engine and protocol layers.
+///
+/// Every hook defaults to a no-op, so observers implement only what they
+/// care about. Hooks take `&self`: observers are shared (`Arc`) across
+/// the engine and protocol layers and must do their own interior
+/// synchronisation. They receive plain data and cannot perturb the
+/// simulation.
+pub trait Observer: Send + Sync {
+    /// A physical transmission attempt started/resolved.
+    fn on_tx(&self, _now: SimTime, _ev: &TxEvent) {}
+    /// A frame copy was delivered to a protocol.
+    fn on_rx(&self, _now: SimTime, _ev: &RxEvent) {}
+    /// A link-layer ACK attempt resolved.
+    fn on_ack(&self, _now: SimTime, _ev: &AckEvent) {}
+    /// A frame or exchange was dropped.
+    fn on_drop(&self, _now: SimTime, _ev: &DropEvent) {}
+    /// A protocol timer fired.
+    fn on_timer(&self, _now: SimTime, _ev: &TimerEvent) {}
+    /// A node adopted a (new) routing parent.
+    fn on_parent_change(&self, _now: SimTime, _ev: &ParentChangeEvent) {}
+    /// The sink published a new model epoch.
+    fn on_epoch_switch(&self, _now: SimTime, _ev: &EpochSwitchEvent) {}
+    /// A sink-side decode finished.
+    fn on_decode(&self, _now: SimTime, _ev: &DecodeEvent) {}
+}
+
+// ---------------------------------------------------------------------------
+// JsonlTracer
+// ---------------------------------------------------------------------------
+
+/// One line of a JSONL trace: sim-time-stamped, severity/category tagged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Simulated time in microseconds.
+    pub t_us: u64,
+    /// Severity of the event.
+    pub severity: Severity,
+    /// Subsystem category of the event.
+    pub category: Category,
+    /// The event payload.
+    pub event: Event,
+}
+
+/// Observer streaming events as JSON Lines to a writer.
+///
+/// Each retained event becomes one [`TraceRecord`] serialized on its own
+/// line. Events below the minimum severity, or outside the category
+/// allow-list (when one is set), are skipped before any serialization
+/// work happens. Write errors are counted, not propagated — tracing must
+/// never abort a simulation.
+pub struct JsonlTracer<W: Write + Send> {
+    out: Mutex<W>,
+    min_severity: Severity,
+    categories: Option<Vec<Category>>,
+    lines: AtomicU64,
+    io_errors: AtomicU64,
+}
+
+impl<W: Write + Send> JsonlTracer<W> {
+    /// Tracer writing every event to `out`.
+    pub fn new(out: W) -> Self {
+        Self {
+            out: Mutex::new(out),
+            min_severity: Severity::Debug,
+            categories: None,
+            lines: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Keeps only events at or above `min` severity.
+    #[must_use]
+    pub fn with_min_severity(mut self, min: Severity) -> Self {
+        self.min_severity = min;
+        self
+    }
+
+    /// Keeps only events whose category is in `cats`.
+    #[must_use]
+    pub fn with_categories(mut self, cats: Vec<Category>) -> Self {
+        self.categories = Some(cats);
+        self
+    }
+
+    /// Lines successfully written so far.
+    pub fn lines_written(&self) -> u64 {
+        self.lines.load(Ordering::Relaxed)
+    }
+
+    /// Write errors swallowed so far (a healthy run reports 0).
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) {
+        if self.out.lock().flush().is_err() {
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Consumes the tracer, returning the writer (flushed).
+    pub fn into_inner(self) -> W {
+        let mut w = self.out.into_inner();
+        let _ = w.flush();
+        w
+    }
+
+    fn emit(&self, now: SimTime, event: Event) {
+        let severity = event.severity();
+        if severity < self.min_severity {
+            return;
+        }
+        let category = event.category();
+        if let Some(cats) = &self.categories {
+            if !cats.contains(&category) {
+                return;
+            }
+        }
+        let record = TraceRecord {
+            t_us: now.as_micros(),
+            severity,
+            category,
+            event,
+        };
+        let Ok(line) = serde_json::to_string(&record) else {
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let mut out = self.out.lock();
+        if writeln!(out, "{line}").is_ok() {
+            self.lines.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<W: Write + Send> Observer for JsonlTracer<W> {
+    fn on_tx(&self, now: SimTime, ev: &TxEvent) {
+        self.emit(now, Event::Tx(*ev));
+    }
+
+    fn on_rx(&self, now: SimTime, ev: &RxEvent) {
+        self.emit(now, Event::Rx(*ev));
+    }
+
+    fn on_ack(&self, now: SimTime, ev: &AckEvent) {
+        self.emit(now, Event::Ack(*ev));
+    }
+
+    fn on_drop(&self, now: SimTime, ev: &DropEvent) {
+        self.emit(now, Event::Drop(*ev));
+    }
+
+    fn on_timer(&self, now: SimTime, ev: &TimerEvent) {
+        self.emit(now, Event::Timer(*ev));
+    }
+
+    fn on_parent_change(&self, now: SimTime, ev: &ParentChangeEvent) {
+        self.emit(now, Event::ParentChange(*ev));
+    }
+
+    fn on_epoch_switch(&self, now: SimTime, ev: &EpochSwitchEvent) {
+        self.emit(now, Event::EpochSwitch(*ev));
+    }
+
+    fn on_decode(&self, now: SimTime, ev: &DecodeEvent) {
+        self.emit(now, Event::Decode(*ev));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CountingObserver
+// ---------------------------------------------------------------------------
+
+/// Snapshot of per-kind event totals from a [`CountingObserver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounts {
+    /// Transmission attempts.
+    pub tx: u64,
+    /// Frame deliveries.
+    pub rx: u64,
+    /// ACK attempts.
+    pub ack: u64,
+    /// Drops.
+    pub drops: u64,
+    /// Timer fires.
+    pub timers: u64,
+    /// Parent changes.
+    pub parent_changes: u64,
+    /// Epoch switches.
+    pub epoch_switches: u64,
+    /// Decode outcomes.
+    pub decodes: u64,
+}
+
+/// Observer tallying event totals and per-link activity.
+///
+/// Useful for quick diagnostics ("which links are noisy?") without the
+/// cost of a full JSONL trace.
+#[derive(Default)]
+pub struct CountingObserver {
+    tx: AtomicU64,
+    rx: AtomicU64,
+    ack: AtomicU64,
+    drops: AtomicU64,
+    timers: AtomicU64,
+    parent_changes: AtomicU64,
+    epoch_switches: AtomicU64,
+    decodes: AtomicU64,
+    /// Events per directed link `(src, dst)` (tx attempts + acks + drops).
+    link_events: Mutex<BTreeMap<(u16, u16), u64>>,
+}
+
+impl CountingObserver {
+    /// New observer with all counts at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current totals.
+    pub fn counts(&self) -> EventCounts {
+        EventCounts {
+            tx: self.tx.load(Ordering::Relaxed),
+            rx: self.rx.load(Ordering::Relaxed),
+            ack: self.ack.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            timers: self.timers.load(Ordering::Relaxed),
+            parent_changes: self.parent_changes.load(Ordering::Relaxed),
+            epoch_switches: self.epoch_switches.load(Ordering::Relaxed),
+            decodes: self.decodes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Directed links ranked by event count, busiest first.
+    pub fn noisiest_links(&self, top: usize) -> Vec<((u16, u16), u64)> {
+        let map = self.link_events.lock();
+        let mut v: Vec<_> = map.iter().map(|(&k, &n)| (k, n)).collect();
+        // Count descending, link id ascending for deterministic ties.
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(top);
+        v
+    }
+
+    fn bump_link(&self, src: u16, dst: u16) {
+        *self.link_events.lock().entry((src, dst)).or_insert(0) += 1;
+    }
+}
+
+impl Observer for CountingObserver {
+    fn on_tx(&self, _now: SimTime, ev: &TxEvent) {
+        self.tx.fetch_add(1, Ordering::Relaxed);
+        if let Some(dst) = ev.dst {
+            self.bump_link(ev.src, dst);
+        }
+    }
+
+    fn on_rx(&self, _now: SimTime, ev: &RxEvent) {
+        self.rx.fetch_add(1, Ordering::Relaxed);
+        self.bump_link(ev.src, ev.dst);
+    }
+
+    fn on_ack(&self, _now: SimTime, ev: &AckEvent) {
+        self.ack.fetch_add(1, Ordering::Relaxed);
+        self.bump_link(ev.src, ev.dst);
+    }
+
+    fn on_drop(&self, _now: SimTime, ev: &DropEvent) {
+        self.drops.fetch_add(1, Ordering::Relaxed);
+        if let Some(dst) = ev.dst {
+            self.bump_link(ev.node, dst);
+        }
+    }
+
+    fn on_timer(&self, _now: SimTime, _ev: &TimerEvent) {
+        self.timers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_parent_change(&self, _now: SimTime, _ev: &ParentChangeEvent) {
+        self.parent_changes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_epoch_switch(&self, _now: SimTime, _ev: &EpochSwitchEvent) {
+        self.epoch_switches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_decode(&self, _now: SimTime, _ev: &DecodeEvent) {
+        self.decodes.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Fans events out to several observers in order.
+#[derive(Default)]
+pub struct MultiObserver {
+    observers: Vec<std::sync::Arc<dyn Observer>>,
+}
+
+impl MultiObserver {
+    /// Builds a fan-out over `observers`.
+    #[must_use]
+    pub fn new(observers: Vec<std::sync::Arc<dyn Observer>>) -> Self {
+        Self { observers }
+    }
+}
+
+impl Observer for MultiObserver {
+    fn on_tx(&self, now: SimTime, ev: &TxEvent) {
+        for o in &self.observers {
+            o.on_tx(now, ev);
+        }
+    }
+
+    fn on_rx(&self, now: SimTime, ev: &RxEvent) {
+        for o in &self.observers {
+            o.on_rx(now, ev);
+        }
+    }
+
+    fn on_ack(&self, now: SimTime, ev: &AckEvent) {
+        for o in &self.observers {
+            o.on_ack(now, ev);
+        }
+    }
+
+    fn on_drop(&self, now: SimTime, ev: &DropEvent) {
+        for o in &self.observers {
+            o.on_drop(now, ev);
+        }
+    }
+
+    fn on_timer(&self, now: SimTime, ev: &TimerEvent) {
+        for o in &self.observers {
+            o.on_timer(now, ev);
+        }
+    }
+
+    fn on_parent_change(&self, now: SimTime, ev: &ParentChangeEvent) {
+        for o in &self.observers {
+            o.on_parent_change(now, ev);
+        }
+    }
+
+    fn on_epoch_switch(&self, now: SimTime, ev: &EpochSwitchEvent) {
+        for o in &self.observers {
+            o.on_epoch_switch(now, ev);
+        }
+    }
+
+    fn on_decode(&self, now: SimTime, ev: &DecodeEvent) {
+        for o in &self.observers {
+            o.on_decode(now, ev);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// Histogram with power-of-two buckets plus count/sum/min/max.
+///
+/// Bucket `i` counts observations with value ≤ 2^i (last bucket is
+/// unbounded), which is plenty of resolution for queue depths, retry
+/// counts, and byte sizes while keeping snapshots tiny.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value (`NaN` until the first observation).
+    pub min: f64,
+    /// Largest observed value (`NaN` until the first observation).
+    pub max: f64,
+    /// Cumulative-style bucket counts; bucket `i` holds observations in
+    /// `(2^(i-1), 2^i]` (bucket 0: ≤ 1; final bucket: everything larger).
+    pub buckets: Vec<u64>,
+}
+
+/// Number of histogram buckets (≤1, ≤2, …, ≤2^16, +∞).
+const HIST_BUCKETS: usize = 18;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::NAN,
+            max: f64::NAN,
+            buckets: vec![0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        // `min`/`max` start as NaN; `f64::min`/`max` ignore the NaN side,
+        // so the first observation initialises both.
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let mut idx = 0usize;
+        let mut bound = 1.0f64;
+        while idx + 1 < HIST_BUCKETS && value > bound {
+            bound *= 2.0;
+            idx += 1;
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// Mean of observed values (`NaN` when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One timestamped snapshot of every metric in the registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Simulated time of the snapshot, in microseconds.
+    pub t_us: u64,
+    /// Counter values, sorted by metric key.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by metric key.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram states, sorted by metric key.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+/// Named counters, gauges, and histograms with static label sets,
+/// sampled into a time series of [`MetricsSnapshot`]s.
+///
+/// Metric identity is `name` plus a set of `(label, value)` pairs,
+/// rendered as `name{k=v,...}` with labels sorted — so snapshot contents
+/// are deterministic regardless of registration order.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    series: Vec<MetricsSnapshot>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Canonical metric key: `name{k=v,...}` with labels sorted by key.
+    #[must_use]
+    pub fn key(name: &str, labels: &[(&str, &str)]) -> String {
+        if labels.is_empty() {
+            return name.to_string();
+        }
+        let mut sorted: Vec<&(&str, &str)> = labels.iter().collect();
+        sorted.sort();
+        let body: Vec<String> = sorted.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        format!("{name}{{{}}}", body.join(","))
+    }
+
+    /// Adds `delta` to a counter (created at zero on first touch).
+    pub fn inc_counter(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        *self.counters.entry(Self::key(name, labels)).or_insert(0) += delta;
+    }
+
+    /// Sets a counter to an absolute cumulative value — for sampling
+    /// sources that already maintain monotone totals.
+    pub fn set_counter(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.counters.insert(Self::key(name, labels), value);
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn set_gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauges.insert(Self::key(name, labels), value);
+    }
+
+    /// Records `value` into a histogram.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.histograms
+            .entry(Self::key(name, labels))
+            .or_default()
+            .observe(value);
+    }
+
+    /// Current value of a counter, if it exists.
+    #[must_use]
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.counters.get(&Self::key(name, labels)).copied()
+    }
+
+    /// Current value of a gauge, if it exists.
+    #[must_use]
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&Self::key(name, labels)).copied()
+    }
+
+    /// Current state of a histogram, if it exists.
+    #[must_use]
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.histograms.get(&Self::key(name, labels))
+    }
+
+    /// Captures the current state of every metric as a snapshot at sim
+    /// time `now` and appends it to the series.
+    pub fn snapshot(&mut self, now: SimTime) -> &MetricsSnapshot {
+        let snap = MetricsSnapshot {
+            t_us: now.as_micros(),
+            counters: self.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            gauges: self.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        };
+        self.series.push(snap);
+        self.series.last().expect("just pushed")
+    }
+
+    /// The snapshot series captured so far.
+    #[must_use]
+    pub fn series(&self) -> &[MetricsSnapshot] {
+        &self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn counter_semantics() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.counter("tx", &[]), None);
+        m.inc_counter("tx", &[], 2);
+        m.inc_counter("tx", &[], 3);
+        assert_eq!(m.counter("tx", &[]), Some(5));
+        // Different label sets are distinct series.
+        m.inc_counter("tx", &[("node", "1")], 1);
+        assert_eq!(m.counter("tx", &[]), Some(5));
+        assert_eq!(m.counter("tx", &[("node", "1")]), Some(1));
+    }
+
+    #[test]
+    fn gauge_overwrites() {
+        let mut m = MetricsRegistry::new();
+        m.set_gauge("depth", &[("node", "3")], 4.0);
+        m.set_gauge("depth", &[("node", "3")], 1.0);
+        assert_eq!(m.gauge("depth", &[("node", "3")]), Some(1.0));
+    }
+
+    #[test]
+    fn histogram_semantics() {
+        let mut m = MetricsRegistry::new();
+        for v in [0.5, 1.0, 3.0, 100.0] {
+            m.observe("retries", &[], v);
+        }
+        let h = m.histogram("retries", &[]).unwrap();
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 104.5).abs() < 1e-9);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean() - 26.125).abs() < 1e-9);
+        // 0.5 and 1.0 land in bucket 0 (≤1), 3.0 in bucket 2 (≤4),
+        // 100.0 in bucket 7 (≤128).
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[7], 1);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let a = MetricsRegistry::key("m", &[("a", "1"), ("b", "2")]);
+        let b = MetricsRegistry::key("m", &[("b", "2"), ("a", "1")]);
+        assert_eq!(a, b);
+        assert_eq!(a, "m{a=1,b=2}");
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_and_ordered() {
+        let build = || {
+            let mut m = MetricsRegistry::new();
+            m.inc_counter("b_count", &[], 1);
+            m.inc_counter("a_count", &[], 2);
+            m.set_gauge("z_gauge", &[("node", "2")], 0.5);
+            m.set_gauge("z_gauge", &[("node", "10")], 0.25);
+            m.observe("h", &[], 3.0);
+            m.snapshot(t(1_000_000)).clone()
+        };
+        let (s1, s2) = (build(), build());
+        assert_eq!(s1, s2);
+        assert_eq!(s1.t_us, 1_000_000);
+        let names: Vec<&str> = s1.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["a_count", "b_count"]);
+        // Snapshot JSON is byte-stable too.
+        assert_eq!(
+            serde_json::to_string(&s1).unwrap(),
+            serde_json::to_string(&s2).unwrap()
+        );
+    }
+
+    #[test]
+    fn series_accumulates() {
+        let mut m = MetricsRegistry::new();
+        m.inc_counter("c", &[], 1);
+        m.snapshot(t(1));
+        m.inc_counter("c", &[], 1);
+        m.snapshot(t(2));
+        assert_eq!(m.series().len(), 2);
+        assert_eq!(m.series()[0].counters[0].1, 1);
+        assert_eq!(m.series()[1].counters[0].1, 2);
+    }
+
+    #[test]
+    fn tracer_filters_and_emits_parseable_lines() {
+        let tracer = JsonlTracer::new(Vec::new()).with_min_severity(Severity::Info);
+        let now = t(42);
+        tracer.on_tx(
+            now,
+            &TxEvent {
+                src: 1,
+                dst: Some(0),
+                attempt: 1,
+                bytes: 40,
+                ok: true,
+            },
+        );
+        tracer.on_parent_change(
+            now,
+            &ParentChangeEvent {
+                node: 3,
+                old_parent: None,
+                new_parent: 0,
+                etx: 1.5,
+            },
+        );
+        assert_eq!(tracer.lines_written(), 1, "debug tx must be filtered");
+        let buf = tracer.into_inner();
+        let text = String::from_utf8(buf).unwrap();
+        let rec: TraceRecord = serde_json::from_str(text.trim()).unwrap();
+        assert_eq!(rec.t_us, 42);
+        assert_eq!(rec.category, Category::Routing);
+        match rec.event {
+            Event::ParentChange(e) => assert_eq!(e.new_parent, 0),
+            other => panic!("wrong event: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counting_observer_ranks_links() {
+        let c = CountingObserver::new();
+        let now = t(0);
+        for _ in 0..3 {
+            c.on_tx(
+                now,
+                &TxEvent {
+                    src: 1,
+                    dst: Some(0),
+                    attempt: 1,
+                    bytes: 40,
+                    ok: false,
+                },
+            );
+        }
+        c.on_rx(
+            now,
+            &RxEvent {
+                src: 2,
+                dst: 0,
+                attempt: 1,
+                bytes: 40,
+                broadcast: false,
+            },
+        );
+        let top = c.noisiest_links(5);
+        assert_eq!(top[0], ((1, 0), 3));
+        assert_eq!(top[1], ((2, 0), 1));
+        assert_eq!(c.counts().tx, 3);
+        assert_eq!(c.counts().rx, 1);
+    }
+}

@@ -350,7 +350,11 @@ mod tests {
 
     #[test]
     fn disk_positions_inside_radius() {
-        let pos = Placement::UniformDisk { n: 200, radius: 80.0 }.positions(&hub());
+        let pos = Placement::UniformDisk {
+            n: 200,
+            radius: 80.0,
+        }
+        .positions(&hub());
         assert_eq!(pos.len(), 200);
         let origin = Position { x: 0.0, y: 0.0 };
         assert_eq!(pos[0].distance(&origin), 0.0, "sink at centre");
@@ -361,7 +365,11 @@ mod tests {
 
     #[test]
     fn line_positions() {
-        let pos = Placement::Line { n: 5, spacing: 20.0 }.positions(&hub());
+        let pos = Placement::Line {
+            n: 5,
+            spacing: 20.0,
+        }
+        .positions(&hub());
         assert_eq!(pos.len(), 5);
         assert_eq!(pos[4].x, 80.0);
         assert!(pos.iter().all(|p| p.y == 0.0));
@@ -370,7 +378,10 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let radio = RadioModel::default();
-        let place = Placement::UniformDisk { n: 60, radius: 100.0 };
+        let place = Placement::UniformDisk {
+            n: 60,
+            radius: 100.0,
+        };
         let a = Topology::generate(place, &radio, &hub());
         let b = Topology::generate(place, &radio, &hub());
         assert_eq!(a.links().len(), b.links().len());
@@ -385,7 +396,10 @@ mod tests {
     fn neighbors_sorted_by_prr() {
         let radio = RadioModel::default();
         let topo = Topology::generate(
-            Placement::UniformDisk { n: 80, radius: 90.0 },
+            Placement::UniformDisk {
+                n: 80,
+                radius: 90.0,
+            },
             &radio,
             &hub(),
         );
@@ -424,7 +438,10 @@ mod tests {
         let radio = RadioModel::default();
         // 25 m spacing with d50=30: only adjacent nodes connect reliably.
         let topo = Topology::generate(
-            Placement::Line { n: 8, spacing: 25.0 },
+            Placement::Line {
+                n: 8,
+                spacing: 25.0,
+            },
             &radio,
             &hub(),
         );
@@ -455,9 +472,18 @@ mod tests {
     #[test]
     fn node_count_matches_placement() {
         for place in [
-            Placement::Grid { side: 4, spacing: 10.0 },
-            Placement::UniformDisk { n: 33, radius: 50.0 },
-            Placement::Line { n: 12, spacing: 10.0 },
+            Placement::Grid {
+                side: 4,
+                spacing: 10.0,
+            },
+            Placement::UniformDisk {
+                n: 33,
+                radius: 50.0,
+            },
+            Placement::Line {
+                n: 12,
+                spacing: 10.0,
+            },
             Placement::Clustered {
                 clusters: 5,
                 per_cluster: 8,
@@ -505,9 +531,8 @@ mod tests {
             cluster_radius: 8.0,
         };
         let topo = Topology::generate(place, &RadioModel::default(), &hub());
-        let cluster_of = |id: NodeId| -> Option<usize> {
-            (id.0 > 0).then(|| (usize::from(id.0) - 1) / 10)
-        };
+        let cluster_of =
+            |id: NodeId| -> Option<usize> { (id.0 > 0).then(|| (usize::from(id.0) - 1) / 10) };
         let (mut intra, mut inter) = (0usize, 0usize);
         for l in topo.links() {
             match (cluster_of(l.src), cluster_of(l.dst)) {

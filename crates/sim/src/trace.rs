@@ -143,8 +143,7 @@ impl Trace {
 
     /// Fraction of started unicast exchanges that were acknowledged.
     pub fn unicast_delivery_ratio(&self) -> Option<f64> {
-        (self.unicast_started > 0)
-            .then(|| self.unicast_acked as f64 / self.unicast_started as f64)
+        (self.unicast_started > 0).then(|| self.unicast_acked as f64 / self.unicast_started as f64)
     }
 
     /// Convenience: empirical PRR of `u → v`, if the link exists and

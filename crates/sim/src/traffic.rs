@@ -66,7 +66,9 @@ mod tests {
 
     fn mean_of(pattern: TrafficPattern, n: u32) -> f64 {
         let mut r = rng();
-        let total: u64 = (0..n).map(|_| pattern.next_interval(&mut r).as_micros()).sum();
+        let total: u64 = (0..n)
+            .map(|_| pattern.next_interval(&mut r).as_micros())
+            .sum();
         total as f64 / f64::from(n)
     }
 

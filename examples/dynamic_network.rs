@@ -108,7 +108,13 @@ fn main() {
 
     // Routing dynamics actually experienced.
     let changes: u64 = (1..n)
-        .map(|i| engine.protocol(NodeId(i as u16)).router().stats().parent_changes)
+        .map(|i| {
+            engine
+                .protocol(NodeId(i as u16))
+                .router()
+                .stats()
+                .parent_changes
+        })
         .sum();
 
     println!();
@@ -119,14 +125,25 @@ fn main() {
     );
     println!("ground-truth links scored: {}", truth.len());
     println!();
-    println!("{:>24} {:>10} {:>10} {:>10} {:>10}", "scheme", "MAE", "RMSE", "p90", "coverage");
     println!(
-        "{:>24} {:>10.4} {:>10.4} {:>10.4} {:>10.3}",
-        "dophy (retx-based)", d.mae, d.rmse, d.p90_abs_error, d.coverage()
+        "{:>24} {:>10} {:>10} {:>10} {:>10}",
+        "scheme", "MAE", "RMSE", "p90", "coverage"
     );
     println!(
         "{:>24} {:>10.4} {:>10.4} {:>10.4} {:>10.3}",
-        "traditional (e2e EM)", t.mae, t.rmse, t.p90_abs_error, t.coverage()
+        "dophy (retx-based)",
+        d.mae,
+        d.rmse,
+        d.p90_abs_error,
+        d.coverage()
+    );
+    println!(
+        "{:>24} {:>10.4} {:>10.4} {:>10.4} {:>10.3}",
+        "traditional (e2e EM)",
+        t.mae,
+        t.rmse,
+        t.p90_abs_error,
+        t.coverage()
     );
     println!();
     if d.mae < t.mae {

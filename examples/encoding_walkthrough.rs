@@ -52,8 +52,7 @@ fn main() {
     );
     for i in 0..path.len() - 2 {
         let (snd, rcv) = (path[i], path[i + 1]);
-        encode_hop(&mut header, &topo, &spaces, &models, snd, rcv, attempts[i])
-            .expect("valid hop");
+        encode_hop(&mut header, &topo, &spaces, &models, snd, rcv, attempts[i]).expect("valid hop");
         println!(
             "{:>6} {:>12} {:>9} {:>14} {:>12.2}",
             i + 1,
@@ -100,7 +99,10 @@ fn main() {
     }
     println!();
     println!("encoding the same {k} hop records:");
-    println!("  dophy arithmetic stream : {:>3} B", header.wire_stream_len());
+    println!(
+        "  dophy arithmetic stream : {:>3} B",
+        header.wire_stream_len()
+    );
     println!("  golomb-rice + fixed ids : {:>3} B", rice_bits.div_ceil(8));
     println!("  elias-gamma + fixed ids : {:>3} B", elias.byte_len());
     println!(

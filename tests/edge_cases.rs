@@ -2,9 +2,7 @@
 //! unusual configurations must degrade gracefully, never panic.
 
 use dophy::protocol::{build_simulation, DophyConfig, NodeChurnConfig, TrafficShape};
-use dophy_sim::{
-    LinkDynamics, MacConfig, NodeId, Placement, RadioModel, SimConfig, SimDuration,
-};
+use dophy_sim::{LinkDynamics, MacConfig, NodeId, Placement, RadioModel, SimConfig, SimDuration};
 
 fn base(placement: Placement, seed: u64) -> SimConfig {
     SimConfig {
@@ -97,7 +95,10 @@ fn queue_saturation_drops_but_survives() {
     let (mut engine, shared) = build_simulation(&sim, &cfg);
     engine.start();
     engine.run_for(SimDuration::from_secs(120));
-    assert!(engine.trace().queue_drops > 0, "saturation must drop frames");
+    assert!(
+        engine.trace().queue_drops > 0,
+        "saturation must drop frames"
+    );
     let s = shared.lock();
     assert!(s.overhead.packets > 0, "some packets still flow");
     // Decoded packets stay consistent even under loss.
@@ -198,7 +199,10 @@ fn node_churn_degrades_gracefully() {
     );
     // Hard decode failures must stay zero (death only loses packets, never
     // corrupts streams).
-    assert_eq!(s.decode.bad_index + s.decode.path_mismatch + s.decode.coding, 0);
+    assert_eq!(
+        s.decode.bad_index + s.decode.path_mismatch + s.decode.coding,
+        0
+    );
     // Delivery suffers — that's the point of the stressor.
     let dr = s.total_delivery_ratio().unwrap();
     assert!(dr > 0.5 && dr < 0.999, "delivery {dr}");
@@ -238,9 +242,5 @@ fn very_long_line_produces_deep_paths() {
     );
     drop(s);
     // Far node has a working route.
-    assert!(engine
-        .protocol(NodeId(14))
-        .router()
-        .next_hop()
-        .is_some());
+    assert!(engine.protocol(NodeId(14)).router().next_hop().is_some());
 }

@@ -56,7 +56,11 @@ fn estimates_converge_to_empirical_truth() {
         .collect();
     let rep = score(&est, &truth);
     assert!(rep.scored_links >= 10);
-    assert!(rep.mae < 0.03, "MAE {} too high for a static network", rep.mae);
+    assert!(
+        rep.mae < 0.03,
+        "MAE {} too high for a static network",
+        rep.mae
+    );
     assert!(rep.max_abs_error < 0.15, "max error {}", rep.max_abs_error);
 }
 

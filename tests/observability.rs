@@ -1,0 +1,205 @@
+//! Observability invariants: attaching tracing, counting, and metrics
+//! instrumentation to a run must not perturb the simulation, and the
+//! artifacts the instrumentation produces must be well-formed.
+
+use dophy_bench::{run_scenario, run_scenario_with, Instruments, RunOutput, RunSpec};
+use dophy_sim::obs::{CountingObserver, JsonlTracer, MultiObserver, TraceRecord};
+use dophy_sim::{LinkDynamics, Placement, SimConfig, SimDuration};
+use std::sync::Arc;
+
+fn quick_spec() -> RunSpec {
+    let sim = SimConfig {
+        placement: Placement::Grid {
+            side: 4,
+            spacing: 15.0,
+        },
+        dynamics: LinkDynamics::Volatile {
+            sigma_per_sqrt_s: 0.02,
+        },
+        ..SimConfig::canonical(17)
+    };
+    let dophy = dophy::protocol::DophyConfig {
+        traffic_period: SimDuration::from_secs(2),
+        warmup: SimDuration::from_secs(30),
+        ..dophy::protocol::DophyConfig::default()
+    };
+    RunSpec::new(sim, dophy, SimDuration::from_secs(600))
+}
+
+/// Serializes the simulation-determined parts of a run (everything except
+/// wall-clock telemetry) so two runs can be compared byte-for-byte. The
+/// vendored serde emits map keys in sorted order, so equal outputs always
+/// produce equal bytes.
+fn fingerprint(out: &RunOutput) -> String {
+    let mut s = String::new();
+    s += &serde_json::to_string(&out.truth).unwrap();
+    s += &serde_json::to_string(&out.dophy).unwrap();
+    s += &serde_json::to_string(&out.naive).unwrap();
+    s += &serde_json::to_string(&out.bayes).unwrap();
+    s += &serde_json::to_string(&out.em).unwrap();
+    s += &serde_json::to_string(&out.ls).unwrap();
+    s += &serde_json::to_string(&out.decode).unwrap();
+    s += &serde_json::to_string(&out.overhead).unwrap();
+    s += &serde_json::to_string(&out.churn).unwrap();
+    s += &format!(
+        "|{}|{}|{}|{}",
+        out.dissemination_bytes, out.refreshes, out.delivery_ratio, out.node_count
+    );
+    s
+}
+
+#[test]
+fn observed_run_is_bit_identical_to_bare_run() {
+    let spec = quick_spec();
+    let bare = run_scenario(&spec);
+
+    let tracer = Arc::new(JsonlTracer::new(Vec::new()));
+    let counter = Arc::new(CountingObserver::new());
+    let observer = Arc::new(MultiObserver::new(vec![
+        tracer.clone() as Arc<dyn dophy_sim::Observer>,
+        counter.clone() as Arc<dyn dophy_sim::Observer>,
+    ]));
+    let observed = run_scenario_with(
+        &spec,
+        Instruments {
+            observer: Some(observer.clone()),
+            metrics_every: Some(SimDuration::from_secs(60)),
+            progress: false,
+        },
+    );
+
+    // The full simulation outcome must be unaffected by instrumentation.
+    for (name, a, b) in [
+        (
+            "truth",
+            serde_json::to_string(&bare.truth).unwrap(),
+            serde_json::to_string(&observed.truth).unwrap(),
+        ),
+        (
+            "dophy",
+            serde_json::to_string(&bare.dophy).unwrap(),
+            serde_json::to_string(&observed.dophy).unwrap(),
+        ),
+        (
+            "naive",
+            serde_json::to_string(&bare.naive).unwrap(),
+            serde_json::to_string(&observed.naive).unwrap(),
+        ),
+        (
+            "bayes",
+            serde_json::to_string(&bare.bayes).unwrap(),
+            serde_json::to_string(&observed.bayes).unwrap(),
+        ),
+        (
+            "em",
+            serde_json::to_string(&bare.em).unwrap(),
+            serde_json::to_string(&observed.em).unwrap(),
+        ),
+        (
+            "ls",
+            serde_json::to_string(&bare.ls).unwrap(),
+            serde_json::to_string(&observed.ls).unwrap(),
+        ),
+        (
+            "decode",
+            serde_json::to_string(&bare.decode).unwrap(),
+            serde_json::to_string(&observed.decode).unwrap(),
+        ),
+        (
+            "overhead",
+            serde_json::to_string(&bare.overhead).unwrap(),
+            serde_json::to_string(&observed.overhead).unwrap(),
+        ),
+        (
+            "churn",
+            serde_json::to_string(&bare.churn).unwrap(),
+            serde_json::to_string(&observed.churn).unwrap(),
+        ),
+    ] {
+        assert_eq!(a, b, "component {name} differs");
+    }
+    assert_eq!(fingerprint(&bare), fingerprint(&observed));
+
+    // The trace saw real traffic and every line parses back into the
+    // typed record it came from.
+    tracer.flush();
+    assert_eq!(tracer.io_errors(), 0);
+    drop(observer); // the engine released its clone when the run finished
+    let raw = match Arc::try_unwrap(tracer) {
+        Ok(t) => t.into_inner(),
+        Err(t) => panic!("tracer still shared: {} refs", Arc::strong_count(&t)),
+    };
+    let text = String::from_utf8(raw).expect("trace is UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 1000, "only {} trace lines", lines.len());
+    for line in &lines {
+        let rec: TraceRecord =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("bad trace line {line}: {e}"));
+        // Round-trip: re-serializing yields the identical line.
+        assert_eq!(&serde_json::to_string(&rec).unwrap(), *line);
+    }
+
+    // The counting observer agrees with the tracer on volume.
+    let counts = counter.counts();
+    let total = counts.tx
+        + counts.rx
+        + counts.ack
+        + counts.drops
+        + counts.timers
+        + counts.parent_changes
+        + counts.epoch_switches
+        + counts.decodes;
+    assert_eq!(total, lines.len() as u64);
+    assert!(counts.tx > 0 && counts.rx > 0 && counts.ack > 0);
+    assert!(counts.decodes > 0, "sink never decoded anything");
+    assert!(!counter.noisiest_links(5).is_empty());
+
+    // Metrics snapshots exist on the requested cadence and cover the MAC,
+    // routing, coding, and decode families.
+    assert_eq!(observed.metrics.len(), 10);
+    let last = observed.metrics.last().unwrap();
+    for family in [
+        "mac_unicast_started",
+        "mac_bytes_on_air",
+        "routing_beacons_sent",
+        "routing_parent_changes",
+        "model_dissemination_bytes",
+        "decode_packets{outcome=ok}",
+        "app_packets_delivered",
+    ] {
+        assert!(
+            last.counters.iter().any(|(k, _)| k.starts_with(family)),
+            "metrics missing family {family}"
+        );
+    }
+    assert!(last
+        .gauges
+        .iter()
+        .any(|(k, _)| k == "estimator_coverage_ratio"));
+    assert!(last
+        .histograms
+        .iter()
+        .any(|(k, _)| k == "mac_queue_depth_hist"));
+    // Snapshots are strictly time-ordered on the sampling cadence.
+    for w in observed.metrics.windows(2) {
+        assert!(w[0].t_us < w[1].t_us);
+    }
+}
+
+#[test]
+fn metrics_cadence_does_not_perturb_results() {
+    // Sampling metrics chunks the engine's run_for calls; the chunking
+    // itself (no observer at all) must leave results untouched.
+    let spec = quick_spec();
+    let bare = run_scenario(&spec);
+    let sampled = run_scenario_with(
+        &spec,
+        Instruments {
+            observer: None,
+            metrics_every: Some(SimDuration::from_secs(7)),
+            progress: false,
+        },
+    );
+    assert_eq!(fingerprint(&bare), fingerprint(&sampled));
+    assert!(!sampled.metrics.is_empty());
+}

@@ -2,9 +2,7 @@
 //! for any topology, seed, dynamics, and MAC configuration.
 
 use dophy_routing::{RouterConfig, RoutingOnlyNode};
-use dophy_sim::{
-    Engine, LinkDynamics, MacConfig, Placement, RadioModel, SimConfig, SimDuration,
-};
+use dophy_sim::{Engine, LinkDynamics, MacConfig, Placement, RadioModel, SimConfig, SimDuration};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -14,17 +12,15 @@ fn dynamics_strategy() -> impl Strategy<Value = LinkDynamics> {
         (0.01f64..0.1).prop_map(|s| LinkDynamics::Volatile {
             sigma_per_sqrt_s: s
         }),
-        ((0.05f64..0.3), (10.0f64..300.0)).prop_map(|(amp, period_s)| LinkDynamics::Drift {
-            amp,
-            period_s
-        }),
-        ((0.02f64..0.2), (0.1f64..0.9), (2.0f64..120.0)).prop_map(
-            |(lift, bad_factor, cycle_s)| LinkDynamics::Bursty {
+        ((0.05f64..0.3), (10.0f64..300.0))
+            .prop_map(|(amp, period_s)| LinkDynamics::Drift { amp, period_s }),
+        ((0.02f64..0.2), (0.1f64..0.9), (2.0f64..120.0)).prop_map(|(lift, bad_factor, cycle_s)| {
+            LinkDynamics::Bursty {
                 lift,
                 bad_factor,
-                cycle_s
+                cycle_s,
             }
-        ),
+        }),
     ]
 }
 

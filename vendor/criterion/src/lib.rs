@@ -1,0 +1,224 @@
+//! Minimal in-tree stand-in for `criterion`.
+//!
+//! Provides the benchmark-harness API surface the workspace's `benches/`
+//! use (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `Throughput`, `black_box`, `criterion_group!`/`criterion_main!`) with a
+//! deliberately small measurement loop: one warm-up call, then up to
+//! `sample_size` timed iterations bounded by a per-benchmark time budget.
+//! It reports mean wall-clock per iteration (and derived throughput) to
+//! stdout — no statistics engine, plots, or baselines. Good enough to keep
+//! `cargo bench` runnable and the bench targets compiling offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work per iteration, used to derive throughput from iteration time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark name plus a parameter, rendered as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            full: format!("{}/{parameter}", name.into()),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&self.name, &id.to_string(), self.throughput);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&self.name, &id.full, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API parity; reporting is per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark iteration budget: whichever of the sample cap or this
+/// wall-clock budget is hit first ends the measurement.
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    sample_size: usize,
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            sample_size,
+            iters: 0,
+            total: Duration::ZERO,
+        }
+    }
+
+    /// Times `f`, called repeatedly up to the sample/time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.total += start.elapsed();
+            self.iters += 1;
+            if budget_start.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{group}/{id}: no iterations recorded");
+            return;
+        }
+        let per_iter = self.total / u32::try_from(self.iters).unwrap_or(u32::MAX);
+        let mut line = format!(
+            "{group}/{id}: {:.3} ms/iter over {} iters",
+            per_iter.as_secs_f64() * 1e3,
+            self.iters
+        );
+        let secs = per_iter.as_secs_f64();
+        if secs > 0.0 {
+            match throughput {
+                Some(Throughput::Elements(n)) => {
+                    line.push_str(&format!(" ({:.0} elem/s)", n as f64 / secs));
+                }
+                Some(Throughput::Bytes(n)) => {
+                    line.push_str(&format!(" ({:.0} B/s)", n as f64 / secs));
+                }
+                None => {}
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        g.finish();
+        // warm-up + up to 5 timed iterations
+        assert!((2..=6).contains(&calls), "{calls}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal in-tree stand-in for `crossbeam`.
+//!
+//! Provides only `crossbeam::thread::scope` + scoped `spawn`, implemented
+//! on top of `std::thread::scope` (stable since Rust 1.63). Matches the
+//! crossbeam calling convention used in this workspace: the spawn closure
+//! receives a scope argument (ignored by all call sites here), and both
+//! `scope` and `join` report panics as `Err(Box<dyn Any + Send>)` instead
+//! of re-panicking.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Placeholder for the nested-scope handle crossbeam passes to spawn
+    /// closures. Call sites in this workspace ignore it (`|_| ...`);
+    /// nested spawning is not supported by this stand-in.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NestedScope {
+        _priv: (),
+    }
+
+    /// A scope in which threads borrowing the environment may be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; `join` returns the closure's result.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        #[allow(clippy::missing_errors_doc)]
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread running `f`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&NestedScope { _priv: () })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all spawned threads are joined before
+    /// this returns. A panic escaping `f` (or an unjoined spawned thread)
+    /// is reported as `Err`.
+    #[allow(clippy::missing_errors_doc)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_environment() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let res = crate::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+        });
+        assert!(res.is_ok());
+    }
+}

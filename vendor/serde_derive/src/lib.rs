@@ -1,0 +1,440 @@
+//! Minimal in-tree stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` stand-in's `Value` data model, without `syn`/
+//! `quote`: the item is parsed with a small hand-rolled token walker
+//! (enough for the plain structs and enums this workspace derives on — no
+//! generics, no `#[serde(...)]` attributes) and the impl is generated as
+//! source text.
+//!
+//! Representation matches serde_json's external form:
+//! - named struct → object of fields (missing fields fall back to `Null`
+//!   so `Option` fields tolerate omission)
+//! - newtype struct → transparent inner value
+//! - tuple struct → array
+//! - unit enum variant → variant-name string
+//! - data-carrying variant → `{"Variant": ...}` single-key object
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum StructFields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: StructFields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips leading `#[...]` attributes (including doc comments) and a
+/// `pub` / `pub(...)` visibility prefix, starting at `i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Advances past one type expression, stopping after the `,` that
+/// terminates it (or at end of tokens). Tracks `<`/`>` depth so commas
+/// inside generic arguments don't split the field.
+fn skip_type_until_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut depth: i32 = 0;
+    while let Some(tok) = tokens.get(i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(tok) = tokens.get(i) else { break };
+        let TokenTree::Ident(name) = tok else {
+            return Err(format!("unexpected token in field list: {tok}"));
+        };
+        fields.push(name.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field name, found {other:?}")),
+        }
+        i = skip_type_until_comma(&tokens, i);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        i = skip_type_until_comma(&tokens, i);
+    }
+    count
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(tok) = tokens.get(i) else { break };
+        let TokenTree::Ident(name) = tok else {
+            return Err(format!("unexpected token in enum body: {tok}"));
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g)?)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Skip an optional `= discriminant` and the trailing comma.
+        i = skip_type_until_comma(&tokens, i);
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "derive stand-in does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    StructFields::Named(parse_named_fields(g)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    StructFields::Tuple(count_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => StructFields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => return Err(format!("unexpected enum body: {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n"
+            ));
+            match fields {
+                StructFields::Named(names) => {
+                    out.push_str(
+                        "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                    );
+                    for f in names {
+                        out.push_str(&format!(
+                            "entries.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                        ));
+                    }
+                    out.push_str("::serde::Value::Object(entries)\n");
+                }
+                StructFields::Tuple(1) => {
+                    out.push_str("::serde::Serialize::to_value(&self.0)\n");
+                }
+                StructFields::Tuple(n) => {
+                    out.push_str("::serde::Value::Array(vec![");
+                    for idx in 0..*n {
+                        out.push_str(&format!("::serde::Serialize::to_value(&self.{idx}),"));
+                    }
+                    out.push_str("])\n");
+                }
+                StructFields::Unit => out.push_str("::serde::Value::Null\n"),
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n"
+            ));
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => out.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => out.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        out.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(field_names) => {
+                        out.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                            field_names.join(", "),
+                            field_names
+                                .iter()
+                                .map(|f| format!(
+                                    "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                ))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out
+}
+
+/// Emits an expression deserializing field `fname` of `owner` from object
+/// entries bound to `entries`; missing fields fall back to `Null` so
+/// `Option` fields tolerate omission.
+fn named_field_expr(owner: &str, fname: &str) -> String {
+    format!(
+        "match ::serde::find_field(entries, {fname:?}) {{\n\
+         Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+         None => ::serde::Deserialize::from_value(&::serde::Value::Null).map_err(|_| \
+         ::serde::Error::new(concat!(\"missing field `\", {fname:?}, \"` in \", {owner:?})))?,\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n"
+            ));
+            match fields {
+                StructFields::Named(names) => {
+                    out.push_str(&format!(
+                        "let entries = v.as_object().ok_or_else(|| ::serde::Error::new(concat!(\"expected object for struct \", {name:?})))?;\n"
+                    ));
+                    out.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+                    for f in names {
+                        out.push_str(&format!("{f}: {},\n", named_field_expr(name, f)));
+                    }
+                    out.push_str("})\n");
+                }
+                StructFields::Tuple(1) => {
+                    out.push_str(&format!(
+                        "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n"
+                    ));
+                }
+                StructFields::Tuple(n) => {
+                    out.push_str(&format!(
+                        "let items = v.as_array().ok_or_else(|| ::serde::Error::new(concat!(\"expected array for struct \", {name:?})))?;\n\
+                         if items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::new(concat!(\"wrong arity for struct \", {name:?}))); }}\n"
+                    ));
+                    out.push_str(&format!("::std::result::Result::Ok({name}("));
+                    for idx in 0..*n {
+                        out.push_str(&format!(
+                            "::serde::Deserialize::from_value(&items[{idx}])?,"
+                        ));
+                    }
+                    out.push_str("))\n");
+                }
+                StructFields::Unit => {
+                    out.push_str(&format!("::std::result::Result::Ok({name})\n"));
+                }
+            }
+            out.push_str("}\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 if let Some(s) = v.as_str() {{\n\
+                 return match s {{\n"
+            ));
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vname = &v.name;
+                    out.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "other => ::std::result::Result::Err(::serde::Error::new(format!(\"unknown variant {{other:?}} for enum {name}\"))),\n\
+                 }};\n\
+                 }}\n\
+                 let entries = v.as_object().ok_or_else(|| ::serde::Error::new(concat!(\"expected string or object for enum \", {name:?})))?;\n\
+                 if entries.len() != 1 {{ return ::std::result::Result::Err(::serde::Error::new(concat!(\"expected single-key object for enum \", {name:?}))); }}\n\
+                 let (tag, v) = &entries[0];\n\
+                 match tag.as_str() {{\n"
+            ));
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => out.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => out.push_str(&format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(v)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let items = v.as_array().ok_or_else(|| ::serde::Error::new(concat!(\"expected array for variant \", {vname:?})))?;\n\
+                             if items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::new(concat!(\"wrong arity for variant \", {vname:?}))); }}\n\
+                             ::std::result::Result::Ok({name}::{vname}({}))\n\
+                             }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(field_names) => {
+                        let owner = format!("{name}::{vname}");
+                        let fields: Vec<String> = field_names
+                            .iter()
+                            .map(|f| format!("{f}: {}", named_field_expr(&owner, f)))
+                            .collect();
+                        out.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             let entries = v.as_object().ok_or_else(|| ::serde::Error::new(concat!(\"expected object for variant \", {vname:?})))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                             }}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "other => ::std::result::Result::Err(::serde::Error::new(format!(\"unknown variant {{other:?}} for enum {name}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Derives the vendored `serde::Serialize` for a plain struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` for a plain struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("serde_derive codegen: {e}"))),
+        Err(e) => compile_error(&e),
+    }
+}
