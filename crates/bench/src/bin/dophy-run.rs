@@ -28,7 +28,7 @@
 
 use dophy::diagnosis::{DiagnosisConfig, NetworkHealthReport};
 use dophy::protocol::build_simulation;
-use dophy_bench::{run_scenario_with, telemetry, Instruments, RunSpec};
+use dophy_bench::{run_scenario_with, telemetry, FaultSummary, Instruments, RunSpec};
 use dophy_sim::obs::JsonlTracer;
 use dophy_sim::SimTime;
 use dophy_sim::{SimConfig, SimDuration};
@@ -51,6 +51,7 @@ struct Results {
     delivered_packets: u64,
     delivery_ratio: f64,
     decode_success: f64,
+    packets_quarantined: u64,
     stream_bytes_per_packet: f64,
     measurement_bytes_per_packet: f64,
     dissemination_bytes: u64,
@@ -58,6 +59,8 @@ struct Results {
     parent_changes_per_node_hour: f64,
     dophy_mae: f64,
     traditional_em_mae: f64,
+    /// Present only when the scenario enabled fault injection.
+    faults: Option<FaultSummary>,
     links: Vec<LinkRow>,
 }
 
@@ -215,6 +218,7 @@ fn run(cli: Cli) -> Result<(), String> {
         delivered_packets: out.overhead.packets,
         delivery_ratio: out.delivery_ratio,
         decode_success: out.decode.success_ratio(),
+        packets_quarantined: out.decode.quarantined(),
         stream_bytes_per_packet: out.overhead.mean_stream_bytes(),
         measurement_bytes_per_packet: out.overhead.mean_measurement_bytes(),
         dissemination_bytes: out.dissemination_bytes,
@@ -222,6 +226,7 @@ fn run(cli: Cli) -> Result<(), String> {
         parent_changes_per_node_hour: out.churn.changes_per_node_hour,
         dophy_mae: out.score_scheme(&out.dophy).mae,
         traditional_em_mae: out.score_scheme(&out.em).mae,
+        faults: out.faults,
         links,
     };
 
@@ -244,6 +249,19 @@ fn run(cli: Cli) -> Result<(), String> {
         println!("delivered packets        : {}", results.delivered_packets);
         println!("delivery ratio           : {:.4}", results.delivery_ratio);
         println!("decode success           : {:.4}", results.decode_success);
+        println!("packets quarantined      : {}", results.packets_quarantined);
+        if let Some(f) = &results.faults {
+            println!(
+                "faults injected          : {} frames corrupted ({} bit flips, \
+                 {} truncations, {} header hits), {} destroyed, {} dissemination drops",
+                f.injection.frames_corrupted,
+                f.injection.bit_flips,
+                f.injection.truncations,
+                f.injection.header_hits,
+                f.frames_destroyed,
+                f.dissemination_drops
+            );
+        }
         println!(
             "stream / measurement     : {:.2} / {:.2} B per packet",
             results.stream_bytes_per_packet, results.measurement_bytes_per_packet

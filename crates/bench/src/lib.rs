@@ -26,5 +26,7 @@ pub mod scenario;
 pub mod telemetry;
 
 pub use report::{FigureResult, Series};
-pub use scenario::{run_scenario, run_scenario_with, Instruments, RunOutput, RunSpec};
+pub use scenario::{
+    run_scenario, run_scenario_with, FaultSummary, Instruments, RunOutput, RunSpec,
+};
 pub use telemetry::{ProgressMeter, RunTelemetry};

@@ -148,15 +148,31 @@ mod tests {
 
     #[test]
     fn collector_accumulates_and_exports() {
-        record_run("test-run", RunTelemetry::from_measurement(5, 1.0, 10.0));
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // The collector is process-wide and other tests in this binary
+        // record into it too, so tag this test's record with a unique
+        // label and only assert on records we created. The export dir is
+        // keyed by pid + counter so concurrent test processes (or repeat
+        // in-process runs) never share a path.
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let tag = format!(
+            "telemetry-test-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        record_run(&tag, RunTelemetry::from_measurement(5, 1.0, 10.0));
         let runs = recorded_runs();
-        assert!(runs.iter().any(|r| r.label == "test-run"));
-        let dir = std::env::temp_dir().join("dophy-telemetry-test");
+        assert_eq!(
+            runs.iter().filter(|r| r.label == tag).count(),
+            1,
+            "exactly the record this test created"
+        );
+        let dir = std::env::temp_dir().join(format!("dophy-{tag}"));
         let path = dir.join("BENCH_telemetry.json");
         write_bench_file(&path).unwrap();
         let raw = std::fs::read_to_string(&path).unwrap();
         let back: Vec<RunRecord> = serde_json::from_str(&raw).unwrap();
-        assert!(back.iter().any(|r| r.label == "test-run"));
+        assert!(back.iter().any(|r| r.label == tag));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

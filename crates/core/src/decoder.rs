@@ -78,6 +78,25 @@ pub enum DecodeError {
     Coding(RangeCodingError),
     /// A hop disabled coding en route (missing epoch models at a node).
     CodingDisabled,
+    /// The claimed hop count cannot occur in this topology — a loop-free
+    /// path visits each node at most once, so `hops` must stay below the
+    /// node count. Catching this up front avoids burning up to 255 model
+    /// decodes on a corrupted header and misreporting it as
+    /// [`DecodeError::PathMismatch`].
+    HopCountOutOfRange {
+        /// Hop count the header claimed.
+        hops: u8,
+        /// Nodes in the topology.
+        node_count: usize,
+    },
+    /// The plaintext origin does not name a node in this topology —
+    /// decoding would walk off the neighbor tables.
+    OriginOutOfRange {
+        /// Origin id the header claimed.
+        origin: NodeId,
+        /// Nodes in the topology.
+        node_count: usize,
+    },
 }
 
 impl From<RangeCodingError> for DecodeError {
@@ -101,6 +120,15 @@ impl std::fmt::Display for DecodeError {
             ),
             Self::Coding(e) => write!(f, "range coding failed: {e}"),
             Self::CodingDisabled => write!(f, "coding was disabled en route"),
+            Self::HopCountOutOfRange { hops, node_count } => {
+                write!(f, "claimed {hops} hops in a {node_count}-node topology")
+            }
+            Self::OriginOutOfRange { origin, node_count } => {
+                write!(
+                    f,
+                    "origin {origin} out of range in a {node_count}-node topology"
+                )
+            }
         }
     }
 }
@@ -118,6 +146,21 @@ pub fn decode_packet(
     final_sender: NodeId,
     final_attempt: u16,
 ) -> Result<DecodedPacket, DecodeError> {
+    // Structural integrity precedes semantic flags: a loop-free path has
+    // at most `node_count - 1` encoded hops (the origin plus each receiver
+    // are distinct nodes), so larger claims are corruption, not routing.
+    if usize::from(header.hops) >= topo.node_count() {
+        return Err(DecodeError::HopCountOutOfRange {
+            hops: header.hops,
+            node_count: topo.node_count(),
+        });
+    }
+    if header.origin.index() >= topo.node_count() {
+        return Err(DecodeError::OriginOutOfRange {
+            origin: header.origin,
+            node_count: topo.node_count(),
+        });
+    }
     if header.coding_disabled {
         return Err(DecodeError::CodingDisabled);
     }
@@ -370,6 +413,23 @@ mod tests {
                 assert!(!agrees, "wrong models silently decoded the exact truth");
             }
         }
+    }
+
+    #[test]
+    fn impossible_hop_count_rejected_up_front() {
+        let t = topo();
+        let s = spaces(&t, AggregationPolicy::Identity, false);
+        let models = ModelSet::initial(&s);
+        let mut h = DophyHeader::new(NodeId(3), 1, 0);
+        h.hops = t.node_count() as u8; // 16 hops in a 16-node topology
+        let err = decode_packet(&h, &t, &s, &models, NodeId(3), 1).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::HopCountOutOfRange {
+                hops: 16,
+                node_count: 16
+            }
+        );
     }
 
     #[test]

@@ -141,6 +141,19 @@ impl DophyHeader {
         let range = u32::from_be_bytes([buf[13], buf[14], buf[15], buf[16]]);
         let cache = buf[17];
         let cache_size = u16::from_be_bytes([buf[18], buf[19]]);
+        // A suspended coder always holds at least one pending cache byte
+        // (a fresh encoder starts at 1 and every flush re-arms it), so
+        // zero is corruption — and it would underflow the flush loop.
+        if cache_size == 0 {
+            return None;
+        }
+        // Structural envelope of a suspended encoder: renormalisation
+        // keeps `range >= TOP`, and interval nesting keeps
+        // `low + range < 2^33`. States outside it are corruption and
+        // would overflow `low` when the next hop encodes onto them.
+        if range < dophy_coding::range::TOP || low + u64::from(range) >= 1u64 << 33 {
+            return None;
+        }
         Some(Self {
             origin,
             seq,
@@ -187,9 +200,11 @@ mod tests {
         let mut h = DophyHeader::new(NodeId(513), 0xDEAD_BEEF, 201);
         h.hops = 9;
         h.coding_disabled = true;
+        // A state inside the suspended-encoder envelope (range >= TOP,
+        // low + range < 2^33) — anything outside it no longer parses.
         h.coder_state = EncoderState {
             low: (1u64 << 32) | 0x1234_5678,
-            range: 0x00FF_00FF,
+            range: 0x01FF_00FF,
             cache: 0xAB,
             cache_size: 3,
         };
@@ -209,6 +224,27 @@ mod tests {
         // Exactly the fixed part parses with an empty stream.
         let back = DophyHeader::from_bytes(&bytes).unwrap();
         assert!(back.stream.is_empty());
+    }
+
+    #[test]
+    fn corrupt_coder_state_rejected() {
+        let good = DophyHeader::new(NodeId(1), 1, 0).to_bytes();
+        assert!(DophyHeader::from_bytes(&good).is_some());
+        // cache_size == 0: no suspended encoder holds zero cache bytes,
+        // and flushing such a state would underflow.
+        let mut b = good.clone();
+        b[18] = 0;
+        b[19] = 0;
+        assert!(DophyHeader::from_bytes(&b).is_none());
+        // range below the renormalisation floor.
+        let mut b = good.clone();
+        b[13..17].copy_from_slice(&[0, 0, 0, 1]);
+        assert!(DophyHeader::from_bytes(&b).is_none());
+        // low + range outside the 33-bit interval envelope (fresh state
+        // keeps range = u32::MAX, so maxing out low breaks nesting).
+        let mut b = good.clone();
+        b[8..13].copy_from_slice(&[1, 0xFF, 0xFF, 0xFF, 0xFF]);
+        assert!(DophyHeader::from_bytes(&b).is_none());
     }
 
     #[test]

@@ -86,7 +86,9 @@ pub use estimator::{LinkEstimator, LossEstimate, NetworkEstimator};
 pub use header::{DophyHeader, Epoch};
 pub use metrics::{score, AccuracyReport};
 pub use model_mgr::{ModelManager, ModelSet, ModelUpdateConfig};
-pub use protocol::{build_simulation, DophyConfig, DophyNode, SinkState};
+pub use protocol::{
+    build_simulation, build_simulation_with_faults, DophyConfig, DophyNode, SinkState,
+};
 pub use symbols::SymbolSpaces;
 pub use telemetry::sample_metrics;
 pub use tracking::{

@@ -14,7 +14,7 @@ use crate::header::Epoch;
 use crate::symbols::SymbolSpaces;
 use dophy_coding::model::{AdaptiveModel, StaticModel};
 use dophy_coding::serialize::ModelBlob;
-use dophy_sim::{RngHub, SimDuration, SimTime, StreamKind};
+use dophy_sim::{DisseminationFaultConfig, RngHub, SimDuration, SimTime, StreamKind};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -106,6 +106,10 @@ pub struct ModelManager {
     pub dissemination_bytes: u64,
     /// Number of refreshes performed.
     pub refreshes: u64,
+    /// Injected dissemination faults (drops/extra delay), when configured.
+    dissem_faults: Option<DisseminationFaultConfig>,
+    /// Node/epoch floods suppressed by injected dissemination faults.
+    pub dissemination_drops: u64,
 }
 
 impl ModelManager {
@@ -143,7 +147,18 @@ impl ModelManager {
             depth,
             dissemination_bytes: 0,
             refreshes: 0,
+            dissem_faults: None,
+            dissemination_drops: 0,
         }
+    }
+
+    /// Enables injected dissemination faults: each future epoch flood
+    /// independently misses some nodes (they never activate that epoch)
+    /// and reaches others late. Draws come from the dedicated
+    /// [`StreamKind::Fault`] streams, so enabling faults leaves the
+    /// unfaulted dissemination schedule untouched.
+    pub fn set_dissemination_faults(&mut self, faults: DisseminationFaultConfig) {
+        self.dissem_faults = Some(faults);
     }
 
     /// The alphabet configuration.
@@ -213,6 +228,32 @@ impl ModelManager {
             .find(|m| m.epoch == epoch)
     }
 
+    /// Second-choice models for wire-epoch `epoch`, used to retry a decode
+    /// that failed with the primary [`Self::models_for_epoch`] choice.
+    ///
+    /// Two situations make the primary choice wrong: the wire epoch byte
+    /// wraps (two live epochs share an id — the newest match wins, but the
+    /// packet may predate it), or a node whose dissemination stalled keeps
+    /// encoding with the epoch *before* the one the sink would pick. The
+    /// fallback is therefore the next-older in-window epoch: an alias with
+    /// the same wire id when one exists, else the set issued immediately
+    /// before the primary match. `None` when no distinct in-window
+    /// candidate exists. A wrong fallback is safe to try — decoding with
+    /// mismatched tables almost surely fails the path-consistency check
+    /// rather than producing a silent wrong decode.
+    pub fn fallback_models_for_epoch(&self, epoch: Epoch) -> Option<&ModelSet> {
+        let newest = self.history.len() - 1;
+        let oldest_kept = newest.saturating_sub(self.cfg.history_len.saturating_sub(1));
+        let window = &self.history[oldest_kept..=newest];
+        let primary = window.iter().rposition(|m| m.epoch == epoch)?;
+        // Prefer an older alias of the same wire id, else the predecessor.
+        window[..primary]
+            .iter()
+            .rev()
+            .find(|m| m.epoch == epoch)
+            .or_else(|| primary.checked_sub(1).map(|i| &window[i]))
+    }
+
     /// Attempts a refresh: freezes the learned counts into a new epoch and
     /// schedules its dissemination. Returns the blob size charged, or
     /// `None` when too little new data arrived.
@@ -259,7 +300,27 @@ impl ModelManager {
                 internal_epoch as u64,
             );
             let base = per_hop * self.depth[n] as u64;
-            let delay = SimDuration::from_micros(base + rng.gen_range(0..per_hop));
+            let mut delay = SimDuration::from_micros(base + rng.gen_range(0..per_hop));
+            // Injected dissemination faults draw from the dedicated Fault
+            // streams so the schedule above is identical with faults off.
+            if let Some(faults) = self.dissem_faults {
+                let mut frng = hub.stream(
+                    StreamKind::Fault,
+                    0xD15F_0000 ^ n as u64,
+                    internal_epoch as u64,
+                );
+                if frng.gen::<f64>() < faults.drop_prob {
+                    // The flood never reaches this node: park the
+                    // activation unreachably far in the future.
+                    self.dissemination_drops += 1;
+                    acts.push(SimTime::from_micros(u64::MAX));
+                    continue;
+                }
+                let u: f64 = frng.gen();
+                let span = -(1.0 - u.min(1.0 - 1e-12)).ln();
+                let extra = faults.mean_extra_delay.as_micros() as f64 * span;
+                delay = delay + SimDuration::from_micros(extra as u64);
+            }
             acts.push(now + delay);
         }
         // The sink itself flips instantly.
@@ -470,6 +531,98 @@ mod tests {
             after < before / 5.0 && after < 0.02,
             "refresh should collapse redundancy: {before} -> {after}"
         );
+    }
+
+    #[test]
+    fn fallback_prefers_predecessor_epoch() {
+        let cfg = ModelUpdateConfig {
+            min_observations: 1,
+            ..ModelUpdateConfig::default()
+        };
+        let mut m = ModelManager::new(spaces(), cfg, vec![0, 1, 2, 3]);
+        let hub = RngHub::new(11);
+        assert!(m.fallback_models_for_epoch(0).is_none(), "epoch 0 alone");
+        for round in 1..=3u64 {
+            m.observe(0, 0);
+            m.refresh(t(round * 100), &hub).unwrap();
+        }
+        // History: epochs 0..=3. Fallback for wire-epoch 2 is epoch 1.
+        assert_eq!(m.fallback_models_for_epoch(2).unwrap().epoch, 1);
+        assert_eq!(m.fallback_models_for_epoch(1).unwrap().epoch, 0);
+        assert!(m.fallback_models_for_epoch(9).is_none(), "never issued");
+    }
+
+    #[test]
+    fn fallback_resolves_wire_epoch_aliases() {
+        // Wire epochs wrap at 256; with a large history window two epochs
+        // can share an id. Issue 257 epochs so internal 1 and 257 both
+        // carry wire id 1, keep a window large enough to hold both, and
+        // check the fallback picks the older alias.
+        let cfg = ModelUpdateConfig {
+            min_observations: 1,
+            history_len: 400,
+            ..ModelUpdateConfig::default()
+        };
+        let mut m = ModelManager::new(spaces(), cfg, vec![0, 1]);
+        let hub = RngHub::new(12);
+        for round in 1..=257u64 {
+            m.observe((round % 3) as usize, 0);
+            m.refresh(t(round * 10), &hub).unwrap();
+        }
+        let primary = m.models_for_epoch(1).unwrap();
+        let fallback = m.fallback_models_for_epoch(1).unwrap();
+        assert_eq!(primary.epoch, 1);
+        assert_eq!(fallback.epoch, 1);
+        assert!(
+            !std::ptr::eq(primary, fallback),
+            "fallback must be the *older* alias, not the primary"
+        );
+    }
+
+    #[test]
+    fn dissemination_faults_drop_and_delay_nodes() {
+        let cfg = ModelUpdateConfig {
+            min_observations: 1,
+            ..ModelUpdateConfig::default()
+        };
+        let build = |faulted: bool| {
+            let mut m = ModelManager::new(spaces(), cfg, (0..50).map(|n| n / 10).collect());
+            if faulted {
+                m.set_dissemination_faults(DisseminationFaultConfig {
+                    drop_prob: 0.3,
+                    mean_extra_delay: SimDuration::from_secs(5),
+                });
+            }
+            let hub = RngHub::new(13);
+            m.observe(0, 0);
+            m.refresh(t(1000), &hub).unwrap();
+            m
+        };
+        let clean = build(false);
+        let faulted = build(true);
+        assert_eq!(clean.dissemination_drops, 0);
+        assert!(
+            (5..25).contains(&faulted.dissemination_drops),
+            "about 30% of 50 nodes dropped: {}",
+            faulted.dissemination_drops
+        );
+        // Dropped nodes never activate epoch 1, even far in the future.
+        let far = t(1_000_000);
+        let stuck = (0..50)
+            .filter(|&n| faulted.node_current(n, far).epoch == 0)
+            .count() as u64;
+        assert_eq!(stuck, faulted.dissemination_drops);
+        // Sink always flips instantly, faults or not.
+        assert_eq!(faulted.node_current(0, t(1000)).epoch, 1);
+        // Determinism: same seed, same faulted schedule.
+        let again = build(true);
+        assert_eq!(again.dissemination_drops, faulted.dissemination_drops);
+        for n in 0..50 {
+            assert_eq!(
+                again.node_current(n, t(1010)).epoch,
+                faulted.node_current(n, t(1010)).epoch
+            );
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! encoding-overhead comparisons); this is explicitly a *measurement
 //! harness* channel that a real deployment would not have.
 
-use crate::decoder::{decode_packet, DecodeError};
+use crate::decoder::{decode_packet, DecodeError, DecodedPacket};
 use crate::encoder::{encode_hop, EncodeError};
 use crate::header::DophyHeader;
 use crate::model_mgr::{ModelManager, ModelUpdateConfig};
@@ -32,8 +32,8 @@ use dophy_routing::{Router, RouterConfig};
 use dophy_sim::obs::{DecodeEvent, DecodeOutcome, DropEvent, DropReason, EpochSwitchEvent};
 use dophy_sim::stats::{CountHistogram, Streaming};
 use dophy_sim::{
-    Ctx, Engine, Frame, NodeId, Protocol, RngHub, SendDone, SimConfig, SimDuration, TimerId,
-    Topology,
+    Ctx, Engine, FaultConfig, FaultPlan, Frame, NodeId, Protocol, RngHub, SendDone, SimConfig,
+    SimDuration, SimTime, TimerId, Topology,
 };
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -46,6 +46,8 @@ const TIMER_TRAFFIC: TimerId = TimerId(1);
 const TIMER_MODEL_UPDATE: TimerId = TimerId(2);
 /// Node-churn timer: toggle this node's up/down state.
 const TIMER_CHURN: TimerId = TimerId(3);
+/// Injected-crash timer: flip between the fault plan's up/down phases.
+const TIMER_FAULT: TimerId = TimerId(4);
 
 /// MAC-level frame header bytes charged on every data frame (addresses,
 /// FCS — what TinyOS's 802.15.4 header costs).
@@ -201,22 +203,36 @@ pub struct DecodeStats {
     pub coding: u64,
     /// A hop en route lacked the packet's epoch models.
     pub disabled: u64,
+    /// Claimed hop count impossible for the topology (structural check).
+    pub bad_hop_count: u64,
+    /// A header field (e.g. origin) was out of range before decoding.
+    pub malformed: u64,
+    /// Subset of `ok`: decodes rescued by the previous-epoch fallback
+    /// retry after the primary epoch choice failed with a bad index.
+    pub fallback_ok: u64,
 }
 
 impl DecodeStats {
     /// Fraction of delivered packets decoded successfully.
     pub fn success_ratio(&self) -> f64 {
-        let total = self.ok
-            + self.unknown_epoch
-            + self.bad_index
-            + self.path_mismatch
-            + self.coding
-            + self.disabled;
+        let total = self.ok + self.quarantined();
         if total == 0 {
             0.0
         } else {
             self.ok as f64 / total as f64
         }
+    }
+
+    /// Packets quarantined (every non-ok outcome, each with a counted
+    /// cause). The estimator ingests none of these.
+    pub fn quarantined(&self) -> u64 {
+        self.unknown_epoch
+            + self.bad_index
+            + self.path_mismatch
+            + self.coding
+            + self.disabled
+            + self.bad_hop_count
+            + self.malformed
     }
 }
 
@@ -252,6 +268,9 @@ pub struct SinkState {
     pub ttl_drops: u64,
     /// Hops that had to disable coding (missing epoch models).
     pub encode_disabled: u64,
+    /// Frames destroyed by injected corruption at any receiver
+    /// (truncated or flipped beyond structural parseability).
+    pub corrupt_frame_drops: u64,
     /// The master RNG hub (for dissemination delay draws).
     hub: RngHub,
 }
@@ -324,17 +343,34 @@ pub struct DophyNode {
     dedup: DedupSet,
     /// Node up/down state (always true without churn).
     alive: bool,
+    /// Shared fault plan (None = unfaulted run; no fault draws at all).
+    fault: Option<Arc<FaultPlan>>,
+    /// Index into this node's crash schedule (see `FaultPlan::crash_phase`).
+    crash_k: u32,
     /// Local stats.
     pub stats: NodeStats,
 }
 
 impl DophyNode {
-    /// Creates one node's protocol instance.
+    /// Creates one node's protocol instance (unfaulted).
     pub fn new(
         cfg: DophyConfig,
         topo: Arc<Topology>,
         spaces: SymbolSpaces,
         shared: Arc<Mutex<SinkState>>,
+    ) -> Self {
+        Self::with_faults(cfg, topo, spaces, shared, None)
+    }
+
+    /// Creates one node's protocol instance with an optional shared fault
+    /// plan: received data frames pass through the plan's wire-level
+    /// corruption, and crash-prone nodes follow its up/down schedule.
+    pub fn with_faults(
+        cfg: DophyConfig,
+        topo: Arc<Topology>,
+        spaces: SymbolSpaces,
+        shared: Arc<Mutex<SinkState>>,
+        fault: Option<Arc<FaultPlan>>,
     ) -> Self {
         Self {
             dedup: DedupSet::new(cfg.dedup_window),
@@ -345,6 +381,8 @@ impl DophyNode {
             router: None,
             seq: 0,
             alive: true,
+            fault,
+            crash_k: 0,
             stats: NodeStats::default(),
         }
     }
@@ -494,9 +532,58 @@ impl DophyNode {
         ctx.send_unicast(parent, Arc::new(DataMsg { header }), wire);
     }
 
+    /// Feeds one successfully decoded packet into the estimators and the
+    /// model learners. This is the *only* estimator ingestion point, and
+    /// it is reached exclusively from the `Ok` decode arms in
+    /// [`Self::sink_deliver`] — quarantined packets can never touch it.
+    fn ingest_decoded(shared: &mut SinkState, now: SimTime, decoded: &DecodedPacket) {
+        for obs in &decoded.observations {
+            shared
+                .estimator
+                .observe(obs.sender.0, obs.receiver.0, obs.observation);
+            shared
+                .windowed
+                .observe(now, obs.sender.0, obs.receiver.0, obs.observation);
+            shared
+                .bayes
+                .observe(obs.sender.0, obs.receiver.0, obs.observation);
+            if let (Some(h), Some(a)) = (obs.hop_sym, obs.attempt_sym) {
+                shared.manager.observe(h, a);
+            }
+        }
+    }
+
     fn sink_deliver(&mut self, ctx: &mut Ctx<'_>, frame: &Frame, msg: &DataMsg) {
         let header = &msg.header;
+        let n = self.topo.node_count();
         let mut shared = self.shared.lock();
+        // Structural pre-checks run before the header is trusted for
+        // anything — a corrupted origin would index out of bounds right
+        // below, and an impossible hop count would burn model decodes.
+        let precheck_outcome = if header.origin.index() >= n {
+            shared.decode.malformed += 1;
+            Some(DecodeOutcome::Malformed)
+        } else if usize::from(header.hops) >= n {
+            shared.decode.bad_hop_count += 1;
+            Some(DecodeOutcome::BadHopCount)
+        } else {
+            None
+        };
+        if let Some(outcome) = precheck_outcome {
+            drop(shared);
+            if let Some(observer) = ctx.observer() {
+                observer.on_decode(
+                    ctx.now(),
+                    &DecodeEvent {
+                        origin: header.origin.0,
+                        seq: header.seq,
+                        hops: u16::from(header.hops),
+                        outcome,
+                    },
+                );
+            }
+            return;
+        }
         shared.delivered_per_origin[header.origin.index()] += 1;
         // Complete the ground-truth hop log with the final (observed) hop.
         shared
@@ -529,26 +616,42 @@ impl DophyNode {
             ) {
                 Ok(decoded) => {
                     shared.decode.ok += 1;
-                    let now = ctx.now();
-                    for obs in &decoded.observations {
-                        shared
-                            .estimator
-                            .observe(obs.sender.0, obs.receiver.0, obs.observation);
-                        shared
-                            .windowed
-                            .observe(now, obs.sender.0, obs.receiver.0, obs.observation);
-                        shared
-                            .bayes
-                            .observe(obs.sender.0, obs.receiver.0, obs.observation);
-                        if let (Some(h), Some(a)) = (obs.hop_sym, obs.attempt_sym) {
-                            shared.manager.observe(h, a);
-                        }
-                    }
+                    Self::ingest_decoded(&mut shared, ctx.now(), &decoded);
                     DecodeOutcome::Ok
                 }
                 Err(DecodeError::IndexOutOfRange { .. }) => {
-                    shared.decode.bad_index += 1;
-                    DecodeOutcome::BadIndex
+                    // The classic wrong-model signature. Retry once with
+                    // the previous in-window epoch: wire-epoch wrap and
+                    // stalled dissemination both make the *older* set the
+                    // right one, and a wrong retry almost surely fails the
+                    // path-consistency check rather than decoding wrong.
+                    let fallback = shared
+                        .manager
+                        .fallback_models_for_epoch(header.epoch)
+                        .cloned();
+                    let retry = fallback.and_then(|m| {
+                        decode_packet(
+                            header,
+                            &self.topo,
+                            &self.spaces,
+                            &m,
+                            frame.src,
+                            frame.attempt,
+                        )
+                        .ok()
+                    });
+                    match retry {
+                        Some(decoded) => {
+                            shared.decode.ok += 1;
+                            shared.decode.fallback_ok += 1;
+                            Self::ingest_decoded(&mut shared, ctx.now(), &decoded);
+                            DecodeOutcome::Ok
+                        }
+                        None => {
+                            shared.decode.bad_index += 1;
+                            DecodeOutcome::BadIndex
+                        }
+                    }
                 }
                 Err(DecodeError::PathMismatch { .. }) => {
                     shared.decode.path_mismatch += 1;
@@ -561,6 +664,17 @@ impl DophyNode {
                 Err(DecodeError::CodingDisabled) => {
                     shared.decode.disabled += 1;
                     DecodeOutcome::Disabled
+                }
+                Err(DecodeError::HopCountOutOfRange { .. }) => {
+                    shared.decode.bad_hop_count += 1;
+                    DecodeOutcome::BadHopCount
+                }
+                // Unreachable here (the pre-check above already dropped
+                // out-of-range origins), but the decoder reports it for
+                // callers without that screen.
+                Err(DecodeError::OriginOutOfRange { .. }) => {
+                    shared.decode.malformed += 1;
+                    DecodeOutcome::Malformed
                 }
             },
         };
@@ -592,6 +706,12 @@ impl Protocol for DophyNode {
             if let Some(churn) = self.cfg.churn {
                 self.schedule_churn(ctx, churn.mean_up);
             }
+            if let Some(plan) = &self.fault {
+                if plan.crash_prone(ctx.node_id().0) {
+                    let (up, _) = plan.crash_phase(ctx.node_id().0, 0);
+                    ctx.set_timer(up, TIMER_FAULT);
+                }
+            }
         }
     }
 
@@ -607,6 +727,28 @@ impl Protocol for DophyNode {
                 self.schedule_churn(ctx, churn.mean_up);
             } else {
                 self.schedule_churn(ctx, churn.mean_down);
+            }
+            return;
+        }
+        if timer == TIMER_FAULT {
+            // Injected crash schedule (handled before the alive gate, like
+            // churn — it is what flips the gate).
+            let plan = Arc::clone(self.fault.as_ref().expect("fault timer implies plan"));
+            let me = ctx.node_id().0;
+            if self.alive {
+                self.alive = false;
+                ctx.set_radio(false);
+                let (_, down) = plan.crash_phase(me, self.crash_k);
+                ctx.set_timer(down, TIMER_FAULT);
+            } else {
+                // Reboot: fresh routing state and a new traffic schedule.
+                self.alive = true;
+                ctx.set_radio(true);
+                self.router.as_mut().expect("initialised").restart(ctx);
+                self.schedule_traffic(ctx);
+                self.crash_k += 1;
+                let (up, _) = plan.crash_phase(me, self.crash_k);
+                ctx.set_timer(up, TIMER_FAULT);
             }
             return;
         }
@@ -662,7 +804,37 @@ impl Protocol for DophyNode {
             return;
         }
         if let Some(msg) = frame.payload_as::<DataMsg>() {
-            let msg = msg.clone();
+            let mut msg = msg.clone();
+            // Receive-time fault injection: the frame's wire bytes pass
+            // through the plan, exactly as a radio would hand up a damaged
+            // buffer. Structurally unparseable results destroy the frame
+            // here; parseable corruption flows on to exercise the
+            // downstream quarantine checks.
+            if let Some(plan) = self.fault.clone() {
+                let mut bytes = msg.header.to_bytes();
+                if plan
+                    .corrupt_frame(&mut bytes, DophyHeader::FIXED_WIRE_BYTES)
+                    .is_some()
+                {
+                    match DophyHeader::from_bytes(&bytes) {
+                        Some(header) => msg.header = header,
+                        None => {
+                            self.shared.lock().corrupt_frame_drops += 1;
+                            if let Some(observer) = ctx.observer() {
+                                observer.on_drop(
+                                    ctx.now(),
+                                    &DropEvent {
+                                        node: ctx.node_id().0,
+                                        dst: None,
+                                        reason: DropReason::Corrupt,
+                                    },
+                                );
+                            }
+                            return;
+                        }
+                    }
+                }
+            }
             self.handle_data(ctx, frame, &msg);
         }
     }
@@ -681,6 +853,24 @@ pub fn build_simulation(
     sim: &SimConfig,
     dophy: &DophyConfig,
 ) -> (Engine<DophyNode>, Arc<Mutex<SinkState>>) {
+    let (engine, shared, _) = build_simulation_with_faults(sim, dophy, None);
+    (engine, shared)
+}
+
+/// [`build_simulation`] plus an optional deterministic fault plan: frame
+/// corruption at every receiver, crash/reboot windows on crash-prone
+/// nodes, and dissemination faults against the model manager. With
+/// `faults: None` the run performs no fault draws and is bit-identical to
+/// [`build_simulation`]. The returned plan exposes injection counters.
+pub fn build_simulation_with_faults(
+    sim: &SimConfig,
+    dophy: &DophyConfig,
+    faults: Option<&FaultConfig>,
+) -> (
+    Engine<DophyNode>,
+    Arc<Mutex<SinkState>>,
+    Option<Arc<FaultPlan>>,
+) {
     let hub = sim.hub();
     let topo = Arc::new(sim.topology());
     let models = sim.loss_models(&topo);
@@ -696,8 +886,13 @@ pub fn build_simulation(
         dophy.refine,
     );
     let n = topo.node_count();
+    let plan = faults.map(|cfg| Arc::new(FaultPlan::new(*cfg, &hub)));
+    let mut manager = ModelManager::new(spaces.clone(), dophy.model_update, topo.hops_to_sink());
+    if let Some(dissem) = faults.and_then(|f| f.dissemination) {
+        manager.set_dissemination_faults(dissem);
+    }
     let shared = Arc::new(Mutex::new(SinkState {
-        manager: ModelManager::new(spaces.clone(), dophy.model_update, topo.hops_to_sink()),
+        manager,
         estimator: crate::estimator::NetworkEstimator::new(),
         windowed: crate::tracking::WindowedNetworkEstimator::new(dophy.tracking),
         bayes: crate::bayes::BayesNetworkEstimator::new(crate::bayes::BetaPrior::default()),
@@ -709,20 +904,22 @@ pub fn build_simulation(
         no_route_drops: 0,
         ttl_drops: 0,
         encode_disabled: 0,
+        corrupt_frame_drops: 0,
         hub,
     }));
     let protocols: Vec<DophyNode> = (0..n)
         .map(|_| {
-            DophyNode::new(
+            DophyNode::with_faults(
                 *dophy,
                 Arc::clone(&topo),
                 spaces.clone(),
                 Arc::clone(&shared),
+                plan.clone(),
             )
         })
         .collect();
     let engine = Engine::new(topo, &models, sim.mac, hub, protocols);
-    (engine, shared)
+    (engine, shared, plan)
 }
 
 #[cfg(test)]

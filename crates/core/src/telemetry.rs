@@ -91,9 +91,19 @@ pub fn sample_metrics(reg: &mut MetricsRegistry, engine: &Engine<DophyNode>, sin
         ("path_mismatch", d.path_mismatch),
         ("coding", d.coding),
         ("disabled", d.disabled),
+        ("bad_hop_count", d.bad_hop_count),
+        ("malformed", d.malformed),
     ] {
         reg.set_counter("decode_packets", &[("outcome", cause)], count);
     }
+    reg.set_counter("decode_fallback_ok", &[], d.fallback_ok);
+    reg.set_counter("decode_quarantined_total", &[], d.quarantined());
+    reg.set_counter("fault_corrupt_frame_drops", &[], sink.corrupt_frame_drops);
+    reg.set_counter(
+        "model_dissemination_drops",
+        &[],
+        sink.manager.dissemination_drops,
+    );
 
     // Estimator sample coverage.
     let covered = sink.estimator.covered_links();

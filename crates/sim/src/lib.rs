@@ -21,6 +21,9 @@
 //!   traffic statistics that estimates are scored against;
 //! * **bit-reproducibility** ([`rng`]): every stochastic component draws
 //!   from a named stream derived from one master seed;
+//! * **deterministic fault injection** ([`fault`]): seeded frame
+//!   corruption, node crash/reboot schedules, and dissemination faults
+//!   that replay byte-identically and leave unfaulted runs untouched;
 //! * **structured observability** ([`obs`]): an [`obs::Observer`] hook
 //!   surface on the engine (tx/rx/ack/drop/timer plus protocol-level
 //!   parent-change, epoch-switch, and decode events), a JSONL tracer, and
@@ -37,6 +40,7 @@ pub mod config;
 pub mod energy;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod mac;
 pub mod obs;
@@ -52,6 +56,10 @@ pub mod traffic;
 pub use config::{LinkDynamics, SimConfig};
 pub use energy::{EnergyModel, EnergyReport};
 pub use engine::{Ctx, Engine, Protocol};
+pub use fault::{
+    CrashFaultConfig, DisseminationFaultConfig, FaultConfig, FaultInjection, FaultPlan,
+    InjectedFault,
+};
 pub use link::{LossModel, LossProcess};
 pub use mac::MacConfig;
 pub use obs::{

@@ -94,6 +94,9 @@ pub enum DropReason {
     NoRoute,
     /// The packet's TTL/hop budget expired in the network.
     TtlExpired,
+    /// The frame was destroyed by injected corruption (truncation or
+    /// flips that made it structurally unparseable).
+    Corrupt,
 }
 
 /// A frame or packet dropped before (or instead of) delivery.
@@ -151,6 +154,11 @@ pub enum DecodeOutcome {
     Coding,
     /// A hop had disabled coding (missing epoch models).
     Disabled,
+    /// Structural pre-check failure: a header field (origin, length)
+    /// was out of range before any decode work started.
+    Malformed,
+    /// The claimed hop count exceeds what the topology allows.
+    BadHopCount,
 }
 
 /// A sink-side packet decode finished (successfully or not).

@@ -46,6 +46,12 @@ pub enum StreamKind {
     Topology,
     /// Protocol-internal randomness (e.g. Trickle intervals).
     Protocol,
+    /// Fault injection (frame corruption, crash schedules, dissemination
+    /// faults). A dedicated stream keeps faulted runs bit-reproducible
+    /// while leaving every other component's draws untouched, so a
+    /// faulted run sees the identical channel realisation as its
+    /// fault-free twin.
+    Fault,
 }
 
 impl StreamKind {
@@ -58,6 +64,7 @@ impl StreamKind {
             StreamKind::Traffic => 0x05,
             StreamKind::Topology => 0x06,
             StreamKind::Protocol => 0x07,
+            StreamKind::Fault => 0x08,
         }
     }
 }

@@ -133,4 +133,180 @@ proptest! {
             prop_assert_eq!(&h, &twice);
         }
     }
+
+    /// The receive-time fault model at the wire level: serialize a
+    /// genuinely encoded packet, apply arbitrary byte mutations, and
+    /// re-parse. Parsing either destroys the frame or yields a header the
+    /// decoder turns into a typed result — never a panic — and headers
+    /// claiming impossible hop counts or origins hit the dedicated
+    /// structural checks before any model decoding.
+    #[test]
+    fn mutated_wire_packets_decode_to_typed_results(
+        seq in any::<u32>(),
+        attempt in 1u16..=7,
+        mutations in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..8),
+        final_sender in 0u16..16,
+        final_attempt in 1u16..=7,
+    ) {
+        use dophy::decoder::DecodeError;
+        let t = topo();
+        let spaces = SymbolSpaces::new(
+            (0..t.node_count())
+                .map(|i| t.neighbors(NodeId(i as u16)).len())
+                .max()
+                .unwrap(),
+            7,
+            AggregationPolicy::Cap { cap: 4 },
+            false,
+        );
+        let models = ModelSet::initial(&spaces);
+        let relay = t.neighbors(NodeId::SINK)[0];
+        let origin = t
+            .neighbors(relay)
+            .iter()
+            .copied()
+            .find(|&n| n != NodeId::SINK)
+            .unwrap_or(relay);
+        let mut h = DophyHeader::new(origin, seq, 0);
+        dophy::encoder::encode_hop(&mut h, &t, &spaces, &models, origin, relay, attempt)
+            .expect("fresh models encode");
+        let mut bytes = h.to_bytes();
+        for &(pos, val) in &mutations {
+            let idx = pos % bytes.len();
+            bytes[idx] ^= val;
+        }
+        if let Some(parsed) = DophyHeader::from_bytes(&bytes) {
+            let res = decode_packet(
+                &parsed,
+                &t,
+                &spaces,
+                &models,
+                NodeId(final_sender),
+                final_attempt,
+            );
+            if usize::from(parsed.hops) >= t.node_count() {
+                prop_assert!(
+                    matches!(res, Err(DecodeError::HopCountOutOfRange { .. })),
+                    "impossible hop count must be caught structurally, got {res:?}"
+                );
+            } else if parsed.origin.index() >= t.node_count() {
+                prop_assert!(
+                    matches!(res, Err(DecodeError::OriginOutOfRange { .. })),
+                    "impossible origin must be caught structurally, got {res:?}"
+                );
+            }
+            // Any other outcome (Ok or typed Err) is acceptable; getting
+            // here without a panic is the property under test.
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault-layer integration: the live pipeline under injected faults
+// ---------------------------------------------------------------------------
+
+use dophy_bench::figures::{canonical_dophy, canonical_sim};
+use dophy_bench::scenario::{run_scenario, RunSpec};
+use dophy_bench::RunOutput;
+use dophy_sim::{FaultConfig, SimDuration};
+use std::collections::BTreeMap;
+
+/// Stable textual fingerprint of everything a run reports that faults
+/// could perturb (estimates sorted so HashMap iteration order cannot
+/// produce false mismatches).
+fn fingerprint(out: &RunOutput) -> String {
+    let estimates: BTreeMap<(u16, u16), String> = out
+        .dophy
+        .iter()
+        .map(|(&k, &v)| (k, format!("{v:.12e}")))
+        .collect();
+    format!(
+        "{:?}|{:?}|{estimates:?}|{:.12e}|{}",
+        out.decode, out.faults, out.delivery_ratio, out.overhead.packets
+    )
+}
+
+/// Acceptance: the canonical 200-node scenario at 1% frame corruption
+/// completes twice with byte-identical results — fault draws come from
+/// named RNG streams, so the whole faulted run replays exactly.
+#[test]
+fn canonical_faulted_run_replays_byte_identical() {
+    let spec = RunSpec {
+        faults: Some(FaultConfig::corruption(0.01)),
+        ..RunSpec::new(
+            canonical_sim(7, false),
+            canonical_dophy(),
+            SimDuration::from_secs(300),
+        )
+    };
+    let a = run_scenario(&spec);
+    let b = run_scenario(&spec);
+    let fa = a.faults.expect("fault summary present");
+    assert!(fa.injection.frames_corrupted > 0, "faults must fire");
+    assert_eq!(
+        fingerprint(&a),
+        fingerprint(&b),
+        "faulted canonical run must replay identically"
+    );
+}
+
+/// Acceptance: quarantining corrupted packets costs coverage, not
+/// correctness — Dophy's MAE under 1% corruption stays within 20% (plus
+/// an absolute epsilon for small-sample noise) of the fault-free run.
+#[test]
+fn corruption_degrades_accuracy_gracefully() {
+    let duration = SimDuration::from_secs(900);
+    let clean = run_scenario(&RunSpec::new(
+        canonical_sim(131, true),
+        canonical_dophy(),
+        duration,
+    ));
+    let faulted = run_scenario(&RunSpec {
+        faults: Some(FaultConfig::corruption(0.01)),
+        ..RunSpec::new(canonical_sim(131, true), canonical_dophy(), duration)
+    });
+    let f = faulted.faults.expect("fault summary present");
+    assert!(
+        faulted.decode.quarantined() + f.frames_destroyed > 0,
+        "1% corruption must actually bite"
+    );
+    let clean_mae = clean.score_scheme(&clean.dophy).mae;
+    let faulted_mae = faulted.score_scheme(&faulted.dophy).mae;
+    assert!(
+        faulted_mae < clean_mae * 1.2 + 0.01,
+        "faulted MAE {faulted_mae:.4} vs clean {clean_mae:.4}: quarantine must not poison the estimator"
+    );
+}
+
+/// Every frame truncated: nothing decodes, nothing reaches the
+/// estimator, and the run still completes without a panic — the
+/// isolation guarantee at its extreme.
+#[test]
+fn total_truncation_quarantines_everything() {
+    let spec = RunSpec {
+        faults: Some(FaultConfig {
+            frame_corrupt_prob: 1.0,
+            flips_per_frame: 4,
+            truncate_prob: 1.0,
+            header_bias: 0.5,
+            crash: None,
+            dissemination: None,
+        }),
+        ..RunSpec::new(
+            canonical_sim(17, true),
+            canonical_dophy(),
+            SimDuration::from_secs(600),
+        )
+    };
+    let out = run_scenario(&spec);
+    let f = out.faults.expect("fault summary present");
+    assert!(f.injection.truncations > 0, "truncation must fire");
+    assert_eq!(
+        out.decode.ok, 0,
+        "no truncated frame may decode successfully"
+    );
+    assert!(
+        out.dophy.is_empty(),
+        "the estimator must never see a faulted packet"
+    );
 }
