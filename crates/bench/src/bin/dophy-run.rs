@@ -28,7 +28,7 @@
 
 use dophy::diagnosis::{DiagnosisConfig, NetworkHealthReport};
 use dophy::protocol::build_simulation;
-use dophy_bench::{run_scenario_with, telemetry, FaultSummary, Instruments, RunSpec};
+use dophy_bench::{execute_cell, resolve_jobs, telemetry, FaultSummary, Instruments, RunSpec};
 use dophy_sim::obs::JsonlTracer;
 use dophy_sim::SimTime;
 use dophy_sim::{SimConfig, SimDuration};
@@ -80,9 +80,10 @@ struct Cli {
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     metrics_every_s: f64,
+    jobs: Option<usize>,
 }
 
-const USAGE: &str = "usage: dophy-run <scenario.json> [--text] [--progress] \
+const USAGE: &str = "usage: dophy-run <scenario.json> [--text] [--progress] [--jobs N] \
 [--trace-out <path>] [--metrics-out <path>] [--metrics-every <secs>] | --print-default";
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -94,6 +95,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         trace_out: None,
         metrics_out: None,
         metrics_every_s: 60.0,
+        jobs: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -117,6 +119,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .ok()
                     .filter(|s| *s > 0.0)
                     .ok_or_else(|| format!("--metrics-every wants a positive number, got {raw}"))?;
+            }
+            "--jobs" | "-j" => {
+                let raw = value(&mut i)?;
+                cli.jobs = Some(
+                    raw.parse::<usize>()
+                        .ok()
+                        .filter(|j| *j > 0)
+                        .ok_or_else(|| format!("--jobs wants a positive integer, got {raw}"))?,
+                );
             }
             _ if arg.starts_with('-') => return Err(format!("unknown flag {arg}")),
             _ if cli.spec_path.is_none() => cli.spec_path = Some(arg.to_string()),
@@ -166,7 +177,10 @@ fn run(cli: Cli) -> Result<(), String> {
         spec.duration.as_secs_f64(),
         spec.sim.seed
     );
-    let out = run_scenario_with(&spec, inst);
+    // A single scenario is one cell, but it rides the same executor path
+    // (pool + cache + panic isolation) as the experiments harness, so both
+    // binaries exercise identical machinery.
+    let out = execute_cell("dophy-run", spec, inst, resolve_jobs(cli.jobs, 1))?;
 
     if let Some(tracer) = &tracer {
         tracer.flush();

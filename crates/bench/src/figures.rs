@@ -1,12 +1,18 @@
 //! The reproduced evaluation: one function per figure/table.
 //!
-//! Each experiment builds its workload, runs the simulator (sweeps run
-//! their points on parallel threads), and returns a [`FigureResult`] whose
-//! series mirror what the paper's figure plots. `quick` mode shrinks
+//! Each experiment is declarative: it returns a [`Plan`] naming the
+//! simulation cells it needs (labelled [`crate::RunSpec`]s) plus a pure
+//! reduce closure that folds the finished runs into a [`FigureResult`]
+//! whose series mirror what the paper's figure plots. The
+//! [`crate::executor`] schedules all cells of all selected experiments on
+//! one shared bounded pool and content-addresses identical specs, so the
+//! canonical scenarios deliberately shared across experiments (see
+//! [`canonical_dynamic_spec`]) run once. `quick` mode shrinks
 //! durations/sizes ~4× for smoke runs; the reported *shapes* are the same.
 
+use crate::plan::{Cell, Plan};
 use crate::report::{FigureResult, Series};
-use crate::scenario::{run_scenario, RunOutput, RunSpec};
+use crate::scenario::{RunOutput, RunSpec};
 use dophy::model_mgr::ModelUpdateConfig;
 use dophy::protocol::DophyConfig;
 use dophy_coding::aggregate::AggregationPolicy;
@@ -20,8 +26,8 @@ use std::collections::BTreeMap;
 
 /// Link → estimated-loss map, as produced by each scheme.
 pub type LossMap = std::collections::HashMap<(u16, u16), f64>;
-/// A named experiment entry: id plus its runner.
-pub type Experiment = (&'static str, fn(bool) -> FigureResult);
+/// A named experiment entry: id plus its plan builder.
+pub type Experiment = (&'static str, fn(bool) -> Plan);
 /// Named metric extractor over a finished run.
 type SchemeSel<'a> = (&'a str, Box<dyn Fn(&RunOutput) -> f64>);
 
@@ -48,21 +54,22 @@ pub fn canonical_dophy() -> DophyConfig {
     }
 }
 
-fn duration(quick: bool) -> SimDuration {
-    SimDuration::from_secs(if quick { 900 } else { 3600 })
+/// Canonical dynamic-volatility scenario (σ = 0.02, seed 97), shared by
+/// fig9, tab1, and tab3's first sweep point. They build byte-equal specs
+/// on purpose: the executor's content-addressed cache runs the
+/// simulation once and hands each of them the same output.
+pub fn canonical_dynamic_spec(quick: bool) -> RunSpec {
+    let sim = SimConfig {
+        dynamics: LinkDynamics::Volatile {
+            sigma_per_sqrt_s: 0.02,
+        },
+        ..canonical_sim(97, quick)
+    };
+    RunSpec::new(sim, canonical_dophy(), duration(quick))
 }
 
-/// Runs sweep points on parallel threads, preserving order.
-fn parallel_sweep<T: Sync, F: Fn(&T) -> RunOutput + Sync>(points: &[T], f: F) -> Vec<RunOutput> {
-    crossbeam::thread::scope(|s| {
-        let f = &f;
-        let handles: Vec<_> = points.iter().map(|p| s.spawn(move |_| f(p))).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker"))
-            .collect()
-    })
-    .expect("sweep scope")
+fn duration(quick: bool) -> SimDuration {
+    SimDuration::from_secs(if quick { 900 } else { 3600 })
 }
 
 // ---------------------------------------------------------------------------
@@ -73,88 +80,88 @@ fn parallel_sweep<T: Sync, F: Fn(&T) -> RunOutput + Sync>(points: &[T], f: F) ->
 /// Dophy's arithmetic stream vs explicit per-hop recording and
 /// parameter-free entropy coders, all re-encoding the *same* delivered
 /// packets' ground-truth hop records.
-pub fn fig3_encoding_overhead(quick: bool) -> FigureResult {
+pub fn fig3_encoding_overhead(quick: bool) -> Plan {
     let spec = RunSpec::new(canonical_sim(31, quick), canonical_dophy(), duration(quick));
-    let out = run_scenario(&spec);
+    Plan::single("fig3", "canonical-static", spec, |out| {
+        let id_bits = width_for(out.node_count as u64);
+        let attempt_bits = width_for(u64::from(out.max_attempts));
+        let explicit = FixedRecord::for_network(out.node_count, out.max_attempts);
+        let rice = RiceCoder::new(0); // optimal for low-loss attempt residuals
 
-    let id_bits = width_for(out.node_count as u64);
-    let attempt_bits = width_for(u64::from(out.max_attempts));
-    let explicit = FixedRecord::for_network(out.node_count, out.max_attempts);
-    let rice = RiceCoder::new(0); // optimal for low-loss attempt residuals
-
-    // Group re-encoded sizes by path length.
-    #[derive(Default, Clone)]
-    struct Acc {
-        n: u64,
-        explicit_aligned: f64,
-        fixed_packed: f64,
-        rice_bits: f64,
-        elias_bits: f64,
-    }
-    let mut by_hops: BTreeMap<usize, Acc> = BTreeMap::new();
-    for hops in out.true_hops.values() {
-        let k = hops.len();
-        if k == 0 {
-            continue;
+        // Group re-encoded sizes by path length.
+        #[derive(Default, Clone)]
+        struct Acc {
+            n: u64,
+            explicit_aligned: f64,
+            fixed_packed: f64,
+            rice_bits: f64,
+            elias_bits: f64,
         }
-        let a = by_hops.entry(k).or_default();
-        a.n += 1;
-        a.explicit_aligned += (k * explicit.bytes_aligned()) as f64;
-        a.fixed_packed += ((k as u64 * u64::from(id_bits + attempt_bits)).div_ceil(8)) as f64;
-        let mut rice_bits = 0u64;
-        let mut elias_bits = 0u64;
-        for &(_, _, attempt) in hops {
-            rice_bits += u64::from(id_bits) + rice.code_len(u64::from(attempt - 1));
-            elias_bits += u64::from(id_bits) + gamma_len(u64::from(attempt));
+        let mut by_hops: BTreeMap<usize, Acc> = BTreeMap::new();
+        for hops in out.true_hops.values() {
+            let k = hops.len();
+            if k == 0 {
+                continue;
+            }
+            let a = by_hops.entry(k).or_default();
+            a.n += 1;
+            a.explicit_aligned += (k * explicit.bytes_aligned()) as f64;
+            a.fixed_packed += ((k as u64 * u64::from(id_bits + attempt_bits)).div_ceil(8)) as f64;
+            let mut rice_bits = 0u64;
+            let mut elias_bits = 0u64;
+            for &(_, _, attempt) in hops {
+                rice_bits += u64::from(id_bits) + rice.code_len(u64::from(attempt - 1));
+                elias_bits += u64::from(id_bits) + gamma_len(u64::from(attempt));
+            }
+            a.rice_bits += rice_bits.div_ceil(8) as f64;
+            a.elias_bits += elias_bits.div_ceil(8) as f64;
         }
-        a.rice_bits += rice_bits.div_ceil(8) as f64;
-        a.elias_bits += elias_bits.div_ceil(8) as f64;
-    }
 
-    let mut fig = FigureResult::new(
-        "fig3-encoding-overhead",
-        "Per-packet encoding overhead vs path length",
-        "path length (hops)",
-        "mean bytes per packet",
-    );
-    let dophy_series: Vec<(f64, f64)> = out
-        .overhead
-        .stream_by_hops
-        .iter()
-        .enumerate()
-        .filter(|(_, s)| s.count() >= 10)
-        .map(|(h, s)| (h as f64, s.mean()))
-        .collect();
-    fig.push_series(Series::new("dophy-stream", dophy_series.clone()));
-    let grab = |sel: fn(&Acc) -> f64| -> Vec<(f64, f64)> {
-        by_hops
+        let mut fig = FigureResult::new(
+            "fig3-encoding-overhead",
+            "Per-packet encoding overhead vs path length",
+            "path length (hops)",
+            "mean bytes per packet",
+        );
+        let dophy_series: Vec<(f64, f64)> = out
+            .overhead
+            .stream_by_hops
             .iter()
-            .filter(|(_, a)| a.n >= 10)
-            .map(|(&h, a)| (h as f64, sel(a) / a.n as f64))
-            .collect()
-    };
-    fig.push_series(Series::new("explicit-2B/hop", grab(|a| a.explicit_aligned)));
-    fig.push_series(Series::new("fixed-bitpacked", grab(|a| a.fixed_packed)));
-    fig.push_series(Series::new("golomb-rice", grab(|a| a.rice_bits)));
-    fig.push_series(Series::new("elias-gamma", grab(|a| a.elias_bits)));
+            .enumerate()
+            .filter(|(_, s)| s.count() >= 10)
+            .map(|(h, s)| (h as f64, s.mean()))
+            .collect();
+        fig.push_series(Series::new("dophy-stream", dophy_series.clone()));
+        let grab = |sel: fn(&Acc) -> f64| -> Vec<(f64, f64)> {
+            by_hops
+                .iter()
+                .filter(|(_, a)| a.n >= 10)
+                .map(|(&h, a)| (h as f64, sel(a) / a.n as f64))
+                .collect()
+        };
+        fig.push_series(Series::new("explicit-2B/hop", grab(|a| a.explicit_aligned)));
+        fig.push_series(Series::new("fixed-bitpacked", grab(|a| a.fixed_packed)));
+        fig.push_series(Series::new("golomb-rice", grab(|a| a.rice_bits)));
+        fig.push_series(Series::new("elias-gamma", grab(|a| a.elias_bits)));
 
-    // Headline factor at the deepest well-populated path length.
-    if let Some(&(h, dophy_bytes)) = dophy_series.last() {
-        if let Some(a) = by_hops.get(&(h as usize)) {
-            let factor = (a.explicit_aligned / a.n as f64) / dophy_bytes.max(0.1);
-            fig.note(format!(
-                "at {h} hops Dophy uses {dophy_bytes:.2} B vs explicit {:.2} B ({factor:.1}x smaller)",
-                a.explicit_aligned / a.n as f64
-            ));
+        // Headline factor at the deepest well-populated path length.
+        if let Some(&(h, dophy_bytes)) = dophy_series.last() {
+            if let Some(a) = by_hops.get(&(h as usize)) {
+                let factor = (a.explicit_aligned / a.n as f64) / dophy_bytes.max(0.1);
+                fig.note(format!(
+                    "at {h} hops Dophy uses {dophy_bytes:.2} B vs explicit {:.2} B ({factor:.1}x smaller)",
+                    a.explicit_aligned / a.n as f64
+                ));
+            }
         }
-    }
-    fig.note(format!(
-        "packets {} | decode success {:.4} | delivery {:.3}",
-        out.overhead.packets,
-        out.decode.success_ratio(),
-        out.delivery_ratio
-    ));
-    fig
+        fig.note(format!(
+            "packets {} | decode success {:.4} | delivery {:.3}",
+            out.overhead.packets,
+            out.decode.success_ratio(),
+            out.delivery_ratio
+        ));
+        fig
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -163,39 +170,45 @@ pub fn fig3_encoding_overhead(quick: bool) -> FigureResult {
 
 /// Effect of the aggregation cap `A` on overhead and accuracy. `A = R`
 /// degenerates to no aggregation.
-pub fn fig4_aggregation(quick: bool) -> FigureResult {
+pub fn fig4_aggregation(quick: bool) -> Plan {
     let caps: Vec<u8> = vec![1, 2, 3, 4, 5, 7];
-    let outs = parallel_sweep(&caps, |&cap| {
-        let dophy = DophyConfig {
-            aggregation: AggregationPolicy::Cap { cap },
-            ..canonical_dophy()
-        };
-        run_scenario(&RunSpec::new(
-            canonical_sim(47, quick),
-            dophy,
-            duration(quick),
-        ))
-    });
+    let cells = caps
+        .iter()
+        .map(|&cap| {
+            let dophy = DophyConfig {
+                aggregation: AggregationPolicy::Cap { cap },
+                ..canonical_dophy()
+            };
+            Cell::run(
+                format!("cap={cap}"),
+                RunSpec::new(canonical_sim(47, quick), dophy, duration(quick)),
+            )
+        })
+        .collect();
 
-    let mut fig = FigureResult::new(
-        "fig4-aggregation",
-        "Optimization 1: aggregation cap vs overhead and accuracy",
-        "aggregation cap A (symbols)",
-        "bytes per packet / loss-ratio MAE",
-    );
-    let mut overhead = Vec::new();
-    let mut mae = Vec::new();
-    let mut alphabet = Vec::new();
-    for (&cap, out) in caps.iter().zip(&outs) {
-        overhead.push((f64::from(cap), out.overhead.mean_stream_bytes()));
-        mae.push((f64::from(cap), out.score_scheme(&out.dophy).mae));
-        alphabet.push((f64::from(cap), f64::from(cap)));
-    }
-    fig.push_series(Series::new("stream-bytes/pkt", overhead));
-    fig.push_series(Series::new("dophy-mae", mae));
-    fig.push_series(Series::new("alphabet-size", alphabet));
-    fig.note("A=7 equals no aggregation (identity); A=1 destroys attempt information".to_string());
-    fig
+    Plan::new("fig4", cells, move |outs| {
+        let mut fig = FigureResult::new(
+            "fig4-aggregation",
+            "Optimization 1: aggregation cap vs overhead and accuracy",
+            "aggregation cap A (symbols)",
+            "bytes per packet / loss-ratio MAE",
+        );
+        let mut overhead = Vec::new();
+        let mut mae = Vec::new();
+        let mut alphabet = Vec::new();
+        for (&cap, out) in caps.iter().zip(&outs) {
+            overhead.push((f64::from(cap), out.overhead.mean_stream_bytes()));
+            mae.push((f64::from(cap), out.score_scheme(&out.dophy).mae));
+            alphabet.push((f64::from(cap), f64::from(cap)));
+        }
+        fig.push_series(Series::new("stream-bytes/pkt", overhead));
+        fig.push_series(Series::new("dophy-mae", mae));
+        fig.push_series(Series::new("alphabet-size", alphabet));
+        fig.note(
+            "A=7 equals no aggregation (identity); A=1 destroys attempt information".to_string(),
+        );
+        fig
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -204,7 +217,7 @@ pub fn fig4_aggregation(quick: bool) -> FigureResult {
 
 /// Total Dophy overhead (per-packet measurement bytes + amortised
 /// dissemination bytes) as a function of the model-update period.
-pub fn fig5_model_update(quick: bool) -> FigureResult {
+pub fn fig5_model_update(quick: bool) -> Plan {
     // u64::MAX observations disables refreshes entirely ("never").
     let periods: Vec<(f64, u64, u64)> = vec![
         (30.0, 30, 50),
@@ -214,59 +227,67 @@ pub fn fig5_model_update(quick: bool) -> FigureResult {
         (900.0, 900, 50),
         (1e9, 1_000_000, u64::MAX),
     ];
-    let outs = parallel_sweep(&periods, |&(_, secs, min_obs)| {
-        let dophy = DophyConfig {
-            model_update: ModelUpdateConfig {
-                update_period: SimDuration::from_secs(secs),
-                min_observations: min_obs,
-                ..ModelUpdateConfig::default()
-            },
-            // Dense traffic: the dissemination cost of an update amortises
-            // over the packets coded under it, so the update-period
-            // trade-off is traffic-rate dependent; 1 s reporting is the
-            // regime the paper's data-collection workloads occupy.
-            traffic_period: SimDuration::from_secs(1),
-            // Drifting links make stale models costly — the regime where
-            // Optimization 2 pays.
-            ..canonical_dophy()
-        };
-        let sim = SimConfig {
-            dynamics: LinkDynamics::Drift {
-                amp: 0.25,
-                period_s: 600.0,
-            },
-            ..canonical_sim(53, quick)
-        };
-        run_scenario(&RunSpec::new(sim, dophy, duration(quick)))
-    });
+    let cells = periods
+        .iter()
+        .map(|&(_, secs, min_obs)| {
+            let dophy = DophyConfig {
+                model_update: ModelUpdateConfig {
+                    update_period: SimDuration::from_secs(secs),
+                    min_observations: min_obs,
+                    ..ModelUpdateConfig::default()
+                },
+                // Dense traffic: the dissemination cost of an update amortises
+                // over the packets coded under it, so the update-period
+                // trade-off is traffic-rate dependent; 1 s reporting is the
+                // regime the paper's data-collection workloads occupy.
+                traffic_period: SimDuration::from_secs(1),
+                // Drifting links make stale models costly — the regime where
+                // Optimization 2 pays.
+                ..canonical_dophy()
+            };
+            let sim = SimConfig {
+                dynamics: LinkDynamics::Drift {
+                    amp: 0.25,
+                    period_s: 600.0,
+                },
+                ..canonical_sim(53, quick)
+            };
+            Cell::run(
+                format!("period={secs}s"),
+                RunSpec::new(sim, dophy, duration(quick)),
+            )
+        })
+        .collect();
 
-    let mut fig = FigureResult::new(
-        "fig5-model-update",
-        "Optimization 2: model-update period vs total overhead",
-        "update period (s; 1e9 = never)",
-        "bytes per delivered packet",
-    );
-    let mut per_packet = Vec::new();
-    let mut dissem = Vec::new();
-    let mut total = Vec::new();
-    for (&(x, _, _), out) in periods.iter().zip(&outs) {
-        let pkts = out.overhead.packets.max(1) as f64;
-        let stream = out.overhead.mean_stream_bytes();
-        let dis = out.dissemination_bytes as f64 / pkts;
-        per_packet.push((x, stream));
-        dissem.push((x, dis));
-        total.push((x, stream + dis));
-    }
-    fig.push_series(Series::new("stream-bytes/pkt", per_packet));
-    fig.push_series(Series::new("dissemination/pkt", dissem));
-    fig.push_series(Series::new("total/pkt", total));
-    fig.note(
-        "U-shape: frequent updates pay dissemination, stale models pay per-symbol \
-         redundancy; the optimum shifts with traffic rate (dissemination amortises \
-         over packets coded per epoch)"
-            .to_string(),
-    );
-    fig
+    Plan::new("fig5", cells, move |outs| {
+        let mut fig = FigureResult::new(
+            "fig5-model-update",
+            "Optimization 2: model-update period vs total overhead",
+            "update period (s; 1e9 = never)",
+            "bytes per delivered packet",
+        );
+        let mut per_packet = Vec::new();
+        let mut dissem = Vec::new();
+        let mut total = Vec::new();
+        for (&(x, _, _), out) in periods.iter().zip(&outs) {
+            let pkts = out.overhead.packets.max(1) as f64;
+            let stream = out.overhead.mean_stream_bytes();
+            let dis = out.dissemination_bytes as f64 / pkts;
+            per_packet.push((x, stream));
+            dissem.push((x, dis));
+            total.push((x, stream + dis));
+        }
+        fig.push_series(Series::new("stream-bytes/pkt", per_packet));
+        fig.push_series(Series::new("dissemination/pkt", dissem));
+        fig.push_series(Series::new("total/pkt", total));
+        fig.note(
+            "U-shape: frequent updates pay dissemination, stale models pay per-symbol \
+             redundancy; the optimum shifts with traffic rate (dissemination amortises \
+             over packets coded per epoch)"
+                .to_string(),
+        );
+        fig
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -275,7 +296,7 @@ pub fn fig5_model_update(quick: bool) -> FigureResult {
 
 /// Estimation error as packets accumulate: Dophy (MLE + naive) vs
 /// traditional tomography (EM + log-LS), under dynamic routing.
-pub fn fig6_accuracy_vs_traffic(quick: bool) -> FigureResult {
+pub fn fig6_accuracy_vs_traffic(quick: bool) -> Plan {
     let sim = SimConfig {
         dynamics: LinkDynamics::Volatile {
             sigma_per_sqrt_s: 0.02,
@@ -286,31 +307,31 @@ pub fn fig6_accuracy_vs_traffic(quick: bool) -> FigureResult {
         checkpoints: true,
         ..RunSpec::new(sim, canonical_dophy(), duration(quick))
     };
-    let out = run_scenario(&spec);
-
-    let mut fig = FigureResult::new(
-        "fig6-accuracy-vs-traffic",
-        "Estimation error vs delivered packets (dynamic routing)",
-        "delivered packets",
-        "loss-ratio MAE",
-    );
-    let grab = |sel: fn(&crate::scenario::Checkpoint) -> f64| -> Vec<(f64, f64)> {
-        out.checkpoints
-            .iter()
-            .filter(|c| c.delivered > 0)
-            .map(|c| (c.delivered as f64, sel(c)))
-            .collect()
-    };
-    fig.push_series(Series::new("dophy-mle", grab(|c| c.dophy_mae)));
-    fig.push_series(Series::new("dophy-naive", grab(|c| c.naive_mae)));
-    fig.push_series(Series::new("traditional-em", grab(|c| c.em_mae)));
-    fig.push_series(Series::new("traditional-logls", grab(|c| c.ls_mae)));
-    fig.push_series(Series::new("dophy-coverage", grab(|c| c.dophy_coverage)));
-    fig.note(format!(
-        "churn: {:.2} parent changes/node/hour",
-        out.churn.changes_per_node_hour
-    ));
-    fig
+    Plan::single("fig6", "dynamic-checkpointed", spec, |out| {
+        let mut fig = FigureResult::new(
+            "fig6-accuracy-vs-traffic",
+            "Estimation error vs delivered packets (dynamic routing)",
+            "delivered packets",
+            "loss-ratio MAE",
+        );
+        let grab = |sel: fn(&crate::scenario::Checkpoint) -> f64| -> Vec<(f64, f64)> {
+            out.checkpoints
+                .iter()
+                .filter(|c| c.delivered > 0)
+                .map(|c| (c.delivered as f64, sel(c)))
+                .collect()
+        };
+        fig.push_series(Series::new("dophy-mle", grab(|c| c.dophy_mae)));
+        fig.push_series(Series::new("dophy-naive", grab(|c| c.naive_mae)));
+        fig.push_series(Series::new("traditional-em", grab(|c| c.em_mae)));
+        fig.push_series(Series::new("traditional-logls", grab(|c| c.ls_mae)));
+        fig.push_series(Series::new("dophy-coverage", grab(|c| c.dophy_coverage)));
+        fig.note(format!(
+            "churn: {:.2} parent changes/node/hour",
+            out.churn.changes_per_node_hour
+        ));
+        fig
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -319,55 +340,64 @@ pub fn fig6_accuracy_vs_traffic(quick: bool) -> FigureResult {
 
 /// Estimation error as link volatility (and hence parent churn) grows —
 /// the paper's headline comparison.
-pub fn fig7_accuracy_vs_dynamics(quick: bool) -> FigureResult {
+pub fn fig7_accuracy_vs_dynamics(quick: bool) -> Plan {
     let sigmas: Vec<f64> = vec![0.0, 0.01, 0.02, 0.04, 0.08];
-    let outs = parallel_sweep(&sigmas, |&sigma| {
-        let sim = SimConfig {
-            dynamics: if sigma == 0.0 {
-                LinkDynamics::Static
-            } else {
-                LinkDynamics::Volatile {
-                    sigma_per_sqrt_s: sigma,
-                }
-            },
-            ..canonical_sim(71, quick)
-        };
-        run_scenario(&RunSpec::new(sim, canonical_dophy(), duration(quick)))
-    });
+    let cells = sigmas
+        .iter()
+        .map(|&sigma| {
+            let sim = SimConfig {
+                dynamics: if sigma == 0.0 {
+                    LinkDynamics::Static
+                } else {
+                    LinkDynamics::Volatile {
+                        sigma_per_sqrt_s: sigma,
+                    }
+                },
+                ..canonical_sim(71, quick)
+            };
+            Cell::run(
+                format!("sigma={sigma}"),
+                RunSpec::new(sim, canonical_dophy(), duration(quick)),
+            )
+        })
+        .collect();
 
-    let mut fig = FigureResult::new(
-        "fig7-accuracy-vs-dynamics",
-        "Estimation error vs link volatility (routing dynamics)",
-        "PRR volatility sigma (per sqrt-s)",
-        "loss-ratio MAE / churn rate",
-    );
-    let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
-        sigmas
-            .iter()
-            .zip(&outs)
-            .map(|(&s, o)| (s, sel(o)))
-            .collect()
-    };
-    fig.push_series(Series::new(
-        "dophy-mle",
-        collect(&|o| o.score_scheme(&o.dophy).mae),
-    ));
-    fig.push_series(Series::new(
-        "traditional-em",
-        collect(&|o| o.score_scheme(&o.em).mae),
-    ));
-    fig.push_series(Series::new(
-        "traditional-logls",
-        collect(&|o| o.score_scheme(&o.ls).mae),
-    ));
-    fig.push_series(Series::new(
-        "churn/node/hour",
-        collect(&|o| o.churn.changes_per_node_hour),
-    ));
-    fig.note(
-        "Dophy's error should stay nearly flat while traditional tomography degrades".to_string(),
-    );
-    fig
+    Plan::new("fig7", cells, move |outs| {
+        let mut fig = FigureResult::new(
+            "fig7-accuracy-vs-dynamics",
+            "Estimation error vs link volatility (routing dynamics)",
+            "PRR volatility sigma (per sqrt-s)",
+            "loss-ratio MAE / churn rate",
+        );
+        let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
+            sigmas
+                .iter()
+                .zip(&outs)
+                .map(|(&s, o)| (s, sel(o.as_ref())))
+                .collect()
+        };
+        fig.push_series(Series::new(
+            "dophy-mle",
+            collect(&|o| o.score_scheme(&o.dophy).mae),
+        ));
+        fig.push_series(Series::new(
+            "traditional-em",
+            collect(&|o| o.score_scheme(&o.em).mae),
+        ));
+        fig.push_series(Series::new(
+            "traditional-logls",
+            collect(&|o| o.score_scheme(&o.ls).mae),
+        ));
+        fig.push_series(Series::new(
+            "churn/node/hour",
+            collect(&|o| o.churn.changes_per_node_hour),
+        ));
+        fig.note(
+            "Dophy's error should stay nearly flat while traditional tomography degrades"
+                .to_string(),
+        );
+        fig
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -375,55 +405,63 @@ pub fn fig7_accuracy_vs_dynamics(quick: bool) -> FigureResult {
 // ---------------------------------------------------------------------------
 
 /// Accuracy and overhead across network sizes (constant node density).
-pub fn fig8_accuracy_vs_size(quick: bool) -> FigureResult {
+pub fn fig8_accuracy_vs_size(quick: bool) -> Plan {
     let sizes: Vec<u16> = if quick {
         vec![50, 100, 150]
     } else {
         vec![50, 100, 200, 300, 400]
     };
-    let outs = parallel_sweep(&sizes, |&n| {
-        let radius = 120.0 * (f64::from(n) / 200.0).sqrt();
-        let sim = SimConfig {
-            placement: Placement::UniformDisk { n, radius },
-            ..canonical_sim(83, quick)
-        };
-        run_scenario(&RunSpec::new(sim, canonical_dophy(), duration(quick)))
-    });
+    let cells = sizes
+        .iter()
+        .map(|&n| {
+            let radius = 120.0 * (f64::from(n) / 200.0).sqrt();
+            let sim = SimConfig {
+                placement: Placement::UniformDisk { n, radius },
+                ..canonical_sim(83, quick)
+            };
+            Cell::run(
+                format!("n={n}"),
+                RunSpec::new(sim, canonical_dophy(), duration(quick)),
+            )
+        })
+        .collect();
 
-    let mut fig = FigureResult::new(
-        "fig8-accuracy-vs-size",
-        "Accuracy and overhead vs network size (constant density)",
-        "nodes",
-        "MAE / bytes-per-packet / ratio",
-    );
-    let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
-        sizes
-            .iter()
-            .zip(&outs)
-            .map(|(&n, o)| (f64::from(n), sel(o)))
-            .collect()
-    };
-    fig.push_series(Series::new(
-        "dophy-mle",
-        collect(&|o| o.score_scheme(&o.dophy).mae),
-    ));
-    fig.push_series(Series::new(
-        "traditional-em",
-        collect(&|o| o.score_scheme(&o.em).mae),
-    ));
-    fig.push_series(Series::new(
-        "stream-bytes/pkt",
-        collect(&|o| o.overhead.mean_stream_bytes()),
-    ));
-    fig.push_series(Series::new(
-        "delivery-ratio",
-        collect(&|o| o.delivery_ratio),
-    ));
-    fig.push_series(Series::new(
-        "decode-success",
-        collect(&|o| o.decode.success_ratio()),
-    ));
-    fig
+    Plan::new("fig8", cells, move |outs| {
+        let mut fig = FigureResult::new(
+            "fig8-accuracy-vs-size",
+            "Accuracy and overhead vs network size (constant density)",
+            "nodes",
+            "MAE / bytes-per-packet / ratio",
+        );
+        let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
+            sizes
+                .iter()
+                .zip(&outs)
+                .map(|(&n, o)| (f64::from(n), sel(o.as_ref())))
+                .collect()
+        };
+        fig.push_series(Series::new(
+            "dophy-mle",
+            collect(&|o| o.score_scheme(&o.dophy).mae),
+        ));
+        fig.push_series(Series::new(
+            "traditional-em",
+            collect(&|o| o.score_scheme(&o.em).mae),
+        ));
+        fig.push_series(Series::new(
+            "stream-bytes/pkt",
+            collect(&|o| o.overhead.mean_stream_bytes()),
+        ));
+        fig.push_series(Series::new(
+            "delivery-ratio",
+            collect(&|o| o.delivery_ratio),
+        ));
+        fig.push_series(Series::new(
+            "decode-success",
+            collect(&|o| o.decode.success_ratio()),
+        ));
+        fig
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -431,44 +469,44 @@ pub fn fig8_accuracy_vs_size(quick: bool) -> FigureResult {
 // ---------------------------------------------------------------------------
 
 /// Per-link absolute-error distribution, reported at fixed quantiles.
-pub fn fig9_error_cdf(quick: bool) -> FigureResult {
-    let sim = SimConfig {
-        dynamics: LinkDynamics::Volatile {
-            sigma_per_sqrt_s: 0.02,
+/// Shares [`canonical_dynamic_spec`] with tab1 (one simulation, cached).
+pub fn fig9_error_cdf(quick: bool) -> Plan {
+    Plan::single(
+        "fig9",
+        "canonical-dynamic",
+        canonical_dynamic_spec(quick),
+        |out| {
+            let mut fig = FigureResult::new(
+                "fig9-error-cdf",
+                "Per-link absolute error at fixed CDF quantiles",
+                "CDF quantile (%)",
+                "absolute loss-ratio error",
+            );
+            let quantiles = [10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0];
+            let at_quantiles = |est: &LossMap| -> Vec<(f64, f64)> {
+                let rep = out.score_scheme(est);
+                if rep.abs_errors.is_empty() {
+                    return Vec::new();
+                }
+                quantiles
+                    .iter()
+                    .map(|&q| {
+                        let idx = ((rep.abs_errors.len() - 1) as f64 * q / 100.0).round() as usize;
+                        (q, rep.abs_errors[idx])
+                    })
+                    .collect()
+            };
+            fig.push_series(Series::new("dophy-mle", at_quantiles(&out.dophy)));
+            fig.push_series(Series::new("dophy-naive", at_quantiles(&out.naive)));
+            fig.push_series(Series::new("traditional-em", at_quantiles(&out.em)));
+            fig.push_series(Series::new("traditional-logls", at_quantiles(&out.ls)));
+            fig.note(format!(
+                "links scored: {}",
+                out.score_scheme(&out.dophy).scored_links
+            ));
+            fig
         },
-        ..canonical_sim(97, quick)
-    };
-    let out = run_scenario(&RunSpec::new(sim, canonical_dophy(), duration(quick)));
-
-    let mut fig = FigureResult::new(
-        "fig9-error-cdf",
-        "Per-link absolute error at fixed CDF quantiles",
-        "CDF quantile (%)",
-        "absolute loss-ratio error",
-    );
-    let quantiles = [10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0];
-    let at_quantiles = |est: &LossMap| -> Vec<(f64, f64)> {
-        let rep = out.score_scheme(est);
-        if rep.abs_errors.is_empty() {
-            return Vec::new();
-        }
-        quantiles
-            .iter()
-            .map(|&q| {
-                let idx = ((rep.abs_errors.len() - 1) as f64 * q / 100.0).round() as usize;
-                (q, rep.abs_errors[idx])
-            })
-            .collect()
-    };
-    fig.push_series(Series::new("dophy-mle", at_quantiles(&out.dophy)));
-    fig.push_series(Series::new("dophy-naive", at_quantiles(&out.naive)));
-    fig.push_series(Series::new("traditional-em", at_quantiles(&out.em)));
-    fig.push_series(Series::new("traditional-logls", at_quantiles(&out.ls)));
-    fig.note(format!(
-        "links scored: {}",
-        out.score_scheme(&out.dophy).scored_links
-    ));
-    fig
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -477,57 +515,57 @@ pub fn fig9_error_cdf(quick: bool) -> FigureResult {
 
 /// Summary table of all schemes on the canonical scenario. The metric
 /// index on the x axis maps to: 1 MAE, 2 RMSE, 3 mean relative error,
-/// 4 coverage, 5 p90 abs error.
-pub fn tab1_summary(quick: bool) -> FigureResult {
-    let sim = SimConfig {
-        dynamics: LinkDynamics::Volatile {
-            sigma_per_sqrt_s: 0.02,
+/// 4 coverage, 5 p90 abs error. Shares [`canonical_dynamic_spec`] with
+/// fig9 (one simulation, cached).
+pub fn tab1_summary(quick: bool) -> Plan {
+    Plan::single(
+        "tab1",
+        "canonical-dynamic",
+        canonical_dynamic_spec(quick),
+        |out| {
+            let mut fig = FigureResult::new(
+                "tab1-summary",
+                "Scheme summary on the canonical scenario",
+                "metric (1 MAE, 2 RMSE, 3 relerr, 4 coverage, 5 p90)",
+                "value",
+            );
+            let schemes: Vec<(&str, &LossMap)> = vec![
+                ("dophy-mle", &out.dophy),
+                ("dophy-naive", &out.naive),
+                ("traditional-em", &out.em),
+                ("traditional-logls", &out.ls),
+            ];
+            for (name, est) in schemes {
+                let rep = out.score_scheme(est);
+                fig.push_series(Series::new(
+                    name,
+                    vec![
+                        (1.0, rep.mae),
+                        (2.0, rep.rmse),
+                        (3.0, rep.mean_relative_error),
+                        (4.0, rep.coverage()),
+                        (5.0, rep.p90_abs_error),
+                    ],
+                ));
+            }
+            fig.note(format!(
+                "delivery ratio {:.4} | decode success {:.4} | stream {:.2} B/pkt | measurement {:.2} B/pkt | dissemination {} B over {} refreshes",
+                out.delivery_ratio,
+                out.decode.success_ratio(),
+                out.overhead.mean_stream_bytes(),
+                out.overhead.mean_measurement_bytes(),
+                out.dissemination_bytes,
+                out.refreshes,
+            ));
+            fig.note(format!(
+                "churn {:.2} changes/node/hour | truth links {} | delivered packets {}",
+                out.churn.changes_per_node_hour,
+                out.truth.len(),
+                out.overhead.packets
+            ));
+            fig
         },
-        ..canonical_sim(101, quick)
-    };
-    let out = run_scenario(&RunSpec::new(sim, canonical_dophy(), duration(quick)));
-
-    let mut fig = FigureResult::new(
-        "tab1-summary",
-        "Scheme summary on the canonical scenario",
-        "metric (1 MAE, 2 RMSE, 3 relerr, 4 coverage, 5 p90)",
-        "value",
-    );
-    let schemes: Vec<(&str, &LossMap)> = vec![
-        ("dophy-mle", &out.dophy),
-        ("dophy-naive", &out.naive),
-        ("traditional-em", &out.em),
-        ("traditional-logls", &out.ls),
-    ];
-    for (name, est) in schemes {
-        let rep = out.score_scheme(est);
-        fig.push_series(Series::new(
-            name,
-            vec![
-                (1.0, rep.mae),
-                (2.0, rep.rmse),
-                (3.0, rep.mean_relative_error),
-                (4.0, rep.coverage()),
-                (5.0, rep.p90_abs_error),
-            ],
-        ));
-    }
-    fig.note(format!(
-        "delivery ratio {:.4} | decode success {:.4} | stream {:.2} B/pkt | measurement {:.2} B/pkt | dissemination {} B over {} refreshes",
-        out.delivery_ratio,
-        out.decode.success_ratio(),
-        out.overhead.mean_stream_bytes(),
-        out.overhead.mean_measurement_bytes(),
-        out.dissemination_bytes,
-        out.refreshes,
-    ));
-    fig.note(format!(
-        "churn {:.2} changes/node/hour | truth links {} | delivered packets {}",
-        out.churn.changes_per_node_hour,
-        out.truth.len(),
-        out.overhead.packets
-    ));
-    fig
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -536,60 +574,64 @@ pub fn tab1_summary(quick: bool) -> FigureResult {
 
 /// Decode success under aggressive model updating, as a function of the
 /// dissemination propagation delay and the sink's epoch-history window.
-pub fn tab2_decode(quick: bool) -> FigureResult {
+pub fn tab2_decode(quick: bool) -> Plan {
     let delays: Vec<u64> = vec![1, 10, 30, 60];
     let histories: Vec<usize> = vec![1, 2, 8];
     let points: Vec<(u64, usize)> = delays
         .iter()
         .flat_map(|&d| histories.iter().map(move |&h| (d, h)))
         .collect();
-    let outs = parallel_sweep(&points, |&(delay, history)| {
-        let dophy = DophyConfig {
-            model_update: ModelUpdateConfig {
-                update_period: SimDuration::from_secs(45),
-                min_observations: 20,
-                history_len: history,
-                max_propagation_delay: SimDuration::from_secs(delay),
-                ..ModelUpdateConfig::default()
-            },
-            traffic_period: SimDuration::from_secs(5),
-            ..canonical_dophy()
-        };
-        run_scenario(&RunSpec::new(
-            canonical_sim(113, quick),
-            dophy,
-            duration(quick),
-        ))
-    });
-
-    let mut fig = FigureResult::new(
-        "tab2-decode",
-        "Decode success vs dissemination delay and epoch-history window",
-        "max propagation delay (s)",
-        "decode success ratio",
-    );
-    for (hi, &h) in histories.iter().enumerate() {
-        let pts: Vec<(f64, f64)> = delays
-            .iter()
-            .enumerate()
-            .map(|(di, &d)| {
-                let out = &outs[di * histories.len() + hi];
-                (d as f64, out.decode.success_ratio())
-            })
-            .collect();
-        fig.push_series(Series::new(format!("history={h}"), pts));
-    }
-    let worst = outs
+    let cells = points
         .iter()
-        .map(|o| o.decode)
-        .min_by(|a, b| {
-            a.success_ratio()
-                .partial_cmp(&b.success_ratio())
-                .expect("finite")
+        .map(|&(delay, history)| {
+            let dophy = DophyConfig {
+                model_update: ModelUpdateConfig {
+                    update_period: SimDuration::from_secs(45),
+                    min_observations: 20,
+                    history_len: history,
+                    max_propagation_delay: SimDuration::from_secs(delay),
+                    ..ModelUpdateConfig::default()
+                },
+                traffic_period: SimDuration::from_secs(5),
+                ..canonical_dophy()
+            };
+            Cell::run(
+                format!("delay={delay}s,history={history}"),
+                RunSpec::new(canonical_sim(113, quick), dophy, duration(quick)),
+            )
         })
-        .expect("non-empty sweep");
-    fig.note(format!("worst cell decode stats: {worst:?}"));
-    fig
+        .collect();
+
+    Plan::new("tab2", cells, move |outs| {
+        let mut fig = FigureResult::new(
+            "tab2-decode",
+            "Decode success vs dissemination delay and epoch-history window",
+            "max propagation delay (s)",
+            "decode success ratio",
+        );
+        for (hi, &h) in histories.iter().enumerate() {
+            let pts: Vec<(f64, f64)> = delays
+                .iter()
+                .enumerate()
+                .map(|(di, &d)| {
+                    let out = &outs[di * histories.len() + hi];
+                    (d as f64, out.decode.success_ratio())
+                })
+                .collect();
+            fig.push_series(Series::new(format!("history={h}"), pts));
+        }
+        let worst = outs
+            .iter()
+            .map(|o| o.decode)
+            .min_by(|a, b| {
+                a.success_ratio()
+                    .partial_cmp(&b.success_ratio())
+                    .expect("finite")
+            })
+            .expect("non-empty sweep");
+        fig.note(format!("worst cell decode stats: {worst:?}"));
+        fig
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -598,222 +640,255 @@ pub fn tab2_decode(quick: bool) -> FigureResult {
 
 /// Truncation-corrected MLE vs naive moment estimator across true loss
 /// levels, measured end-to-end on a two-node network.
-pub fn ablation_truncation(quick: bool) -> FigureResult {
+pub fn ablation_truncation(quick: bool) -> Plan {
     let losses: Vec<f64> = vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
-    let outs = parallel_sweep(&losses, |&loss| {
-        // Plant the target loss exactly: zero shadowing, and space the two
-        // nodes where the logistic PRR curve equals 1 - loss.
-        let radio = RadioModel {
-            shadowing_sigma: 0.0,
-            min_prr: 0.01,
-            ..RadioModel::default()
-        };
-        let target = 1.0 - loss;
-        let dist = radio.d50 + radio.transition_width * ((1.0 - target) / target).ln();
-        let sim = SimConfig {
-            placement: Placement::Line {
-                n: 2,
-                spacing: dist,
-            },
-            radio,
-            mac: MacConfig::default(),
-            dynamics: LinkDynamics::Static,
-            seed: 131 + (loss * 100.0) as u64,
-        };
-        let dophy = DophyConfig {
-            traffic_period: SimDuration::from_secs(1),
-            warmup: SimDuration::from_secs(10),
-            aggregation: AggregationPolicy::Identity,
-            ..canonical_dophy()
-        };
-        run_scenario(&RunSpec {
-            min_truth_tx: 100,
-            ..RunSpec::new(sim, dophy, duration(quick))
+    let cells = losses
+        .iter()
+        .map(|&loss| {
+            // Plant the target loss exactly: zero shadowing, and space the two
+            // nodes where the logistic PRR curve equals 1 - loss.
+            let radio = RadioModel {
+                shadowing_sigma: 0.0,
+                min_prr: 0.01,
+                ..RadioModel::default()
+            };
+            let target = 1.0 - loss;
+            let dist = radio.d50 + radio.transition_width * ((1.0 - target) / target).ln();
+            let sim = SimConfig {
+                placement: Placement::Line {
+                    n: 2,
+                    spacing: dist,
+                },
+                radio,
+                mac: MacConfig::default(),
+                dynamics: LinkDynamics::Static,
+                seed: 131 + (loss * 100.0) as u64,
+            };
+            let dophy = DophyConfig {
+                traffic_period: SimDuration::from_secs(1),
+                warmup: SimDuration::from_secs(10),
+                aggregation: AggregationPolicy::Identity,
+                ..canonical_dophy()
+            };
+            Cell::run(
+                format!("loss={loss}"),
+                RunSpec {
+                    min_truth_tx: 100,
+                    ..RunSpec::new(sim, dophy, duration(quick))
+                },
+            )
         })
-    });
+        .collect();
 
-    let mut fig = FigureResult::new(
-        "ablation-truncation",
-        "Truncation-corrected MLE vs naive estimator (signed bias)",
-        "true per-transmission loss",
-        "estimated - true loss",
-    );
-    let mut mle_bias = Vec::new();
-    let mut naive_bias = Vec::new();
-    for (&loss, out) in losses.iter().zip(&outs) {
-        // One link of interest: 1 → 0.
-        let t = out.truth.get(&(1, 0)).copied();
-        let d = out.dophy.get(&(1, 0)).copied();
-        let nv = out.naive.get(&(1, 0)).copied();
-        if let (Some(t), Some(d), Some(nv)) = (t, d, nv) {
-            mle_bias.push((loss, d - t));
-            naive_bias.push((loss, nv - t));
+    Plan::new("ablation-truncation", cells, move |outs| {
+        let mut fig = FigureResult::new(
+            "ablation-truncation",
+            "Truncation-corrected MLE vs naive estimator (signed bias)",
+            "true per-transmission loss",
+            "estimated - true loss",
+        );
+        let mut mle_bias = Vec::new();
+        let mut naive_bias = Vec::new();
+        for (&loss, out) in losses.iter().zip(&outs) {
+            // One link of interest: 1 → 0.
+            let t = out.truth.get(&(1, 0)).copied();
+            let d = out.dophy.get(&(1, 0)).copied();
+            let nv = out.naive.get(&(1, 0)).copied();
+            if let (Some(t), Some(d), Some(nv)) = (t, d, nv) {
+                mle_bias.push((loss, d - t));
+                naive_bias.push((loss, nv - t));
+            }
         }
-    }
-    fig.push_series(Series::new("mle-bias", mle_bias));
-    fig.push_series(Series::new("naive-bias", naive_bias));
-    fig.note("naive bias grows negative (optimistic) with loss; MLE stays near zero".to_string());
-    fig
+        fig.push_series(Series::new("mle-bias", mle_bias));
+        fig.push_series(Series::new("naive-bias", naive_bias));
+        fig.note(
+            "naive bias grows negative (optimistic) with loss; MLE stays near zero".to_string(),
+        );
+        fig
+    })
 }
 
 /// Cost-aware (KL-gated) model refresh vs fixed-period refresh: with an
 /// aggressive update period, the gate should skip most floods once the
 /// model has converged, at equal per-packet stream cost.
-pub fn ablation_klgate(quick: bool) -> FigureResult {
+pub fn ablation_klgate(quick: bool) -> Plan {
     // On a statistically stationary network the learned distribution stops
     // moving after the first couple of refreshes; measured pre-refresh KL
     // settles around 0.05–0.15 bits (residual estimator noise), so gates
     // above that should suppress almost all later floods.
     let gates: Vec<f64> = vec![0.0, 0.1, 0.3, 1.0];
-    let outs = parallel_sweep(&gates, |&gate| {
-        let dophy = DophyConfig {
-            model_update: ModelUpdateConfig {
-                update_period: SimDuration::from_secs(60),
-                min_observations: 50,
-                min_kl_bits: gate,
-                ..ModelUpdateConfig::default()
-            },
-            traffic_period: SimDuration::from_secs(2),
-            ..canonical_dophy()
-        };
-        run_scenario(&RunSpec::new(
-            canonical_sim(173, quick),
-            dophy,
-            duration(quick),
-        ))
-    });
+    let cells = gates
+        .iter()
+        .map(|&gate| {
+            let dophy = DophyConfig {
+                model_update: ModelUpdateConfig {
+                    update_period: SimDuration::from_secs(60),
+                    min_observations: 50,
+                    min_kl_bits: gate,
+                    ..ModelUpdateConfig::default()
+                },
+                traffic_period: SimDuration::from_secs(2),
+                ..canonical_dophy()
+            };
+            Cell::run(
+                format!("gate={gate}"),
+                RunSpec::new(canonical_sim(173, quick), dophy, duration(quick)),
+            )
+        })
+        .collect();
 
-    let mut fig = FigureResult::new(
-        "ablation-klgate",
-        "Cost-aware refresh: KL gate vs fixed-period dissemination",
-        "KL gate (bits; 0 = always refresh)",
-        "refreshes / bytes-per-packet",
-    );
-    let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
-        gates.iter().zip(&outs).map(|(&g, o)| (g, sel(o))).collect()
-    };
-    fig.push_series(Series::new("refreshes", collect(&|o| o.refreshes as f64)));
-    fig.push_series(Series::new(
-        "stream-bytes/pkt",
-        collect(&|o| o.overhead.mean_stream_bytes()),
-    ));
-    fig.push_series(Series::new(
-        "total-bytes/pkt",
-        collect(&|o| {
-            o.overhead.mean_stream_bytes()
-                + o.dissemination_bytes as f64 / o.overhead.packets.max(1) as f64
-        }),
-    ));
-    fig.note(
-        "the gate should cut refresh count sharply with little stream-size penalty".to_string(),
-    );
-    fig
+    Plan::new("ablation-klgate", cells, move |outs| {
+        let mut fig = FigureResult::new(
+            "ablation-klgate",
+            "Cost-aware refresh: KL gate vs fixed-period dissemination",
+            "KL gate (bits; 0 = always refresh)",
+            "refreshes / bytes-per-packet",
+        );
+        let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
+            gates
+                .iter()
+                .zip(&outs)
+                .map(|(&g, o)| (g, sel(o.as_ref())))
+                .collect()
+        };
+        fig.push_series(Series::new("refreshes", collect(&|o| o.refreshes as f64)));
+        fig.push_series(Series::new(
+            "stream-bytes/pkt",
+            collect(&|o| o.overhead.mean_stream_bytes()),
+        ));
+        fig.push_series(Series::new(
+            "total-bytes/pkt",
+            collect(&|o| {
+                o.overhead.mean_stream_bytes()
+                    + o.dissemination_bytes as f64 / o.overhead.packets.max(1) as f64
+            }),
+        ));
+        fig.note(
+            "the gate should cut refresh count sharply with little stream-size penalty".to_string(),
+        );
+        fig
+    })
 }
 
 /// Bayesian shrinkage vs MLE vs naive across observation budgets: with
 /// few packets the informed Beta prior regularises noisy per-link
 /// estimates; with many packets all estimators converge.
-pub fn ablation_prior(quick: bool) -> FigureResult {
+pub fn ablation_prior(quick: bool) -> Plan {
     let durations_s: Vec<u64> = vec![180, 420, 900, 1800, 3600];
-    let outs = parallel_sweep(&durations_s, |&secs| {
-        let spec = RunSpec {
-            // Low threshold so small-sample links are actually reported —
-            // the regime where the estimators differ.
-            min_est_samples: 3,
-            ..RunSpec::new(
-                canonical_sim(197, quick),
-                canonical_dophy(),
-                SimDuration::from_secs(secs),
+    let cells = durations_s
+        .iter()
+        .map(|&secs| {
+            Cell::run(
+                format!("duration={secs}s"),
+                RunSpec {
+                    // Low threshold so small-sample links are actually reported —
+                    // the regime where the estimators differ.
+                    min_est_samples: 3,
+                    ..RunSpec::new(
+                        canonical_sim(197, quick),
+                        canonical_dophy(),
+                        SimDuration::from_secs(secs),
+                    )
+                },
             )
-        };
-        run_scenario(&spec)
-    });
+        })
+        .collect();
 
-    let mut fig = FigureResult::new(
-        "ablation-prior",
-        "Bayesian shrinkage vs MLE vs naive across observation budgets",
-        "run duration (s)",
-        "loss-ratio MAE",
-    );
-    let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
-        durations_s
-            .iter()
-            .zip(&outs)
-            .map(|(&d, o)| (d as f64, sel(o)))
-            .collect()
-    };
-    fig.push_series(Series::new(
-        "mle",
-        collect(&|o| o.score_scheme(&o.dophy).mae),
-    ));
-    fig.push_series(Series::new(
-        "naive",
-        collect(&|o| o.score_scheme(&o.naive).mae),
-    ));
-    fig.push_series(Series::new(
-        "bayes",
-        collect(&|o| o.score_scheme(&o.bayes).mae),
-    ));
-    fig.note(
-        "measured outcome: the exact (censoring/truncation-aware) MLE matches or beats \
-         conjugate shrinkage at every budget — the Beta prior's O(1) updates trade away \
-         the exact likelihood, and the prior biases the lossy tail; Bayes remains useful \
-         for its closed-form credible intervals, not its point estimates"
-            .to_string(),
-    );
-    fig
+    Plan::new("ablation-prior", cells, move |outs| {
+        let mut fig = FigureResult::new(
+            "ablation-prior",
+            "Bayesian shrinkage vs MLE vs naive across observation budgets",
+            "run duration (s)",
+            "loss-ratio MAE",
+        );
+        let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
+            durations_s
+                .iter()
+                .zip(&outs)
+                .map(|(&d, o)| (d as f64, sel(o.as_ref())))
+                .collect()
+        };
+        fig.push_series(Series::new(
+            "mle",
+            collect(&|o| o.score_scheme(&o.dophy).mae),
+        ));
+        fig.push_series(Series::new(
+            "naive",
+            collect(&|o| o.score_scheme(&o.naive).mae),
+        ));
+        fig.push_series(Series::new(
+            "bayes",
+            collect(&|o| o.score_scheme(&o.bayes).mae),
+        ));
+        fig.note(
+            "measured outcome: the exact (censoring/truncation-aware) MLE matches or beats \
+             conjugate shrinkage at every budget — the Beta prior's O(1) updates trade away \
+             the exact likelihood, and the prior biases the lossy tail; Bayes remains useful \
+             for its closed-form credible intervals, not its point estimates"
+                .to_string(),
+        );
+        fig
+    })
 }
 
 /// Estimator robustness under bursty (Gilbert–Elliott) losses that violate
 /// the i.i.d. assumption, across burst time-scales.
-pub fn ablation_burst(quick: bool) -> FigureResult {
+pub fn ablation_burst(quick: bool) -> Plan {
     let cycles: Vec<f64> = vec![0.0, 5.0, 20.0, 60.0, 180.0];
-    let outs = parallel_sweep(&cycles, |&cycle| {
-        let sim = SimConfig {
-            dynamics: if cycle == 0.0 {
-                LinkDynamics::Static
-            } else {
-                LinkDynamics::Bursty {
-                    lift: 0.1,
-                    bad_factor: 0.4,
-                    cycle_s: cycle,
-                }
-            },
-            ..canonical_sim(139, quick)
-        };
-        run_scenario(&RunSpec::new(sim, canonical_dophy(), duration(quick)))
-    });
+    let cells = cycles
+        .iter()
+        .map(|&cycle| {
+            let sim = SimConfig {
+                dynamics: if cycle == 0.0 {
+                    LinkDynamics::Static
+                } else {
+                    LinkDynamics::Bursty {
+                        lift: 0.1,
+                        bad_factor: 0.4,
+                        cycle_s: cycle,
+                    }
+                },
+                ..canonical_sim(139, quick)
+            };
+            Cell::run(
+                format!("cycle={cycle}s"),
+                RunSpec::new(sim, canonical_dophy(), duration(quick)),
+            )
+        })
+        .collect();
 
-    let mut fig = FigureResult::new(
-        "ablation-burstiness",
-        "Accuracy under bursty (Gilbert-Elliott) losses",
-        "burst cycle (s; 0 = i.i.d.)",
-        "loss-ratio MAE",
-    );
-    let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
-        cycles
-            .iter()
-            .zip(&outs)
-            .map(|(&c, o)| (c, sel(o)))
-            .collect()
-    };
-    fig.push_series(Series::new(
-        "dophy-mle",
-        collect(&|o| o.score_scheme(&o.dophy).mae),
-    ));
-    fig.push_series(Series::new(
-        "traditional-em",
-        collect(&|o| o.score_scheme(&o.em).mae),
-    ));
-    fig.push_series(Series::new(
-        "delivery-ratio",
-        collect(&|o| o.delivery_ratio),
-    ));
-    fig.note(
-        "long bursts correlate consecutive attempts; the geometric model degrades gracefully"
-            .to_string(),
-    );
-    fig
+    Plan::new("ablation-burst", cells, move |outs| {
+        let mut fig = FigureResult::new(
+            "ablation-burstiness",
+            "Accuracy under bursty (Gilbert-Elliott) losses",
+            "burst cycle (s; 0 = i.i.d.)",
+            "loss-ratio MAE",
+        );
+        let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
+            cycles
+                .iter()
+                .zip(&outs)
+                .map(|(&c, o)| (c, sel(o.as_ref())))
+                .collect()
+        };
+        fig.push_series(Series::new(
+            "dophy-mle",
+            collect(&|o| o.score_scheme(&o.dophy).mae),
+        ));
+        fig.push_series(Series::new(
+            "traditional-em",
+            collect(&|o| o.score_scheme(&o.em).mae),
+        ));
+        fig.push_series(Series::new(
+            "delivery-ratio",
+            collect(&|o| o.delivery_ratio),
+        ));
+        fig.note(
+            "long bursts correlate consecutive attempts; the geometric model degrades gracefully"
+                .to_string(),
+        );
+        fig
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -823,99 +898,104 @@ pub fn ablation_burst(quick: bool) -> FigureResult {
 /// Time-resolved estimation: Dophy's windowed estimator follows a
 /// sinusoidally drifting link while the cumulative estimator converges on
 /// the average — the reason "dynamic" tomography needs windowing.
-pub fn fig10_tracking(quick: bool) -> FigureResult {
-    use dophy::protocol::build_simulation;
-    use dophy::tracking::WindowConfig;
+///
+/// Drives the engine directly mid-run, so it is a single custom cell
+/// (pooled and panic-isolated, but not cacheable).
+pub fn fig10_tracking(quick: bool) -> Plan {
+    Plan::custom("fig10-tracking", "drift-tracking", move || {
+        use dophy::protocol::build_simulation;
+        use dophy::tracking::WindowConfig;
 
-    let period_s = 1200.0;
-    let sim = SimConfig {
-        dynamics: LinkDynamics::Drift { amp: 0.3, period_s },
-        ..canonical_sim(151, quick)
-    };
-    let dophy_cfg = DophyConfig {
-        traffic_period: SimDuration::from_secs(2),
-        tracking: WindowConfig {
-            window: SimDuration::from_secs(120),
-            merge_windows: 3,
-        },
-        ..canonical_dophy()
-    };
-    let (mut engine, shared) = build_simulation(&sim, &dophy_cfg);
-    engine.start();
+        let period_s = 1200.0;
+        let sim = SimConfig {
+            dynamics: LinkDynamics::Drift { amp: 0.3, period_s },
+            ..canonical_sim(151, quick)
+        };
+        let dophy_cfg = DophyConfig {
+            traffic_period: SimDuration::from_secs(2),
+            tracking: WindowConfig {
+                window: SimDuration::from_secs(120),
+                merge_windows: 3,
+            },
+            ..canonical_dophy()
+        };
+        let (mut engine, shared) = build_simulation(&sim, &dophy_cfg);
+        engine.start();
 
-    // Warm up, then pick the busiest estimated link.
-    engine.run_for(SimDuration::from_secs(300));
-    let (src, dst) = {
-        let s = shared.lock();
-        s.estimator
-            .estimates(sim.mac.max_attempts, 1)
-            .into_iter()
-            .max_by_key(|(_, e)| e.n_samples)
-            .map(|(k, _)| k)
-            .expect("some link observed after warmup")
-    };
-    let link_id = engine
-        .topology()
-        .link_id(dophy_sim::NodeId(src), dophy_sim::NodeId(dst))
-        .expect("estimated link exists");
+        // Warm up, then pick the busiest estimated link.
+        engine.run_for(SimDuration::from_secs(300));
+        let (src, dst) = {
+            let s = shared.lock();
+            s.estimator
+                .estimates(sim.mac.max_attempts, 1)
+                .into_iter()
+                .max_by_key(|(_, e)| e.n_samples)
+                .map(|(k, _)| k)
+                .expect("some link observed after warmup")
+        };
+        let link_id = engine
+            .topology()
+            .link_id(dophy_sim::NodeId(src), dophy_sim::NodeId(dst))
+            .expect("estimated link exists");
 
-    let total = duration(quick) * 2;
-    let mut truth_pts = Vec::new();
-    let mut windowed_pts = Vec::new();
-    let mut cumulative_pts = Vec::new();
-    let step = SimDuration::from_secs(120);
-    let mut elapsed = SimDuration::from_secs(300);
-    while elapsed < total {
-        engine.run_for(step);
-        elapsed = elapsed + step;
-        let x = elapsed.as_secs_f64();
-        let true_loss = 1.0 - engine.true_prr_now(link_id);
-        truth_pts.push((x, true_loss));
-        let s = shared.lock();
-        if let Some(e) = s
-            .windowed
-            .estimate(engine.now(), src, dst, sim.mac.max_attempts)
-        {
-            windowed_pts.push((x, e.loss));
-        }
-        if let Some(le) = s.estimator.link(src, dst) {
-            if let Some(e) = le.mle(sim.mac.max_attempts) {
-                cumulative_pts.push((x, e.loss));
+        let total = duration(quick) * 2;
+        let mut truth_pts = Vec::new();
+        let mut windowed_pts = Vec::new();
+        let mut cumulative_pts = Vec::new();
+        let step = SimDuration::from_secs(120);
+        let mut elapsed = SimDuration::from_secs(300);
+        while elapsed < total {
+            engine.run_for(step);
+            elapsed = elapsed + step;
+            let x = elapsed.as_secs_f64();
+            let true_loss = 1.0 - engine.true_prr_now(link_id);
+            truth_pts.push((x, true_loss));
+            let s = shared.lock();
+            if let Some(e) = s
+                .windowed
+                .estimate(engine.now(), src, dst, sim.mac.max_attempts)
+            {
+                windowed_pts.push((x, e.loss));
+            }
+            if let Some(le) = s.estimator.link(src, dst) {
+                if let Some(e) = le.mle(sim.mac.max_attempts) {
+                    cumulative_pts.push((x, e.loss));
+                }
             }
         }
-    }
 
-    let mut fig = FigureResult::new(
-        "fig10-tracking",
-        "Tracking a drifting link: windowed vs cumulative estimation",
-        "time (s)",
-        "loss ratio",
-    );
-    // Tracking error summary before moving the series in.
-    let err = |pts: &[(f64, f64)]| -> f64 {
-        let mut s = 0.0;
-        let mut n = 0.0;
-        for &(x, y) in pts {
-            if let Some(&(_, t)) = truth_pts.iter().find(|&&(tx, _)| (tx - x).abs() < 1e-9) {
-                s += (y - t).abs();
-                n += 1.0;
+        let mut fig = FigureResult::new(
+            "fig10-tracking",
+            "Tracking a drifting link: windowed vs cumulative estimation",
+            "time (s)",
+            "loss ratio",
+        );
+        // Tracking error summary before moving the series in.
+        let err = |pts: &[(f64, f64)]| -> f64 {
+            let mut s = 0.0;
+            let mut n = 0.0;
+            for &(x, y) in pts {
+                if let Some(&(_, t)) = truth_pts.iter().find(|&&(tx, _)| (tx - x).abs() < 1e-9) {
+                    s += (y - t).abs();
+                    n += 1.0;
+                }
             }
-        }
-        if n > 0.0 {
-            s / n
-        } else {
-            f64::NAN
-        }
-    };
-    fig.note(format!(
-        "link {src}->{dst}: windowed tracking MAE {:.4}, cumulative MAE {:.4}",
-        err(&windowed_pts),
-        err(&cumulative_pts)
-    ));
-    fig.push_series(Series::new("true-loss", truth_pts));
-    fig.push_series(Series::new("windowed-estimate", windowed_pts));
-    fig.push_series(Series::new("cumulative-estimate", cumulative_pts));
-    fig
+            if n > 0.0 {
+                s / n
+            } else {
+                f64::NAN
+            }
+        };
+        fig.note(format!(
+            "link {src}->{dst}: windowed tracking MAE {:.4}, cumulative MAE {:.4}",
+            err(&windowed_pts),
+            err(&cumulative_pts)
+        ));
+        fig.push_series(Series::new("true-loss", truth_pts));
+        fig.push_series(Series::new("windowed-estimate", windowed_pts));
+        fig.push_series(Series::new("cumulative-estimate", cumulative_pts));
+        fig
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -924,10 +1004,11 @@ pub fn fig10_tracking(quick: bool) -> FigureResult {
 
 /// Accuracy and overhead across deployment shapes. X-axis index: 1 uniform
 /// disk, 2 grid, 3 line, 4 clustered.
-pub fn fig11_topology(quick: bool) -> FigureResult {
-    let placements: Vec<(f64, Placement)> = vec![
+pub fn fig11_topology(quick: bool) -> Plan {
+    let placements: Vec<(f64, &'static str, Placement)> = vec![
         (
             1.0,
+            "disk",
             Placement::UniformDisk {
                 n: if quick { 80 } else { 150 },
                 radius: if quick { 80.0 } else { 105.0 },
@@ -935,6 +1016,7 @@ pub fn fig11_topology(quick: bool) -> FigureResult {
         ),
         (
             2.0,
+            "grid",
             Placement::Grid {
                 side: if quick { 9 } else { 12 },
                 spacing: 14.0,
@@ -942,6 +1024,7 @@ pub fn fig11_topology(quick: bool) -> FigureResult {
         ),
         (
             3.0,
+            "line",
             Placement::Line {
                 n: if quick { 20 } else { 30 },
                 spacing: 22.0,
@@ -949,6 +1032,7 @@ pub fn fig11_topology(quick: bool) -> FigureResult {
         ),
         (
             4.0,
+            "clustered",
             Placement::Clustered {
                 clusters: if quick { 8 } else { 15 },
                 per_cluster: 10,
@@ -957,45 +1041,50 @@ pub fn fig11_topology(quick: bool) -> FigureResult {
             },
         ),
     ];
-    let outs = parallel_sweep(&placements, |&(_, placement)| {
-        let sim = SimConfig {
-            placement,
-            ..canonical_sim(163, quick)
-        };
-        run_scenario(&RunSpec::new(sim, canonical_dophy(), duration(quick)))
-    });
+    let cells = placements
+        .iter()
+        .map(|&(_, name, placement)| {
+            let sim = SimConfig {
+                placement,
+                ..canonical_sim(163, quick)
+            };
+            Cell::run(name, RunSpec::new(sim, canonical_dophy(), duration(quick)))
+        })
+        .collect();
 
-    let mut fig = FigureResult::new(
-        "fig11-topology",
-        "Accuracy and overhead across deployment shapes",
-        "topology (1 disk, 2 grid, 3 line, 4 clustered)",
-        "MAE / bytes-per-packet / ratio",
-    );
-    let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
-        placements
-            .iter()
-            .zip(&outs)
-            .map(|(&(x, _), o)| (x, sel(o)))
-            .collect()
-    };
-    fig.push_series(Series::new(
-        "dophy-mle",
-        collect(&|o| o.score_scheme(&o.dophy).mae),
-    ));
-    fig.push_series(Series::new(
-        "traditional-em",
-        collect(&|o| o.score_scheme(&o.em).mae),
-    ));
-    fig.push_series(Series::new(
-        "stream-bytes/pkt",
-        collect(&|o| o.overhead.mean_stream_bytes()),
-    ));
-    fig.push_series(Series::new(
-        "delivery-ratio",
-        collect(&|o| o.delivery_ratio),
-    ));
-    fig.note("line topologies maximise path length (overhead); clustered ones stress the hop-index context".to_string());
-    fig
+    Plan::new("fig11-topology", cells, move |outs| {
+        let mut fig = FigureResult::new(
+            "fig11-topology",
+            "Accuracy and overhead across deployment shapes",
+            "topology (1 disk, 2 grid, 3 line, 4 clustered)",
+            "MAE / bytes-per-packet / ratio",
+        );
+        let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
+            placements
+                .iter()
+                .zip(&outs)
+                .map(|(&(x, _, _), o)| (x, sel(o.as_ref())))
+                .collect()
+        };
+        fig.push_series(Series::new(
+            "dophy-mle",
+            collect(&|o| o.score_scheme(&o.dophy).mae),
+        ));
+        fig.push_series(Series::new(
+            "traditional-em",
+            collect(&|o| o.score_scheme(&o.em).mae),
+        ));
+        fig.push_series(Series::new(
+            "stream-bytes/pkt",
+            collect(&|o| o.overhead.mean_stream_bytes()),
+        ));
+        fig.push_series(Series::new(
+            "delivery-ratio",
+            collect(&|o| o.delivery_ratio),
+        ));
+        fig.note("line topologies maximise path length (overhead); clustered ones stress the hop-index context".to_string());
+        fig
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1004,62 +1093,75 @@ pub fn fig11_topology(quick: bool) -> FigureResult {
 
 /// Seed sweep on the canonical dynamic scenario: per-seed MAE for each
 /// scheme, with mean ± std in the notes (guards against single-seed luck).
-pub fn tab3_seeds(quick: bool) -> FigureResult {
+/// The first sweep point *is* [`canonical_dynamic_spec`] (seed 97), so it
+/// shares a cached run with fig9 and tab1.
+pub fn tab3_seeds(quick: bool) -> Plan {
     let seeds: Vec<u64> = if quick {
-        vec![1, 2, 3, 4]
+        vec![97, 2007, 3007, 4007]
     } else {
-        (1..=8).collect()
+        let mut v = vec![97];
+        v.extend((2..=8).map(|s| s * 1000 + 7));
+        v
     };
-    let outs = parallel_sweep(&seeds, |&seed| {
-        let sim = SimConfig {
-            dynamics: LinkDynamics::Volatile {
-                sigma_per_sqrt_s: 0.02,
-            },
-            ..canonical_sim(seed * 1000 + 7, quick)
-        };
-        run_scenario(&RunSpec::new(sim, canonical_dophy(), duration(quick)))
-    });
-
-    let mut fig = FigureResult::new(
-        "tab3-seeds",
-        "Per-seed accuracy on the canonical dynamic scenario",
-        "seed index",
-        "loss-ratio MAE",
-    );
-    let schemes: Vec<SchemeSel> = vec![
-        (
-            "dophy-mle",
-            Box::new(|o: &RunOutput| o.score_scheme(&o.dophy).mae),
-        ),
-        (
-            "traditional-em",
-            Box::new(|o: &RunOutput| o.score_scheme(&o.em).mae),
-        ),
-        (
-            "traditional-logls",
-            Box::new(|o: &RunOutput| o.score_scheme(&o.ls).mae),
-        ),
-    ];
-    for (name, sel) in &schemes {
-        let pts: Vec<(f64, f64)> = seeds
-            .iter()
-            .enumerate()
-            .map(|(i, _)| (i as f64 + 1.0, sel(&outs[i])))
-            .collect();
-        let mean = pts.iter().map(|&(_, y)| y).sum::<f64>() / pts.len() as f64;
-        let var = pts.iter().map(|&(_, y)| (y - mean).powi(2)).sum::<f64>()
-            / (pts.len() - 1).max(1) as f64;
-        fig.note(format!("{name}: mean {:.4} ± {:.4}", mean, var.sqrt()));
-        fig.push_series(Series::new(*name, pts));
-    }
-    // Invariant across all seeds: Dophy wins on every one.
-    let always_wins = outs
+    let cells = seeds
         .iter()
-        .all(|o| o.score_scheme(&o.dophy).mae < o.score_scheme(&o.em).mae);
-    fig.note(format!(
-        "dophy beats traditional on every seed: {always_wins}"
-    ));
-    fig
+        .map(|&seed| {
+            // Seed 97 reproduces canonical_dynamic_spec exactly (same
+            // structure, same seed) — a deliberate cache share.
+            let sim = SimConfig {
+                dynamics: LinkDynamics::Volatile {
+                    sigma_per_sqrt_s: 0.02,
+                },
+                ..canonical_sim(seed, quick)
+            };
+            Cell::run(
+                format!("seed={seed}"),
+                RunSpec::new(sim, canonical_dophy(), duration(quick)),
+            )
+        })
+        .collect();
+
+    let n_seeds = seeds.len();
+    Plan::new("tab3-seeds", cells, move |outs| {
+        let mut fig = FigureResult::new(
+            "tab3-seeds",
+            "Per-seed accuracy on the canonical dynamic scenario",
+            "seed index",
+            "loss-ratio MAE",
+        );
+        let schemes: Vec<SchemeSel> = vec![
+            (
+                "dophy-mle",
+                Box::new(|o: &RunOutput| o.score_scheme(&o.dophy).mae),
+            ),
+            (
+                "traditional-em",
+                Box::new(|o: &RunOutput| o.score_scheme(&o.em).mae),
+            ),
+            (
+                "traditional-logls",
+                Box::new(|o: &RunOutput| o.score_scheme(&o.ls).mae),
+            ),
+        ];
+        for (name, sel) in &schemes {
+            let pts: Vec<(f64, f64)> = (0..n_seeds)
+                .map(|i| (i as f64 + 1.0, sel(outs[i].as_ref())))
+                .collect();
+            let mean = pts.iter().map(|&(_, y)| y).sum::<f64>() / pts.len() as f64;
+            let var = pts.iter().map(|&(_, y)| (y - mean).powi(2)).sum::<f64>()
+                / (pts.len() - 1).max(1) as f64;
+            fig.note(format!("{name}: mean {:.4} ± {:.4}", mean, var.sqrt()));
+            fig.push_series(Series::new(*name, pts));
+        }
+        // Invariant across all seeds: Dophy wins on every one.
+        let always_wins = outs
+            .iter()
+            .all(|o| o.score_scheme(&o.dophy).mae < o.score_scheme(&o.em).mae);
+        fig.note(format!(
+            "dophy beats traditional on every seed: {always_wins}"
+        ));
+        fig
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1069,60 +1171,64 @@ pub fn tab3_seeds(quick: bool) -> FigureResult {
 /// Accuracy under node up/down churn — the other "dynamic" in dynamic
 /// sensor networks: nodes crash, reboot, and duty-cycle, forcing route
 /// re-formation around them.
-pub fn fig12_node_churn(quick: bool) -> FigureResult {
+pub fn fig12_node_churn(quick: bool) -> Plan {
     use dophy::protocol::NodeChurnConfig;
     // Mean uptime sweep (0 = no churn); downtime fixed at 60 s.
     let uptimes: Vec<u64> = vec![0, 1800, 900, 450, 225];
-    let outs = parallel_sweep(&uptimes, |&up| {
-        let dophy = DophyConfig {
-            churn: (up > 0).then_some(NodeChurnConfig {
-                mean_up: SimDuration::from_secs(up),
-                mean_down: SimDuration::from_secs(60),
-            }),
-            ..canonical_dophy()
-        };
-        run_scenario(&RunSpec::new(
-            canonical_sim(191, quick),
-            dophy,
-            duration(quick),
-        ))
-    });
+    let cells = uptimes
+        .iter()
+        .map(|&up| {
+            let dophy = DophyConfig {
+                churn: (up > 0).then_some(NodeChurnConfig {
+                    mean_up: SimDuration::from_secs(up),
+                    mean_down: SimDuration::from_secs(60),
+                }),
+                ..canonical_dophy()
+            };
+            Cell::run(
+                format!("uptime={up}s"),
+                RunSpec::new(canonical_sim(191, quick), dophy, duration(quick)),
+            )
+        })
+        .collect();
 
-    let mut fig = FigureResult::new(
-        "fig12-node-churn",
-        "Estimation accuracy under node up/down churn",
-        "mean node uptime (s; 0 = no churn)",
-        "MAE / ratio",
-    );
-    let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
-        uptimes
-            .iter()
-            .zip(&outs)
-            .map(|(&u, o)| (u as f64, sel(o)))
-            .collect()
-    };
-    fig.push_series(Series::new(
-        "dophy-mle",
-        collect(&|o| o.score_scheme(&o.dophy).mae),
-    ));
-    fig.push_series(Series::new(
-        "traditional-em",
-        collect(&|o| o.score_scheme(&o.em).mae),
-    ));
-    fig.push_series(Series::new(
-        "delivery-ratio",
-        collect(&|o| o.delivery_ratio),
-    ));
-    fig.push_series(Series::new(
-        "decode-success",
-        collect(&|o| o.decode.success_ratio()),
-    ));
-    fig.note(
-        "delivery drops with churn (packets die at powered-down relays) but the links \
-         Dophy does observe stay accurately estimated"
-            .to_string(),
-    );
-    fig
+    Plan::new("fig12-node-churn", cells, move |outs| {
+        let mut fig = FigureResult::new(
+            "fig12-node-churn",
+            "Estimation accuracy under node up/down churn",
+            "mean node uptime (s; 0 = no churn)",
+            "MAE / ratio",
+        );
+        let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
+            uptimes
+                .iter()
+                .zip(&outs)
+                .map(|(&u, o)| (u as f64, sel(o.as_ref())))
+                .collect()
+        };
+        fig.push_series(Series::new(
+            "dophy-mle",
+            collect(&|o| o.score_scheme(&o.dophy).mae),
+        ));
+        fig.push_series(Series::new(
+            "traditional-em",
+            collect(&|o| o.score_scheme(&o.em).mae),
+        ));
+        fig.push_series(Series::new(
+            "delivery-ratio",
+            collect(&|o| o.delivery_ratio),
+        ));
+        fig.push_series(Series::new(
+            "decode-success",
+            collect(&|o| o.decode.success_ratio()),
+        ));
+        fig.note(
+            "delivery drops with churn (packets die at powered-down relays) but the links \
+             Dophy does observe stay accurately estimated"
+                .to_string(),
+        );
+        fig
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1135,108 +1241,113 @@ pub fn fig12_node_churn(quick: bool) -> FigureResult {
 /// we price byte-hops with a CC2420-class model and compare against the
 /// network's total radio energy. X-axis: scheme index (1 dophy, 2 explicit
 /// 2B/hop, 3 golomb-rice+ids, 4 dophy-state-only floor).
-pub fn tab4_energy(quick: bool) -> FigureResult {
-    use dophy::protocol::build_simulation;
-    use dophy_sim::EnergyModel;
+///
+/// Reads the engine's trace directly after the run, so it is a single
+/// custom cell (pooled and panic-isolated, but not cacheable).
+pub fn tab4_energy(quick: bool) -> Plan {
+    Plan::custom("tab4-energy", "energy-accounting", move || {
+        use dophy::protocol::build_simulation;
+        use dophy_sim::EnergyModel;
 
-    let sim = canonical_sim(179, quick);
-    let dophy_cfg = canonical_dophy();
-    let (mut engine, shared) = build_simulation(&sim, &dophy_cfg);
-    engine.start();
-    engine.run_for(duration(quick));
+        let sim = canonical_sim(179, quick);
+        let dophy_cfg = canonical_dophy();
+        let (mut engine, shared) = build_simulation(&sim, &dophy_cfg);
+        engine.start();
+        engine.run_for(duration(quick));
 
-    let energy = EnergyModel::default();
-    let mean_frame = 31.0 + dophy::header::DophyHeader::FIXED_WIRE_BYTES as f64; // MAC 11 + payload 20 + header
-    let base = energy.report(engine.trace(), mean_frame, 11.0);
-    let per_byte_hop = energy.per_hop_byte_joules();
+        let energy = EnergyModel::default();
+        let mean_frame = 31.0 + dophy::header::DophyHeader::FIXED_WIRE_BYTES as f64; // MAC 11 + payload 20 + header
+        let base = energy.report(engine.trace(), mean_frame, 11.0);
+        let per_byte_hop = energy.per_hop_byte_joules();
 
-    let s = shared.lock();
-    // Per-packet byte-hop cost of each scheme, from the hop histogram.
-    // At transmission j of a k-hop path the packet carries j-1 hops of
-    // records (receiver-side recording), so byte-hops = Σ_{j=1..k} c(j-1).
-    let mut dophy_bh = 0.0; // state (13 B) every hop + stream growing
-    let mut explicit_bh = 0.0; // 2 B per recorded hop
-    let mut rice_bh = 0.0; // ~1.35 B per recorded hop (8b id + ~1.8b attempt)
-    let mut state_bh = 0.0; // coder state alone (floor)
-    let mut packets = 0.0;
-    for (k, count) in s.overhead.hops_hist.iter() {
-        let kf = k as f64;
-        let c = count as f64;
-        packets += c;
-        let stream_final = s
-            .overhead
-            .stream_by_hops
-            .get(k)
-            .map(|st| st.mean())
-            .unwrap_or(0.0);
-        let per_hop_stream = if k > 1 {
-            stream_final / (kf - 1.0)
-        } else {
-            0.0
-        };
-        let mut d = 0.0;
-        let mut e = 0.0;
-        let mut r = 0.0;
-        let mut st = 0.0;
-        for j in 1..=k {
-            let recorded = (j - 1) as f64;
-            d += 13.0 + per_hop_stream * recorded;
-            e += 2.0 * recorded;
-            r += 1.35 * recorded;
-            st += 13.0;
+        let s = shared.lock();
+        // Per-packet byte-hop cost of each scheme, from the hop histogram.
+        // At transmission j of a k-hop path the packet carries j-1 hops of
+        // records (receiver-side recording), so byte-hops = Σ_{j=1..k} c(j-1).
+        let mut dophy_bh = 0.0; // state (13 B) every hop + stream growing
+        let mut explicit_bh = 0.0; // 2 B per recorded hop
+        let mut rice_bh = 0.0; // ~1.35 B per recorded hop (8b id + ~1.8b attempt)
+        let mut state_bh = 0.0; // coder state alone (floor)
+        let mut packets = 0.0;
+        for (k, count) in s.overhead.hops_hist.iter() {
+            let kf = k as f64;
+            let c = count as f64;
+            packets += c;
+            let stream_final = s
+                .overhead
+                .stream_by_hops
+                .get(k)
+                .map(|st| st.mean())
+                .unwrap_or(0.0);
+            let per_hop_stream = if k > 1 {
+                stream_final / (kf - 1.0)
+            } else {
+                0.0
+            };
+            let mut d = 0.0;
+            let mut e = 0.0;
+            let mut r = 0.0;
+            let mut st = 0.0;
+            for j in 1..=k {
+                let recorded = (j - 1) as f64;
+                d += 13.0 + per_hop_stream * recorded;
+                e += 2.0 * recorded;
+                r += 1.35 * recorded;
+                st += 13.0;
+            }
+            dophy_bh += c * d;
+            explicit_bh += c * e;
+            rice_bh += c * r;
+            state_bh += c * st;
         }
-        dophy_bh += c * d;
-        explicit_bh += c * e;
-        rice_bh += c * r;
-        state_bh += c * st;
-    }
-    let per_pkt = |bh: f64| bh / packets.max(1.0);
-    let joules_per_hour = |bh: f64| bh * per_byte_hop * 3600.0 / duration(quick).as_secs_f64();
-    let share = |bh: f64| {
-        let j = bh * per_byte_hop;
-        100.0 * j / (base.total_joules().max(1e-12))
-    };
+        let per_pkt = |bh: f64| bh / packets.max(1.0);
+        let joules_per_hour = |bh: f64| bh * per_byte_hop * 3600.0 / duration(quick).as_secs_f64();
+        let share = |bh: f64| {
+            let j = bh * per_byte_hop;
+            100.0 * j / (base.total_joules().max(1e-12))
+        };
 
-    let mut fig = FigureResult::new(
-        "tab4-energy",
-        "Radio-energy price of measurement overhead",
-        "scheme (1 dophy, 2 explicit, 3 rice, 4 state-floor)",
-        "byte-hops/pkt | J/hour | % of radio energy",
-    );
-    let schemes = [
-        (1.0, dophy_bh),
-        (2.0, explicit_bh + state_bh * 0.0), // explicit needs no coder state
-        (3.0, rice_bh),
-        (4.0, state_bh),
-    ];
-    fig.push_series(Series::new(
-        "byte-hops/pkt",
-        schemes.iter().map(|&(x, bh)| (x, per_pkt(bh))).collect(),
-    ));
-    fig.push_series(Series::new(
-        "joules/hour",
-        schemes
-            .iter()
-            .map(|&(x, bh)| (x, joules_per_hour(bh)))
-            .collect(),
-    ));
-    fig.push_series(Series::new(
-        "%-of-radio-energy",
-        schemes.iter().map(|&(x, bh)| (x, share(bh))).collect(),
-    ));
-    fig.note(format!(
-        "network radio energy {:.3} J over {:.0} s ({} packets); measurement prices are byte-hop × {:.2} µJ",
-        base.total_joules(),
-        duration(quick).as_secs_f64(),
-        packets as u64,
-        per_byte_hop * 1e6,
-    ));
-    fig.note(
-        "dophy's fixed coder state dominates its cost; the arithmetic stream itself is \
-         cheaper than every per-hop-record alternative"
-            .to_string(),
-    );
-    fig
+        let mut fig = FigureResult::new(
+            "tab4-energy",
+            "Radio-energy price of measurement overhead",
+            "scheme (1 dophy, 2 explicit, 3 rice, 4 state-floor)",
+            "byte-hops/pkt | J/hour | % of radio energy",
+        );
+        let schemes = [
+            (1.0, dophy_bh),
+            (2.0, explicit_bh + state_bh * 0.0), // explicit needs no coder state
+            (3.0, rice_bh),
+            (4.0, state_bh),
+        ];
+        fig.push_series(Series::new(
+            "byte-hops/pkt",
+            schemes.iter().map(|&(x, bh)| (x, per_pkt(bh))).collect(),
+        ));
+        fig.push_series(Series::new(
+            "joules/hour",
+            schemes
+                .iter()
+                .map(|&(x, bh)| (x, joules_per_hour(bh)))
+                .collect(),
+        ));
+        fig.push_series(Series::new(
+            "%-of-radio-energy",
+            schemes.iter().map(|&(x, bh)| (x, share(bh))).collect(),
+        ));
+        fig.note(format!(
+            "network radio energy {:.3} J over {:.0} s ({} packets); measurement prices are byte-hop × {:.2} µJ",
+            base.total_joules(),
+            duration(quick).as_secs_f64(),
+            packets as u64,
+            per_byte_hop * 1e6,
+        ));
+        fig.note(
+            "dophy's fixed coder state dominates its cost; the arithmetic stream itself is \
+             cheaper than every per-hop-record alternative"
+                .to_string(),
+        );
+        fig
+    })
 }
 
 /// Corruption detection, measured in-band: the fault layer flips bits in
@@ -1244,80 +1355,87 @@ pub fn tab4_energy(quick: bool) -> FigureResult {
 /// checks plus decode errors classify each delivered packet. X-axis:
 /// injected bit flips per corrupted frame; series are outcome fractions
 /// over the packets that reached the sink in corrupted form.
-pub fn tab5_corruption(quick: bool) -> FigureResult {
+pub fn tab5_corruption(quick: bool) -> Plan {
     let flips: Vec<u8> = vec![1, 2, 4];
-    let outs = parallel_sweep(&flips, |&k| {
-        let spec = RunSpec {
-            faults: Some(FaultConfig {
-                frame_corrupt_prob: 0.05,
-                flips_per_frame: k,
-                truncate_prob: 0.1,
-                header_bias: 0.3,
-                crash: None,
-                dissemination: None,
-            }),
-            ..RunSpec::new(
-                canonical_sim(199, quick),
-                canonical_dophy(),
-                duration(quick) / 4,
+    let cells = flips
+        .iter()
+        .map(|&k| {
+            Cell::run(
+                format!("flips={k}"),
+                RunSpec {
+                    faults: Some(FaultConfig {
+                        frame_corrupt_prob: 0.05,
+                        flips_per_frame: k,
+                        truncate_prob: 0.1,
+                        header_bias: 0.3,
+                        crash: None,
+                        dissemination: None,
+                    }),
+                    ..RunSpec::new(
+                        canonical_sim(199, quick),
+                        canonical_dophy(),
+                        duration(quick) / 4,
+                    )
+                },
             )
-        };
-        run_scenario(&spec)
-    });
+        })
+        .collect();
 
-    let mut fig = FigureResult::new(
-        "tab5-corruption",
-        "In-band frame corruption: quarantine vs destruction vs survival",
-        "bit flips per corrupted frame",
-        "fraction / count",
-    );
-    let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
-        flips
-            .iter()
-            .zip(&outs)
-            .map(|(&k, o)| (f64::from(k), sel(o)))
-            .collect()
-    };
-    fig.push_series(Series::new(
-        "quarantine-rate",
-        collect(&|o| {
-            let d = o.decode;
-            let seen = d.ok + d.quarantined();
-            d.quarantined() as f64 / seen.max(1) as f64
-        }),
-    ));
-    fig.push_series(Series::new(
-        "decode-success",
-        collect(&|o| o.decode.success_ratio()),
-    ));
-    fig.push_series(Series::new(
-        "frames-corrupted",
-        collect(&|o| {
-            o.faults
-                .map_or(0.0, |f| f.injection.frames_corrupted as f64)
-        }),
-    ));
-    fig.push_series(Series::new(
-        "frames-destroyed",
-        collect(&|o| o.faults.map_or(0.0, |f| f.frames_destroyed as f64)),
-    ));
-    fig.push_series(Series::new(
-        "dophy-mae",
-        collect(&|o| o.score_scheme(&o.dophy).mae),
-    ));
-    fig.note(
-        "quarantined = typed decode failure (malformed / bad hop count / bad index / \
-         path mismatch / coding); the estimator ingests only packets that decode Ok, \
-         so corruption costs coverage, never silent wrong observations"
-            .to_string(),
-    );
-    fig.note(
-        "destroyed frames failed header parsing outright (truncation, carry-byte or \
-         cache-size corruption) and never reach decode; coding redundancy lets some \
-         low-order stream flips still decode to the true hop sequence"
-            .to_string(),
-    );
-    fig
+    Plan::new("tab5-corruption", cells, move |outs| {
+        let mut fig = FigureResult::new(
+            "tab5-corruption",
+            "In-band frame corruption: quarantine vs destruction vs survival",
+            "bit flips per corrupted frame",
+            "fraction / count",
+        );
+        let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
+            flips
+                .iter()
+                .zip(&outs)
+                .map(|(&k, o)| (f64::from(k), sel(o.as_ref())))
+                .collect()
+        };
+        fig.push_series(Series::new(
+            "quarantine-rate",
+            collect(&|o| {
+                let d = o.decode;
+                let seen = d.ok + d.quarantined();
+                d.quarantined() as f64 / seen.max(1) as f64
+            }),
+        ));
+        fig.push_series(Series::new(
+            "decode-success",
+            collect(&|o| o.decode.success_ratio()),
+        ));
+        fig.push_series(Series::new(
+            "frames-corrupted",
+            collect(&|o| {
+                o.faults
+                    .map_or(0.0, |f| f.injection.frames_corrupted as f64)
+            }),
+        ));
+        fig.push_series(Series::new(
+            "frames-destroyed",
+            collect(&|o| o.faults.map_or(0.0, |f| f.frames_destroyed as f64)),
+        ));
+        fig.push_series(Series::new(
+            "dophy-mae",
+            collect(&|o| o.score_scheme(&o.dophy).mae),
+        ));
+        fig.note(
+            "quarantined = typed decode failure (malformed / bad hop count / bad index / \
+             path mismatch / coding); the estimator ingests only packets that decode Ok, \
+             so corruption costs coverage, never silent wrong observations"
+                .to_string(),
+        );
+        fig.note(
+            "destroyed frames failed header parsing outright (truncation, carry-byte or \
+             cache-size corruption) and never reach decode; coding redundancy lets some \
+             low-order stream flips still decode to the true hop sequence"
+                .to_string(),
+        );
+        fig
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1327,64 +1445,75 @@ pub fn tab5_corruption(quick: bool) -> FigureResult {
 /// Estimation accuracy as the frame-corruption rate grows: corrupted
 /// packets are quarantined (never ingested), so Dophy's error on the links
 /// it still observes should stay nearly flat while coverage shrinks.
-pub fn fig13_faults(quick: bool) -> FigureResult {
+pub fn fig13_faults(quick: bool) -> Plan {
     let rates: Vec<f64> = vec![0.0, 0.005, 0.01, 0.02, 0.05];
-    let outs = parallel_sweep(&rates, |&rate| {
-        let spec = RunSpec {
-            faults: (rate > 0.0).then(|| FaultConfig::corruption(rate)),
-            ..RunSpec::new(
-                canonical_sim(131, quick),
-                canonical_dophy(),
-                duration(quick) / 2,
+    let cells = rates
+        .iter()
+        .map(|&rate| {
+            Cell::run(
+                format!("rate={rate}"),
+                RunSpec {
+                    faults: (rate > 0.0).then(|| FaultConfig::corruption(rate)),
+                    ..RunSpec::new(
+                        canonical_sim(131, quick),
+                        canonical_dophy(),
+                        duration(quick) / 2,
+                    )
+                },
             )
-        };
-        run_scenario(&spec)
-    });
+        })
+        .collect();
 
-    let mut fig = FigureResult::new(
-        "fig13-faults",
-        "Accuracy and coverage under frame-corruption faults",
-        "frame corruption probability",
-        "MAE / ratio",
-    );
-    let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
-        rates.iter().zip(&outs).map(|(&r, o)| (r, sel(o))).collect()
-    };
-    fig.push_series(Series::new(
-        "dophy-mae",
-        collect(&|o| o.score_scheme(&o.dophy).mae),
-    ));
-    fig.push_series(Series::new(
-        "coverage",
-        collect(&|o| o.score_scheme(&o.dophy).coverage()),
-    ));
-    fig.push_series(Series::new(
-        "decode-success",
-        collect(&|o| o.decode.success_ratio()),
-    ));
-    fig.push_series(Series::new(
-        "quarantine-rate",
-        collect(&|o| {
-            let d = o.decode;
-            let seen = d.ok + d.quarantined();
-            d.quarantined() as f64 / seen.max(1) as f64
-        }),
-    ));
-    let base = outs[0].score_scheme(&outs[0].dophy).mae;
-    if let Some(i) = rates.iter().position(|&r| r == 0.01) {
-        let at_1pct = outs[i].score_scheme(&outs[i].dophy).mae;
-        fig.note(format!(
-            "MAE at 1% corruption {at_1pct:.4} vs fault-free {base:.4} \
-             ({:+.1}% — quarantine keeps the estimator clean)",
-            100.0 * (at_1pct - base) / base.max(1e-9),
+    Plan::new("fig13-faults", cells, move |outs| {
+        let mut fig = FigureResult::new(
+            "fig13-faults",
+            "Accuracy and coverage under frame-corruption faults",
+            "frame corruption probability",
+            "MAE / ratio",
+        );
+        let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
+            rates
+                .iter()
+                .zip(&outs)
+                .map(|(&r, o)| (r, sel(o.as_ref())))
+                .collect()
+        };
+        fig.push_series(Series::new(
+            "dophy-mae",
+            collect(&|o| o.score_scheme(&o.dophy).mae),
         ));
-    }
-    fig.note(
-        "accuracy stays flat until the quarantine rate starts to dominate coverage: \
-         faults cost samples, not correctness"
-            .to_string(),
-    );
-    fig
+        fig.push_series(Series::new(
+            "coverage",
+            collect(&|o| o.score_scheme(&o.dophy).coverage()),
+        ));
+        fig.push_series(Series::new(
+            "decode-success",
+            collect(&|o| o.decode.success_ratio()),
+        ));
+        fig.push_series(Series::new(
+            "quarantine-rate",
+            collect(&|o| {
+                let d = o.decode;
+                let seen = d.ok + d.quarantined();
+                d.quarantined() as f64 / seen.max(1) as f64
+            }),
+        ));
+        let base = outs[0].score_scheme(&outs[0].dophy).mae;
+        if let Some(i) = rates.iter().position(|&r| r == 0.01) {
+            let at_1pct = outs[i].score_scheme(&outs[i].dophy).mae;
+            fig.note(format!(
+                "MAE at 1% corruption {at_1pct:.4} vs fault-free {base:.4} \
+                 ({:+.1}% — quarantine keeps the estimator clean)",
+                100.0 * (at_1pct - base) / base.max(1e-9),
+            ));
+        }
+        fig.note(
+            "accuracy stays flat until the quarantine rate starts to dominate coverage: \
+             faults cost samples, not correctness"
+                .to_string(),
+        );
+        fig
+    })
 }
 
 /// Registry of all experiments by id.
@@ -1416,6 +1545,8 @@ pub fn registry() -> Vec<Experiment> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::{cache_key, execute_plans};
+    use crate::plan::CellWork;
 
     #[test]
     fn registry_ids_are_unique_and_resolvable() {
@@ -1426,13 +1557,41 @@ mod tests {
         ids.dedup();
         assert_eq!(ids.len(), n, "duplicate experiment ids");
         assert!(n >= 14, "expected the full experiment suite, got {n}");
+        // Building a plan is cheap (no simulation runs): every entry's
+        // plan id must match its registry id, every cell has a label.
+        for (id, f) in &reg {
+            let plan = f(true);
+            assert_eq!(plan.id, *id, "plan id must match registry id");
+            assert!(!plan.cells.is_empty(), "{id} declares no cells");
+            for cell in &plan.cells {
+                assert!(!cell.label.is_empty(), "{id} has an unlabelled cell");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_dynamic_spec_is_shared_across_experiments() {
+        // fig9, tab1, and tab3's first cell must carry byte-equal specs so
+        // the executor runs one simulation for all three.
+        let spec_of = |plan: Plan| match plan.cells.into_iter().next().unwrap().work {
+            CellWork::Run { spec, .. } => spec,
+            CellWork::Custom(_) => panic!("expected a run cell"),
+        };
+        let key = cache_key(&canonical_dynamic_spec(true));
+        assert_eq!(cache_key(&spec_of(fig9_error_cdf(true))), key);
+        assert_eq!(cache_key(&spec_of(tab1_summary(true))), key);
+        assert_eq!(cache_key(&spec_of(tab3_seeds(true))), key);
     }
 
     #[test]
     fn truncation_ablation_smoke() {
         // The cheapest experiment end-to-end (two-node networks): verifies
         // the harness wiring and the headline claim in miniature.
-        let fig = ablation_truncation(true);
+        let outcome = execute_plans(vec![ablation_truncation(true)], 2);
+        let fig = outcome.experiments[0]
+            .result
+            .as_ref()
+            .expect("truncation ablation runs");
         assert_eq!(fig.series.len(), 2);
         let mle = &fig.series[0];
         let naive = &fig.series[1];

@@ -33,7 +33,11 @@ pub type LinkKey = (u16, u16);
 type SnapshotPaths = Vec<Option<Vec<LinkKey>>>;
 
 /// Runner parameters beyond the stack configs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `Hash` is stable across runs and platforms (floats hash their raw
+/// bits), so the executor can content-address a spec: two experiments
+/// that build byte-equal `RunSpec`s share one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Hash, Serialize, Deserialize)]
 pub struct RunSpec {
     /// Network configuration.
     pub sim: SimConfig,

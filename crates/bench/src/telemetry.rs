@@ -81,13 +81,18 @@ pub fn recorded_runs() -> Vec<RunRecord> {
 
 /// Writes all recorded runs as pretty JSON to `path`
 /// (conventionally `target/BENCH_telemetry.json`).
+///
+/// Records are sorted by label: with the pooled executor the *recording*
+/// order depends on worker scheduling, so the export imposes a stable
+/// order instead.
 pub fn write_bench_file(path: &Path) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
             std::fs::create_dir_all(dir)?;
         }
     }
-    let runs = recorded_runs();
+    let mut runs = recorded_runs();
+    runs.sort_by(|a, b| a.label.cmp(&b.label));
     let json = serde_json::to_string_pretty(&runs)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     std::fs::write(path, json)

@@ -25,7 +25,7 @@
 use serde::{Deserialize, Serialize};
 
 /// How attempt counts `1..=max_attempts` map onto coder symbols.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AggregationPolicy {
     /// One symbol per attempt count.
     Identity,

@@ -70,6 +70,17 @@ pub struct ModelUpdateConfig {
     pub min_kl_bits: f64,
 }
 
+impl std::hash::Hash for ModelUpdateConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.update_period.as_micros());
+        state.write_u64(self.min_observations);
+        state.write_usize(self.history_len);
+        state.write_u64(self.flood_cost_factor.to_bits());
+        state.write_u64(self.max_propagation_delay.as_micros());
+        state.write_u64(self.min_kl_bits.to_bits());
+    }
+}
+
 impl Default for ModelUpdateConfig {
     fn default() -> Self {
         Self {

@@ -57,7 +57,7 @@ pub const MAC_HEADER_BYTES: usize = 11;
 /// distributed up and down phases (radio off while down). Models battery
 /// swaps, crashes, and duty-cycled deployments — the other "dynamic" in
 /// dynamic sensor networks.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct NodeChurnConfig {
     /// Mean uptime per cycle.
     pub mean_up: SimDuration,
@@ -67,7 +67,7 @@ pub struct NodeChurnConfig {
 
 /// Arrival-process shape for application traffic (the mean period comes
 /// from [`DophyConfig::traffic_period`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TrafficShape {
     /// Fixed period with uniform ±50% jitter.
     Periodic,
@@ -87,7 +87,11 @@ impl TrafficShape {
 }
 
 /// Full Dophy stack configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `Hash` is stable-by-construction (all float-bearing members hash raw
+/// bits) so the bench harness can use it as a content-address for run
+/// caching.
+#[derive(Debug, Clone, Copy, PartialEq, Hash, Serialize, Deserialize)]
 pub struct DophyConfig {
     /// Retransmission-count aggregation policy (Optimization 1).
     pub aggregation: AggregationPolicy,

@@ -59,6 +59,15 @@ pub struct RouterConfig {
     pub neighbor_timeout: dophy_sim::SimDuration,
 }
 
+impl std::hash::Hash for RouterConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::hash::Hash::hash(&self.estimator, state);
+        std::hash::Hash::hash(&self.trickle, state);
+        state.write_u64(self.switch_hysteresis_etx.to_bits());
+        state.write_u64(self.neighbor_timeout.as_micros());
+    }
+}
+
 impl Default for RouterConfig {
     fn default() -> Self {
         Self {

@@ -29,6 +29,15 @@ pub struct EstimatorConfig {
     pub initial_etx: f64,
 }
 
+impl std::hash::Hash for EstimatorConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.beacon_alpha.to_bits());
+        state.write_u64(self.data_alpha.to_bits());
+        state.write_u64(self.failure_penalty_etx.to_bits());
+        state.write_u64(self.initial_etx.to_bits());
+    }
+}
+
 impl Default for EstimatorConfig {
     fn default() -> Self {
         Self {

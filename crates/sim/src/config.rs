@@ -43,6 +43,33 @@ pub enum LinkDynamics {
     },
 }
 
+impl std::hash::Hash for LinkDynamics {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match *self {
+            LinkDynamics::Static => state.write_u8(0),
+            LinkDynamics::Bursty {
+                lift,
+                bad_factor,
+                cycle_s,
+            } => {
+                state.write_u8(1);
+                state.write_u64(lift.to_bits());
+                state.write_u64(bad_factor.to_bits());
+                state.write_u64(cycle_s.to_bits());
+            }
+            LinkDynamics::Drift { amp, period_s } => {
+                state.write_u8(2);
+                state.write_u64(amp.to_bits());
+                state.write_u64(period_s.to_bits());
+            }
+            LinkDynamics::Volatile { sigma_per_sqrt_s } => {
+                state.write_u8(3);
+                state.write_u64(sigma_per_sqrt_s.to_bits());
+            }
+        }
+    }
+}
+
 impl LinkDynamics {
     /// Builds one loss model per topology link.
     pub fn build_models(&self, topo: &Topology, hub: &RngHub) -> Vec<LossModel> {
@@ -99,7 +126,11 @@ impl LinkDynamics {
 }
 
 /// Complete description of one simulated network.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `Hash` (float fields hashed by IEEE-754 bits throughout the config
+/// tree) gives every config a stable content address; the bench harness
+/// keys its run cache on it.
+#[derive(Debug, Clone, Copy, PartialEq, Hash, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Node placement.
     pub placement: Placement,

@@ -82,6 +82,44 @@ pub struct FaultConfig {
     pub dissemination: Option<DisseminationFaultConfig>,
 }
 
+impl std::hash::Hash for CrashFaultConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.node_fraction.to_bits());
+        state.write_u64(self.mean_uptime.as_micros());
+        state.write_u64(self.mean_downtime.as_micros());
+    }
+}
+
+impl std::hash::Hash for DisseminationFaultConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.drop_prob.to_bits());
+        state.write_u64(self.mean_extra_delay.as_micros());
+    }
+}
+
+impl std::hash::Hash for FaultConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.frame_corrupt_prob.to_bits());
+        state.write_u8(self.flips_per_frame);
+        state.write_u64(self.truncate_prob.to_bits());
+        state.write_u64(self.header_bias.to_bits());
+        hash_option(self.crash.as_ref(), state);
+        hash_option(self.dissemination.as_ref(), state);
+    }
+}
+
+/// Hashes an `Option` with an explicit presence tag (mirrors the derived
+/// encoding, kept local so manual impls stay self-contained).
+fn hash_option<T: std::hash::Hash, H: std::hash::Hasher>(v: Option<&T>, state: &mut H) {
+    match v {
+        None => state.write_u8(0),
+        Some(inner) => {
+            state.write_u8(1);
+            inner.hash(state);
+        }
+    }
+}
+
 impl FaultConfig {
     /// A pure frame-corruption plan at the given per-frame probability:
     /// two bit flips per hit frame, 10% truncations, mild header bias.

@@ -18,7 +18,7 @@ use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
 
 /// MAC parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MacConfig {
     /// Maximum physical transmissions per unicast frame (the ARQ budget
     /// `R`). Attempt numbers observed by receivers lie in `1..=R`.

@@ -13,6 +13,10 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Parameters of the PRR-vs-distance model.
+///
+/// `Hash` is implemented over the IEEE-754 bit patterns of the float
+/// fields so configs can serve as stable content-address keys (the bench
+/// run cache); `-0.0`/NaN are never produced by config constructors.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RadioModel {
     /// Distance (metres) at which the mean PRR crosses 0.5.
@@ -34,6 +38,15 @@ impl Default for RadioModel {
             shadowing_sigma: 0.1,
             min_prr: 0.05,
         }
+    }
+}
+
+impl std::hash::Hash for RadioModel {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.d50.to_bits());
+        state.write_u64(self.transition_width.to_bits());
+        state.write_u64(self.shadowing_sigma.to_bits());
+        state.write_u64(self.min_prr.to_bits());
     }
 }
 

@@ -64,6 +64,10 @@ pub struct LinkSpec {
 }
 
 /// Node placement schemes.
+///
+/// `Hash` runs over the IEEE-754 bit patterns of the float fields so a
+/// placement can participate in stable content-address keys (bench run
+/// cache); config constructors never produce `-0.0`/NaN.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Placement {
     /// `side × side` grid with the given spacing (m); sink at a corner.
@@ -102,6 +106,40 @@ pub enum Placement {
         /// Radius of each cluster.
         cluster_radius: f64,
     },
+}
+
+impl std::hash::Hash for Placement {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match *self {
+            Placement::Grid { side, spacing } => {
+                state.write_u8(0);
+                state.write_u16(side);
+                state.write_u64(spacing.to_bits());
+            }
+            Placement::UniformDisk { n, radius } => {
+                state.write_u8(1);
+                state.write_u16(n);
+                state.write_u64(radius.to_bits());
+            }
+            Placement::Line { n, spacing } => {
+                state.write_u8(2);
+                state.write_u16(n);
+                state.write_u64(spacing.to_bits());
+            }
+            Placement::Clustered {
+                clusters,
+                per_cluster,
+                area_radius,
+                cluster_radius,
+            } => {
+                state.write_u8(3);
+                state.write_u16(clusters);
+                state.write_u16(per_cluster);
+                state.write_u64(area_radius.to_bits());
+                state.write_u64(cluster_radius.to_bits());
+            }
+        }
+    }
 }
 
 impl Placement {
