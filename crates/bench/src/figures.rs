@@ -1516,6 +1516,111 @@ pub fn fig13_faults(quick: bool) -> Plan {
     })
 }
 
+// ---------------------------------------------------------------------------
+// fig14 — engine scalability sweep at constant density
+// ---------------------------------------------------------------------------
+
+/// Engine scalability from 200 to 1000 nodes at constant node density
+/// (disk radius grows as √n, so per-node degree — and therefore the
+/// broadcast fan-out — stays roughly fixed while total work scales
+/// linearly). Records the reproduction's *performance* envelope alongside
+/// the protocol metrics: wall time, engine events per wall-clock second,
+/// process peak RSS, plus the accuracy/overhead the stack keeps
+/// delivering at scale.
+///
+/// Unlike every other experiment, the wall-time, events/sec, and peak-RSS
+/// series are machine- and run-dependent by design (this *is* a perf
+/// figure), so fig14's JSON is not byte-stable across reruns or worker
+/// counts. The `dophy-mae`, `bytes-per-packet`, `delivery-ratio`, and
+/// `events-per-sim-sec` series stay fully deterministic. Peak RSS is a
+/// process-wide high-water mark, so the cells are declared smallest-first
+/// and the figure is only a true per-cell peak at `--jobs 1`.
+pub fn fig14_scale(quick: bool) -> Plan {
+    let sizes: Vec<u16> = vec![200, 400, 600, 800, 1000];
+    let cells = sizes
+        .iter()
+        .map(|&n| {
+            let sim = SimConfig {
+                placement: Placement::UniformDisk {
+                    n,
+                    radius: 120.0 * (f64::from(n) / 200.0).sqrt(),
+                },
+                radio: RadioModel::default(),
+                mac: MacConfig::default(),
+                dynamics: LinkDynamics::Static,
+                seed: 211,
+            };
+            Cell::run(
+                format!("n={n}"),
+                RunSpec::new(sim, canonical_dophy(), duration(quick) / 2),
+            )
+        })
+        .collect();
+
+    Plan::new("fig14-scale", cells, move |outs| {
+        let mut fig = FigureResult::new(
+            "fig14-scale",
+            "Engine scalability at constant density (200-1000 nodes)",
+            "network size (nodes)",
+            "seconds / events per second / MiB / MAE / bytes",
+        );
+        let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
+            sizes
+                .iter()
+                .zip(&outs)
+                .map(|(&n, o)| (f64::from(n), sel(o.as_ref())))
+                .collect()
+        };
+        fig.push_series(Series::new(
+            "wall-seconds",
+            collect(&|o| o.telemetry.wall_seconds),
+        ));
+        fig.push_series(Series::new(
+            "events-per-wall-sec",
+            collect(&|o| o.telemetry.events_per_sec),
+        ));
+        fig.push_series(Series::new(
+            "events-per-sim-sec",
+            collect(&|o| o.telemetry.events_processed as f64 / o.telemetry.sim_seconds.max(1e-9)),
+        ));
+        fig.push_series(Series::new(
+            "peak-rss-mib",
+            collect(&|o| o.telemetry.peak_rss_bytes as f64 / (1024.0 * 1024.0)),
+        ));
+        fig.push_series(Series::new(
+            "dophy-mae",
+            collect(&|o| o.score_scheme(&o.dophy).mae),
+        ));
+        fig.push_series(Series::new(
+            "bytes-per-packet",
+            collect(&|o| o.overhead.mean_stream_bytes()),
+        ));
+        fig.push_series(Series::new(
+            "delivery-ratio",
+            collect(&|o| o.delivery_ratio),
+        ));
+        let small = &outs[0].telemetry;
+        let big = outs.last().unwrap().telemetry;
+        fig.note(format!(
+            "1000 nodes: {} events in {:.2} s wall ({:.0} ev/s, sim/wall {:.0}x); \
+             200 nodes: {:.2} s — wall time should scale ~linearly with n at \
+             constant density",
+            big.events_processed,
+            big.wall_seconds,
+            big.events_per_sec,
+            big.sim_wall_ratio,
+            small.wall_seconds,
+        ));
+        fig.note(
+            "wall-seconds / events-per-wall-sec / peak-rss-mib are machine- and \
+             run-dependent (and peak RSS is process-wide: trustworthy per cell \
+             only at --jobs 1); the remaining series are deterministic"
+                .to_string(),
+        );
+        fig
+    })
+}
+
 /// Registry of all experiments by id.
 pub fn registry() -> Vec<Experiment> {
     vec![
@@ -1530,6 +1635,7 @@ pub fn registry() -> Vec<Experiment> {
         ("fig11-topology", fig11_topology),
         ("fig12-node-churn", fig12_node_churn),
         ("fig13-faults", fig13_faults),
+        ("fig14-scale", fig14_scale),
         ("tab1", tab1_summary),
         ("tab2", tab2_decode),
         ("tab3-seeds", tab3_seeds),

@@ -28,10 +28,18 @@ pub struct RunTelemetry {
     /// Simulated seconds per wall-clock second (how much faster than
     /// real time the simulation ran).
     pub sim_wall_ratio: f64,
+    /// Process peak resident set size (bytes) when the run finished, 0
+    /// where the platform offers no cheap probe. This is a *process-wide*
+    /// high-water mark: under the pooled executor it reflects every run
+    /// completed so far, so within one export only the largest scenario's
+    /// figure is a true per-run peak (fig14-scale orders its cells
+    /// smallest-first for exactly this reason).
+    pub peak_rss_bytes: u64,
 }
 
 impl RunTelemetry {
-    /// Builds telemetry from raw loop measurements.
+    /// Builds telemetry from raw loop measurements, stamping the current
+    /// process peak RSS.
     #[must_use]
     pub fn from_measurement(events_processed: u64, wall_seconds: f64, sim_seconds: f64) -> Self {
         let wall = wall_seconds.max(1e-9);
@@ -41,7 +49,36 @@ impl RunTelemetry {
             events_per_sec: events_processed as f64 / wall,
             sim_seconds,
             sim_wall_ratio: sim_seconds / wall,
+            peak_rss_bytes: peak_rss_bytes(),
         }
+    }
+}
+
+/// Reads the process peak resident set size from `/proc/self/status`
+/// (`VmHWM`, kiB). Returns 0 off Linux or when the probe fails — callers
+/// treat 0 as "unknown", never as "no memory used".
+#[must_use]
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kib: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kib * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
     }
 }
 
@@ -141,6 +178,8 @@ mod tests {
         assert_eq!(t.events_processed, 1_000_000);
         assert!((t.events_per_sec - 500_000.0).abs() < 1e-6);
         assert!((t.sim_wall_ratio - 900.0).abs() < 1e-6);
+        #[cfg(target_os = "linux")]
+        assert!(t.peak_rss_bytes > 0, "VmHWM probe should work on Linux");
     }
 
     #[test]

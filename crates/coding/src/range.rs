@@ -282,6 +282,14 @@ impl RangeEncoder {
     }
 }
 
+/// Longest virtual zero tail the decoder will synthesize before declaring
+/// the input truncated. Legitimate streams need at most a handful of
+/// virtual zeros (see [`RangeDecoder::virtual_reads`]); the bound exists
+/// so a truncated or corrupted stream becomes a typed
+/// [`RangeCodingError::UnexpectedEof`] instead of an endless supply of
+/// zero-fed garbage symbols.
+pub const MAX_VIRTUAL_TAIL: usize = 64;
+
 /// Range decoder over a finished stream.
 #[derive(Debug, Clone)]
 pub struct RangeDecoder<'a> {
@@ -291,6 +299,8 @@ pub struct RangeDecoder<'a> {
     r: u32,
     buf: &'a [u8],
     pos: usize,
+    /// Bytes synthesized past the end of `buf` (the virtual zero tail).
+    virtual_reads: usize,
 }
 
 impl<'a> RangeDecoder<'a> {
@@ -304,6 +314,7 @@ impl<'a> RangeDecoder<'a> {
             r: 0,
             buf,
             pos: 0,
+            virtual_reads: 0,
         };
         for _ in 0..5 {
             d.code = (d.code << 8) | u32::from(d.next_byte()?);
@@ -321,6 +332,7 @@ impl<'a> RangeDecoder<'a> {
             r: 0,
             buf,
             pos: 0,
+            virtual_reads: 0,
         };
         // Equivalent to reading a zero byte followed by the first four wire
         // bytes (the zero shifts entirely out of the 32-bit code).
@@ -331,17 +343,25 @@ impl<'a> RangeDecoder<'a> {
     }
 
     fn next_byte(&mut self) -> Result<u8, RangeCodingError> {
-        // Reading past the end is legal: trailing zero bytes are trimmed by
-        // the wire format and renormalisation may look a few bytes ahead of
-        // the last meaningful one; virtual zeros keep the arithmetic
-        // consistent. The generous bound only guards runaway loops on
-        // corrupted inputs driven by a confused caller.
-        let b = self.buf.get(self.pos).copied().unwrap_or(0);
-        if self.pos > self.buf.len() + 64 {
+        // Reading a little past the end is legal and *expected*: the wire
+        // format trims trailing zero bytes, and the final renormalisations
+        // look a few bytes beyond the last meaningful one, so virtual zeros
+        // keep the arithmetic consistent. Exhaustion is tracked rather than
+        // silent: `virtual_reads` counts every synthesized byte (exposed via
+        // [`Self::virtual_reads`]), and once the tail exceeds
+        // [`MAX_VIRTUAL_TAIL`] — far beyond what any finished stream needs —
+        // the input must be truncated and decoding fails with a typed error
+        // instead of manufacturing symbols from zeros forever.
+        if let Some(&b) = self.buf.get(self.pos) {
+            self.pos += 1;
+            return Ok(b);
+        }
+        self.virtual_reads += 1;
+        if self.virtual_reads > MAX_VIRTUAL_TAIL {
             return Err(RangeCodingError::UnexpectedEof);
         }
         self.pos += 1;
-        Ok(b)
+        Ok(0)
     }
 
     /// Returns the cumulative-frequency target for the next symbol under a
@@ -381,6 +401,18 @@ impl<'a> RangeDecoder<'a> {
     /// virtual zero-tail used during final renormalisation).
     pub fn consumed(&self) -> usize {
         self.pos
+    }
+
+    /// Bytes synthesized past the end of the input.
+    ///
+    /// A few (≤ 5: the code-register preamble plus final-renormalisation
+    /// look-ahead) are normal for wire-trimmed streams. A larger count
+    /// means the decoder ran off the end of a truncated stream and every
+    /// symbol since has been decoded from manufactured zeros — callers
+    /// that must *reject* truncation (rather than rely on downstream
+    /// validation) should check this after the last expected symbol.
+    pub fn virtual_reads(&self) -> usize {
+        self.virtual_reads
     }
 }
 
@@ -638,6 +670,57 @@ mod tests {
         for &(n, v) in &plan {
             assert_eq!(dec.decode_uniform(n).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn truncated_mid_stream_errors_instead_of_looping() {
+        // Cut a long stream in half: decoding must hit a typed EOF once
+        // the virtual zero tail is spent, never spin forever handing out
+        // zero-manufactured symbols.
+        let total = 256;
+        let mut enc = RangeEncoder::new();
+        for i in 0..2000u32 {
+            enc.encode_uniform(i.wrapping_mul(2654435761) % total, total)
+                .unwrap();
+        }
+        let bytes = enc.finish().unwrap();
+        let cut = &bytes[..bytes.len() / 2];
+        let mut dec = RangeDecoder::new(cut).unwrap();
+        let mut err = None;
+        for _ in 0..4000 {
+            if let Err(e) = dec.decode_uniform(total) {
+                err = Some(e);
+                break;
+            }
+        }
+        assert_eq!(err, Some(RangeCodingError::UnexpectedEof));
+        assert!(
+            dec.virtual_reads() > MAX_VIRTUAL_TAIL,
+            "EOF must come from the exhaustion guard, got {} virtual reads",
+            dec.virtual_reads()
+        );
+    }
+
+    #[test]
+    fn intact_wire_stream_uses_bounded_virtual_tail() {
+        // The legitimate zero-pad past a trimmed wire stream stays tiny;
+        // anything bigger would blur the truncation signal.
+        let total = 11;
+        let syms: Vec<u32> = (0..500).map(|i| (i * 7 % 11) as u32).collect();
+        let mut enc = RangeEncoder::new();
+        for &s in &syms {
+            enc.encode_uniform(s, total).unwrap();
+        }
+        let wire = enc.finish_wire().unwrap();
+        let mut dec = RangeDecoder::from_wire(&wire).unwrap();
+        for &s in &syms {
+            assert_eq!(dec.decode_uniform(total).unwrap(), s);
+        }
+        assert!(
+            dec.virtual_reads() <= 5,
+            "complete stream needed {} virtual bytes",
+            dec.virtual_reads()
+        );
     }
 
     #[test]

@@ -24,6 +24,20 @@ pub fn sample_metrics(reg: &mut MetricsRegistry, engine: &Engine<DophyNode>, sin
     let topo = engine.topology();
     let n = topo.node_count();
 
+    // Engine throughput: cumulative events executed, plus the sim-relative
+    // rate (events per simulated second — a workload-density figure that,
+    // unlike wall-clock rates, is deterministic and comparable across
+    // machines; wall-clock events/sec lives in the run telemetry).
+    reg.set_counter("engine_events_processed", &[], engine.events_processed());
+    let sim_secs = engine.now().as_micros() as f64 / 1e6;
+    if sim_secs > 0.0 {
+        reg.set_gauge(
+            "engine_events_per_sim_sec",
+            &[],
+            engine.events_processed() as f64 / sim_secs,
+        );
+    }
+
     // MAC layer: ARQ and queue totals.
     reg.set_counter("mac_unicast_started", &[], trace.unicast_started);
     reg.set_counter("mac_unicast_acked", &[], trace.unicast_acked);
@@ -64,7 +78,6 @@ pub fn sample_metrics(reg: &mut MetricsRegistry, engine: &Engine<DophyNode>, sin
     reg.set_counter("routing_parent_changes", &[], parent_changes);
     reg.set_counter("routing_no_route_drops", &[], sink.no_route_drops);
     reg.set_counter("routing_ttl_drops", &[], sink.ttl_drops);
-    let sim_secs = engine.now().as_micros() as f64 / 1e6;
     if sim_secs > 0.0 {
         reg.set_gauge(
             "routing_beacon_rate_hz",
@@ -160,6 +173,7 @@ mod tests {
         let snap = reg.snapshot(engine.now()).clone();
         let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
         for required in [
+            "engine_events_processed",
             "mac_unicast_started",
             "routing_beacons_sent",
             "coding_encode_disabled",
@@ -180,6 +194,12 @@ mod tests {
                 .iter()
                 .any(|(k, _)| k == "estimator_coverage_ratio"),
             "coverage gauge missing"
+        );
+        assert!(
+            snap.gauges
+                .iter()
+                .any(|(k, v)| k == "engine_events_per_sim_sec" && *v > 0.0),
+            "engine throughput gauge missing"
         );
         let (_, hist) = snap
             .histograms

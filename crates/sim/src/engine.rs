@@ -196,6 +196,9 @@ pub struct Engine<P: Protocol> {
     trace: Trace,
     next_token: u64,
     cmd_buf: Vec<Command>,
+    /// Pool of receiver lists recycled through [`EventKind::DeliverBatch`]
+    /// events, so steady-state broadcasting allocates nothing.
+    dst_pool: Vec<Vec<NodeId>>,
     started: bool,
     /// Optional structured-event observer; `None` costs one untaken
     /// branch per hook site.
@@ -276,6 +279,7 @@ impl<P: Protocol> Engine<P> {
             trace,
             next_token: 0,
             cmd_buf: Vec::new(),
+            dst_pool: Vec::new(),
             started: false,
             observer: None,
             events_processed: 0,
@@ -379,6 +383,12 @@ impl<P: Protocol> Engine<P> {
         let Some((t, kind)) = self.queue.pop() else {
             return false;
         };
+        self.dispatch(t, kind);
+        true
+    }
+
+    /// Executes one already-popped event.
+    fn dispatch(&mut self, t: SimTime, kind: EventKind) {
         debug_assert!(t >= self.time, "event from the past");
         self.time = t;
         self.events_processed += 1;
@@ -423,24 +433,61 @@ impl<P: Protocol> Engine<P> {
                     );
                 }
             }
+            EventKind::DeliverBatch {
+                mut frame,
+                mut dsts,
+            } => {
+                // Same per-receiver semantics as `Deliver`, replayed over
+                // the batch in fan-out order. Throughput accounting stays
+                // comparable with the unbatched engine: one unit per copy
+                // delivered, not per queue event (the prologue counted 1).
+                self.events_processed += dsts.len() as u64 - 1;
+                for &dst in &dsts {
+                    // A copy already in flight when the radio went down is
+                    // lost.
+                    if self.radio_on[dst.index()] {
+                        if let Some(obs) = self.obs() {
+                            obs.on_rx(
+                                t,
+                                &RxEvent {
+                                    src: frame.src.0,
+                                    dst: dst.0,
+                                    attempt: frame.attempt,
+                                    bytes: frame.wire_bytes as u32,
+                                    broadcast: frame.is_broadcast,
+                                },
+                            );
+                        }
+                        frame.dst = dst;
+                        self.with_protocol(dst, |p, ctx| p.on_frame(ctx, &frame));
+                    } else if let Some(obs) = self.obs() {
+                        obs.on_drop(
+                            t,
+                            &DropEvent {
+                                node: dst.0,
+                                dst: None,
+                                reason: DropReason::ReceiverOff,
+                            },
+                        );
+                    }
+                }
+                dsts.clear();
+                self.dst_pool.push(dsts);
+            }
             EventKind::SendDone { node, done } => {
                 self.macs[node.index()].busy = false;
                 self.with_protocol(node, |p, ctx| p.on_send_done(ctx, &done));
                 self.try_dequeue(node);
             }
         }
-        true
     }
 
     /// Runs until simulated time `deadline` (events at exactly `deadline`
     /// are executed). Sets the clock to `deadline` on return.
     pub fn run_until(&mut self, deadline: SimTime) {
         assert!(self.started, "call start() first");
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            self.step();
+        while let Some((t, kind)) = self.queue.pop_at_or_before(deadline) {
+            self.dispatch(t, kind);
         }
         self.time = deadline;
     }
@@ -457,11 +504,14 @@ impl<P: Protocol> Engine<P> {
     where
         F: FnOnce(&mut P, &mut Ctx<'_>),
     {
-        let mut proto = self.protocols[node.index()]
-            .take()
-            .expect("re-entrant protocol dispatch");
         let mut cmds = std::mem::take(&mut self.cmd_buf);
         {
+            // Split borrow: the protocol slot and the Ctx fields are
+            // disjoint, so the protocol is dispatched in place instead of
+            // being moved out and back (protocol state can be large).
+            let proto = self.protocols[node.index()]
+                .as_mut()
+                .expect("protocol checked out");
             let mut ctx = Ctx {
                 now: self.time,
                 node,
@@ -472,9 +522,8 @@ impl<P: Protocol> Engine<P> {
                 next_token: &mut self.next_token,
                 observer: self.observer.as_deref(),
             };
-            f(&mut proto, &mut ctx);
+            f(proto, &mut ctx);
         }
-        self.protocols[node.index()] = Some(proto);
         self.drain_commands(node, &mut cmds);
         cmds.clear();
         self.cmd_buf = cmds;
@@ -626,31 +675,48 @@ impl<P: Protocol> Engine<P> {
                 },
             );
         }
-        let neighbors: Vec<NodeId> = self.topo.neighbors(node).to_vec();
-        for v in neighbors {
+        // Cloning the Arc (a refcount bump) detaches the adjacency borrow
+        // from `self`, so the fan-out iterates the topology's contiguous
+        // (neighbor, link id) pairs directly — no per-beacon Vec clone.
+        let topo = Arc::clone(&self.topo);
+        let mut dsts = self.dst_pool.pop().unwrap_or_default();
+        for (i, (v, link_id)) in topo.neighbor_links(node).enumerate() {
+            // Delivery order is part of the determinism contract: pairs
+            // must mirror `neighbors()` (descending base PRR) and agree
+            // with the dense dst→link index.
+            debug_assert_eq!(topo.neighbors(node)[i], v);
+            debug_assert_eq!(topo.link_id(node, v), Some(link_id));
             if !self.radio_on[v.index()] {
                 continue; // receiver powered down: nothing samples the channel
             }
-            let link_id = self.topo.link_id(node, v).expect("neighbor implies link");
             let ok = self.link_procs[link_id].sample(t_done, &mut self.link_rngs[link_id]);
             self.trace.record_broadcast_attempt(link_id, ok);
             if ok {
                 self.trace.broadcast_rx += 1;
-                self.queue.push(
-                    t_done,
-                    EventKind::Deliver {
-                        frame: Frame {
-                            src: node,
-                            dst: v,
-                            is_broadcast: true,
-                            attempt: 1,
-                            wire_bytes: tx.bytes,
-                            rx_time: t_done,
-                            payload: Arc::clone(&tx.payload),
-                        },
-                    },
-                );
+                dsts.push(v);
             }
+        }
+        // All surviving copies arrive at `t_done`: one batch event stands
+        // in for the per-receiver `Deliver`s (same callback order — see
+        // `EventKind::DeliverBatch`) at a fraction of the queue traffic.
+        if dsts.is_empty() {
+            self.dst_pool.push(dsts);
+        } else {
+            self.queue.push(
+                t_done,
+                EventKind::DeliverBatch {
+                    frame: Frame {
+                        src: node,
+                        dst: node, // placeholder; rewritten per receiver
+                        is_broadcast: true,
+                        attempt: 1,
+                        wire_bytes: tx.bytes,
+                        rx_time: t_done,
+                        payload: Arc::clone(&tx.payload),
+                    },
+                    dsts,
+                },
+            );
         }
         // Broadcast completion frees the MAC; protocols are not notified
         // per-broadcast (fire-and-forget), so reuse SendDone with the

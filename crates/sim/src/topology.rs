@@ -220,16 +220,58 @@ impl Placement {
     }
 }
 
+/// Sentinel in the dense dst→link index: no usable link.
+const NO_LINK: u32 = u32::MAX;
+
 /// Immutable network structure: positions plus usable directed links.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Adjacency is stored CSR-style: one flat neighbor array (and a parallel
+/// link-id array) with per-node offsets, plus a dense per-node dst→link
+/// row so [`link_id`](Self::link_id) is a single indexed load — it sits on
+/// the engine's per-frame path. All of it is derived from `positions` +
+/// `links`, so only those two travel on the wire (the manual serde impls
+/// below rebuild the rest through [`TopologyWire`]).
+#[derive(Debug, Clone)]
 pub struct Topology {
     positions: Vec<Position>,
     links: Vec<LinkSpec>,
-    /// `out_neighbors[u]` = nodes v with a usable link u→v, sorted by
-    /// descending base PRR (so index 0 is the best candidate).
-    out_neighbors: Vec<Vec<NodeId>>,
-    /// `link_index[u]` parallel to `out_neighbors[u]`: index into `links`.
-    link_index: Vec<Vec<usize>>,
+    /// CSR offsets: node `u`'s out-edges occupy `adj_offsets[u] ..
+    /// adj_offsets[u+1]` of the two flat arrays below.
+    adj_offsets: Vec<u32>,
+    /// Flat out-neighbor array, per node sorted by descending base PRR
+    /// (so the first entry of a node's range is its best candidate).
+    adj_targets: Vec<NodeId>,
+    /// Parallel to `adj_targets`: index into `links`.
+    adj_links: Vec<u32>,
+    /// Dense dst→link index: `link_of[u * n + v]` is the link id of
+    /// `u → v`, or [`NO_LINK`]. O(n²) u32s buys O(1) lookup; at the
+    /// 1000-node scale target that is 4 MB per topology.
+    link_of: Vec<u32>,
+}
+
+/// Serialized form of [`Topology`]: the generated data only, with every
+/// derived index rebuilt on deserialization.
+#[derive(Serialize, Deserialize)]
+struct TopologyWire {
+    positions: Vec<Position>,
+    links: Vec<LinkSpec>,
+}
+
+impl Serialize for Topology {
+    fn to_value(&self) -> serde::Value {
+        TopologyWire {
+            positions: self.positions.clone(),
+            links: self.links.clone(),
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for Topology {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let w = TopologyWire::from_value(v)?;
+        Ok(Topology::from_parts(w.positions, w.links))
+    }
 }
 
 impl Topology {
@@ -240,8 +282,6 @@ impl Topology {
         let n = positions.len();
         let dmax = radio.max_usable_distance();
         let mut links = Vec::new();
-        let mut out_neighbors = vec![Vec::new(); n];
-        let mut link_index = vec![Vec::new(); n];
         for u in 0..n {
             for v in 0..n {
                 if u == v {
@@ -255,35 +295,67 @@ impl Topology {
                 // topology yields identical links.
                 let mut rng = hub.stream(StreamKind::Topology, u as u64 + 1, v as u64 + 1);
                 if let Some(prr) = radio.link_prr(d, &mut rng) {
-                    let idx = links.len();
                     links.push(LinkSpec {
                         src: NodeId(u as u16),
                         dst: NodeId(v as u16),
                         base_prr: prr,
                     });
-                    out_neighbors[u].push(NodeId(v as u16));
-                    link_index[u].push(idx);
                 }
             }
         }
-        // Sort each neighbor list by descending PRR.
-        for u in 0..n {
-            let mut order: Vec<usize> = (0..out_neighbors[u].len()).collect();
-            order.sort_by(|&a, &b| {
-                links[link_index[u][b]]
+        Self::from_parts(positions, links)
+    }
+
+    /// Builds the derived adjacency structures from generated (or
+    /// deserialized) positions and links.
+    ///
+    /// `links` must arrive grouped by `src` in ascending node order with
+    /// ascending `dst` within a group — the order [`generate`](Self::generate)
+    /// produces — so that the stable descending-PRR sort breaks PRR ties
+    /// by ascending destination exactly as the historical per-node sort
+    /// did (neighbor order is part of the determinism contract).
+    fn from_parts(positions: Vec<Position>, links: Vec<LinkSpec>) -> Self {
+        let n = positions.len();
+        let mut per_node: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, l) in links.iter().enumerate() {
+            per_node[l.src.index()].push(u32::try_from(i).expect("< 2^32 links"));
+        }
+        for ids in &mut per_node {
+            // Stable: equal PRRs keep insertion (ascending dst) order.
+            ids.sort_by(|&a, &b| {
+                links[b as usize]
                     .base_prr
-                    .partial_cmp(&links[link_index[u][a]].base_prr)
+                    .partial_cmp(&links[a as usize].base_prr)
                     .expect("PRRs are finite")
             });
-            out_neighbors[u] = order.iter().map(|&i| out_neighbors[u][i]).collect();
-            link_index[u] = order.iter().map(|&i| link_index[u][i]).collect();
+        }
+        let mut adj_offsets = Vec::with_capacity(n + 1);
+        let mut adj_targets = Vec::with_capacity(links.len());
+        let mut adj_links = Vec::with_capacity(links.len());
+        let mut link_of = vec![NO_LINK; n * n];
+        adj_offsets.push(0);
+        for (u, ids) in per_node.iter().enumerate() {
+            for &i in ids {
+                let l = &links[i as usize];
+                adj_targets.push(l.dst);
+                adj_links.push(i);
+                link_of[u * n + l.dst.index()] = i;
+            }
+            adj_offsets.push(u32::try_from(adj_targets.len()).expect("< 2^32 links"));
         }
         Self {
             positions,
             links,
-            out_neighbors,
-            link_index,
+            adj_offsets,
+            adj_targets,
+            adj_links,
+            link_of,
         }
+    }
+
+    /// Node `u`'s range in the flat adjacency arrays.
+    fn adj_range(&self, u: NodeId) -> std::ops::Range<usize> {
+        self.adj_offsets[u.index()] as usize..self.adj_offsets[u.index() + 1] as usize
     }
 
     /// Number of nodes.
@@ -303,13 +375,26 @@ impl Topology {
 
     /// Out-neighbors of `u`, best base PRR first.
     pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
-        &self.out_neighbors[u.index()]
+        &self.adj_targets[self.adj_range(u)]
+    }
+
+    /// Out-edges of `u` as contiguous `(neighbor, link id)` pairs, best
+    /// base PRR first — the engine's broadcast fan-out iterates this
+    /// without any lookup or allocation.
+    pub fn neighbor_links(&self, u: NodeId) -> impl ExactSizeIterator<Item = (NodeId, usize)> + '_ {
+        let r = self.adj_range(u);
+        self.adj_targets[r.clone()]
+            .iter()
+            .copied()
+            .zip(self.adj_links[r].iter().copied())
+            .map(|(v, l)| (v, l as usize))
     }
 
     /// Link index (into [`links`](Self::links)) for `u → v`, if usable.
+    /// One dense-array load — called per delivered frame by the engine.
     pub fn link_id(&self, u: NodeId, v: NodeId) -> Option<usize> {
-        let pos = self.out_neighbors[u.index()].iter().position(|&x| x == v)?;
-        Some(self.link_index[u.index()][pos])
+        let id = self.link_of[u.index() * self.positions.len() + v.index()];
+        (id != NO_LINK).then_some(id as usize)
     }
 
     /// Base PRR of `u → v`, if usable.

@@ -85,6 +85,56 @@ proptest! {
         }
     }
 
+    /// The CSR dst→link index must agree with a reference linear scan of
+    /// the link table for every ordered node pair — present links and
+    /// absent ones alike (regression for the O(1) `link_id` rewrite).
+    #[test]
+    fn link_id_index_matches_linear_scan(
+        placement in placement_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let cfg = SimConfig {
+            placement,
+            radio: RadioModel::default(),
+            mac: MacConfig::default(),
+            dynamics: LinkDynamics::Static,
+            seed,
+        };
+        let topo = cfg.topology();
+        let n = topo.node_count();
+        for u in 0..n as u16 {
+            for v in 0..n as u16 {
+                let (u, v) = (dophy_sim::NodeId(u), dophy_sim::NodeId(v));
+                let scanned = topo
+                    .links()
+                    .iter()
+                    .position(|l| l.src == u && l.dst == v);
+                prop_assert_eq!(
+                    topo.link_id(u, v),
+                    scanned,
+                    "index and scan disagree for {:?}->{:?}",
+                    u,
+                    v
+                );
+                // The PRR accessor rides the same index.
+                prop_assert_eq!(
+                    topo.base_prr(u, v),
+                    scanned.map(|i| topo.links()[i].base_prr)
+                );
+            }
+        }
+        // Fan-out pairs mirror the neighbor list exactly.
+        for u in 0..n as u16 {
+            let u = dophy_sim::NodeId(u);
+            let pairs: Vec<_> = topo.neighbor_links(u).collect();
+            prop_assert_eq!(pairs.len(), topo.neighbors(u).len());
+            for (&v, &(pv, link)) in topo.neighbors(u).iter().zip(&pairs) {
+                prop_assert_eq!(v, pv);
+                prop_assert_eq!(topo.link_id(u, v), Some(link));
+            }
+        }
+    }
+
     #[test]
     fn replay_is_exact(
         seed in 0u64..10_000,
@@ -115,4 +165,80 @@ proptest! {
         };
         prop_assert_eq!(run(), run());
     }
+}
+
+/// 1000-node scale smoke: the full Dophy stack at the fig14-scale sweep's
+/// largest size must complete a short run, replay byte-identically, and
+/// surface the engine throughput counters in a metrics snapshot.
+#[test]
+fn thousand_node_smoke() {
+    use dophy::protocol::{build_simulation, DophyConfig};
+    use dophy::telemetry::sample_metrics;
+    use dophy_sim::obs::MetricsRegistry;
+
+    let cfg = SimConfig {
+        // Same constant-density scaling as fig14-scale: 120 m at 200
+        // nodes → 120·√5 m at 1000.
+        placement: Placement::UniformDisk {
+            n: 1000,
+            radius: 120.0 * 5.0_f64.sqrt(),
+        },
+        radio: RadioModel::default(),
+        mac: MacConfig::default(),
+        dynamics: LinkDynamics::Static,
+        seed: 977,
+    };
+    let dophy = DophyConfig {
+        traffic_period: SimDuration::from_secs(5),
+        warmup: SimDuration::from_secs(10),
+        ..DophyConfig::default()
+    };
+    let run = || {
+        let (mut engine, sink) = build_simulation(&cfg, &dophy);
+        engine.start();
+        engine.run_for(SimDuration::from_secs(30));
+        let mut reg = MetricsRegistry::new();
+        {
+            let sink = sink.lock();
+            sample_metrics(&mut reg, &engine, &sink);
+        }
+        let snap = reg.snapshot(engine.now()).clone();
+        (
+            engine.events_processed(),
+            engine.trace().bytes_on_air,
+            engine.trace().broadcast_rx,
+            snap,
+        )
+    };
+
+    let (events, bytes, bcast_rx, snap) = run();
+    assert!(
+        events > 100_000,
+        "1000 nodes should be busy: {events} events"
+    );
+    assert!(bytes > 0 && bcast_rx > 0, "traffic must have flowed");
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    };
+    assert_eq!(
+        counter("engine_events_processed"),
+        Some(events),
+        "metrics snapshot must carry the engine event counter"
+    );
+    assert!(
+        snap.gauges
+            .iter()
+            .any(|(k, v)| k == "engine_events_per_sim_sec" && *v > 0.0),
+        "metrics snapshot must carry the engine throughput gauge"
+    );
+
+    let (events2, bytes2, bcast_rx2, _) = run();
+    assert_eq!(
+        (events, bytes, bcast_rx),
+        (events2, bytes2, bcast_rx2),
+        "same-seed 1000-node runs must replay identically"
+    );
 }
