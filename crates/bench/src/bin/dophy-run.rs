@@ -15,8 +15,17 @@
 //!
 //! Observability flags (all optional, none change the results):
 //!
-//! * `--trace-out <path>` — stream structured engine/protocol events as
-//!   JSON Lines (one record per line, sim-time-stamped);
+//! * `--trace-out <path>` — stream structured engine/protocol events;
+//!   `--trace-format jsonl` (default) writes one JSON record per line,
+//!   `--trace-format chrome` writes a Chrome-trace/Perfetto JSON array of
+//!   causal lifecycle spans (open it in `chrome://tracing` or
+//!   <https://ui.perfetto.dev>); `--trace-sample N` keeps 1-in-N trace
+//!   ids (chrome format only, whole lifecycles);
+//! * `--profile <path>` — enable hot-path self-profiling and write the
+//!   per-subsystem wall-time report as JSON;
+//! * `--flight-recorder <path>` — keep a fixed-size ring of the last
+//!   observer events and dump them to `<path>` as postmortem JSONL if the
+//!   run panics (nothing is written on success);
 //! * `--metrics-out <path>` — write the metrics time series (counters,
 //!   gauges, histograms) sampled every `--metrics-every <secs>` (default
 //!   60) of simulated time;
@@ -29,11 +38,13 @@
 use dophy::diagnosis::{DiagnosisConfig, NetworkHealthReport};
 use dophy::protocol::build_simulation;
 use dophy_bench::{execute_cell, resolve_jobs, telemetry, FaultSummary, Instruments, RunSpec};
-use dophy_sim::obs::JsonlTracer;
+use dophy_sim::obs::{FlightRecorder, JsonlTracer, FLIGHT_RECORDER_DEFAULT_CAPACITY};
+use dophy_sim::ChromeTracer;
 use dophy_sim::SimTime;
 use dophy_sim::{SimConfig, SimDuration};
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::fs::File;
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -72,19 +83,31 @@ fn default_spec() -> RunSpec {
     )
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
+}
+
 struct Cli {
     spec_path: Option<String>,
     text: bool,
     print_default: bool,
     progress: bool,
     trace_out: Option<PathBuf>,
+    trace_format: TraceFormat,
+    trace_sample: u64,
+    profile_out: Option<PathBuf>,
+    flight_recorder: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     metrics_every_s: f64,
     jobs: Option<usize>,
 }
 
 const USAGE: &str = "usage: dophy-run <scenario.json> [--text] [--progress] [--jobs N] \
-[--trace-out <path>] [--metrics-out <path>] [--metrics-every <secs>] | --print-default";
+[--trace-out <path>] [--trace-format jsonl|chrome] [--trace-sample N] \
+[--profile <path>] [--flight-recorder <path>] \
+[--metrics-out <path>] [--metrics-every <secs>] | --print-default";
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
@@ -93,6 +116,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         print_default: false,
         progress: false,
         trace_out: None,
+        trace_format: TraceFormat::Jsonl,
+        trace_sample: 1,
+        profile_out: None,
+        flight_recorder: None,
         metrics_out: None,
         metrics_every_s: 60.0,
         jobs: None,
@@ -111,6 +138,26 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--print-default" => cli.print_default = true,
             "--progress" => cli.progress = true,
             "--trace-out" => cli.trace_out = Some(PathBuf::from(value(&mut i)?)),
+            "--trace-format" => {
+                cli.trace_format = match value(&mut i)?.as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "chrome" => TraceFormat::Chrome,
+                    other => {
+                        return Err(format!(
+                            "--trace-format wants 'jsonl' or 'chrome', got {other}"
+                        ))
+                    }
+                };
+            }
+            "--trace-sample" => {
+                let raw = value(&mut i)?;
+                cli.trace_sample =
+                    raw.parse::<u64>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                        format!("--trace-sample wants a positive integer, got {raw}")
+                    })?;
+            }
+            "--profile" => cli.profile_out = Some(PathBuf::from(value(&mut i)?)),
+            "--flight-recorder" => cli.flight_recorder = Some(PathBuf::from(value(&mut i)?)),
             "--metrics-out" => cli.metrics_out = Some(PathBuf::from(value(&mut i)?)),
             "--metrics-every" => {
                 let raw = value(&mut i)?;
@@ -153,22 +200,46 @@ fn run(cli: Cli) -> Result<(), String> {
     let spec: RunSpec =
         serde_json::from_str(&raw).map_err(|e| format!("invalid scenario {path}: {e}"))?;
 
+    if cli.trace_sample > 1 && cli.trace_format != TraceFormat::Chrome {
+        return Err("--trace-sample only applies to --trace-format chrome".to_string());
+    }
+
     // Attach requested observability before the run starts.
-    let tracer = match &cli.trace_out {
-        Some(out) => {
-            let file = std::fs::File::create(out)
-                .map_err(|e| format!("cannot create {}: {e}", out.display()))?;
-            Some(Arc::new(JsonlTracer::new(BufWriter::new(file))))
+    let mut jsonl_tracer: Option<Arc<JsonlTracer<BufWriter<File>>>> = None;
+    let mut chrome_tracer: Option<Arc<ChromeTracer<BufWriter<File>>>> = None;
+    if let Some(out) = &cli.trace_out {
+        let file =
+            File::create(out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+        match cli.trace_format {
+            TraceFormat::Jsonl => {
+                jsonl_tracer = Some(Arc::new(JsonlTracer::new(BufWriter::new(file))));
+            }
+            TraceFormat::Chrome => {
+                chrome_tracer = Some(Arc::new(ChromeTracer::with_sampling(
+                    BufWriter::new(file),
+                    cli.trace_sample,
+                )));
+            }
         }
-        None => None,
-    };
+    }
+    let recorder = cli.flight_recorder.as_ref().map(|path| {
+        Arc::new(FlightRecorder::with_output(
+            FLIGHT_RECORDER_DEFAULT_CAPACITY,
+            path.clone(),
+        ))
+    });
     let inst = Instruments {
-        observer: tracer.clone().map(|t| t as _),
+        observer: jsonl_tracer
+            .clone()
+            .map(|t| t as _)
+            .or_else(|| chrome_tracer.clone().map(|t| t as _)),
         metrics_every: cli
             .metrics_out
             .is_some()
             .then(|| SimDuration::from_micros((cli.metrics_every_s * 1e6) as u64)),
         progress: cli.progress,
+        profile: cli.profile_out.is_some(),
+        flight_recorder: recorder,
     };
 
     eprintln!(
@@ -180,9 +251,16 @@ fn run(cli: Cli) -> Result<(), String> {
     // A single scenario is one cell, but it rides the same executor path
     // (pool + cache + panic isolation) as the experiments harness, so both
     // binaries exercise identical machinery.
-    let out = execute_cell("dophy-run", spec, inst, resolve_jobs(cli.jobs, 1))?;
+    let run_result = execute_cell("dophy-run", spec, inst, resolve_jobs(cli.jobs, 1));
+    // Close the trace even when the run failed: a truncated Chrome array
+    // is unreadable, and a partial trace of a crashed run is exactly when
+    // you want the file to open.
+    if let Some(tracer) = &chrome_tracer {
+        tracer.finish();
+    }
+    let out = run_result?;
 
-    if let Some(tracer) = &tracer {
+    if let Some(tracer) = &jsonl_tracer {
         tracer.flush();
         if tracer.io_errors() > 0 {
             return Err(format!(
@@ -194,6 +272,33 @@ fn run(cli: Cli) -> Result<(), String> {
             "trace: {} events -> {}",
             tracer.lines_written(),
             cli.trace_out.as_deref().unwrap_or(Path::new("?")).display()
+        );
+    }
+    if let Some(tracer) = &chrome_tracer {
+        if tracer.io_errors() > 0 {
+            return Err(format!(
+                "{} write errors on the trace stream",
+                tracer.io_errors()
+            ));
+        }
+        eprintln!(
+            "trace: {} chrome events -> {}",
+            tracer.events_written(),
+            cli.trace_out.as_deref().unwrap_or(Path::new("?")).display()
+        );
+    }
+    if let Some(path) = &cli.profile_out {
+        let report = out
+            .profile
+            .as_ref()
+            .ok_or_else(|| "profiler produced no report".to_string())?;
+        let json = serde_json::to_string_pretty(report)
+            .map_err(|e| format!("cannot serialize profile: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!(
+            "profile: {} subsystems -> {}",
+            report.subsystems.len(),
+            path.display()
         );
     }
     if let Some(out_path) = &cli.metrics_out {

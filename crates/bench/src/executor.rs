@@ -237,7 +237,11 @@ fn catch<T>(label: &str, f: impl FnOnce() -> T) -> Result<T, String> {
 }
 
 fn cacheable(inst: &Instruments) -> bool {
-    inst.observer.is_none() && inst.metrics_every.is_none() && !inst.progress
+    inst.observer.is_none()
+        && inst.metrics_every.is_none()
+        && !inst.progress
+        && !inst.profile
+        && inst.flight_recorder.is_none()
 }
 
 impl Shared {
@@ -254,8 +258,15 @@ impl Shared {
             CellWork::Custom(f) => (catch(label, f).map(CellOutput::Figure), false),
             CellWork::Run { spec, instruments } => {
                 if !cacheable(&instruments) {
+                    // Clone the recorder handle before the instruments move
+                    // into the cell: if the run panics, the ring still holds
+                    // the event tail for the postmortem dump.
+                    let recorder = instruments.flight_recorder.clone();
                     let res = catch(label, move || run_scenario_with(&spec, instruments))
                         .map(|o| CellOutput::Run(Arc::new(o)));
+                    if let (Err(e), Some(rec)) = (&res, recorder) {
+                        rec.dump_postmortem(label, e);
+                    }
                     return (res, false);
                 }
                 let key = cache_key(&spec);

@@ -19,8 +19,11 @@ use dophy::protocol::{
 };
 use dophy::telemetry::sample_metrics;
 use dophy_routing::{churn_report, ChurnReport};
-use dophy_sim::obs::{MetricsRegistry, MetricsSnapshot, Observer};
-use dophy_sim::{Engine, FaultConfig, FaultInjection, NodeId, SimConfig, SimDuration, SimTime};
+use dophy_sim::obs::{FlightRecorder, MetricsRegistry, MetricsSnapshot, MultiObserver, Observer};
+use dophy_sim::{
+    Engine, FaultConfig, FaultInjection, NodeId, ProfileReport, Profiler, SimConfig, SimDuration,
+    SimTime,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -121,6 +124,14 @@ pub struct Instruments {
     pub metrics_every: Option<SimDuration>,
     /// Print a progress heartbeat to stderr after every window.
     pub progress: bool,
+    /// Install a hot-path self-profiler and export its report in
+    /// [`RunOutput::profile`]. Wall-time only; never touches sim state.
+    pub profile: bool,
+    /// Crash flight recorder: retains the last N observer events so the
+    /// executor can dump a postmortem if the run panics. Composed *before*
+    /// `observer` in the fan-out, so the ring always holds the freshest
+    /// events even if a downstream observer is the thing that panics.
+    pub flight_recorder: Option<Arc<FlightRecorder>>,
 }
 
 /// Everything a finished run yields.
@@ -164,6 +175,9 @@ pub struct RunOutput {
     pub metrics: Vec<MetricsSnapshot>,
     /// Fault-injection summary (when [`RunSpec::faults`] was set).
     pub faults: Option<FaultSummary>,
+    /// Hot-path profile (when [`Instruments::profile`] was set). Wall-clock
+    /// values — excluded from determinism fingerprints.
+    pub profile: Option<ProfileReport>,
     /// Wall-clock performance of the simulation loop.
     pub telemetry: RunTelemetry,
 }
@@ -239,8 +253,24 @@ pub fn run_scenario(spec: &RunSpec) -> RunOutput {
 pub fn run_scenario_with(spec: &RunSpec, inst: Instruments) -> RunOutput {
     let (mut engine, shared, fault_plan) =
         build_simulation_with_faults(&spec.sim, &spec.dophy, spec.faults.as_ref());
-    if let Some(observer) = inst.observer {
+    // Flight recorder first in the chain: it must capture each event
+    // before any other observer gets a chance to panic on it.
+    let observer = match (inst.flight_recorder, inst.observer) {
+        (Some(rec), Some(obs)) => {
+            Some(
+                Arc::new(MultiObserver::new(vec![rec as Arc<dyn Observer>, obs]))
+                    as Arc<dyn Observer>,
+            )
+        }
+        (Some(rec), None) => Some(rec as Arc<dyn Observer>),
+        (None, obs) => obs,
+    };
+    if let Some(observer) = observer {
         engine.set_observer(observer);
+    }
+    let profiler = inst.profile.then(|| Arc::new(Profiler::new()));
+    if let Some(prof) = &profiler {
+        engine.set_profiler(Arc::clone(prof));
     }
     let mut registry = inst.metrics_every.map(|_| MetricsRegistry::new());
     let meter = inst.progress.then(|| ProgressMeter::new(spec.duration));
@@ -399,6 +429,7 @@ pub fn run_scenario_with(spec: &RunSpec, inst: Instruments) -> RunOutput {
             frames_destroyed: s.corrupt_frame_drops,
             dissemination_drops: s.manager.dissemination_drops,
         }),
+        profile: profiler.map(|p| p.report()),
         telemetry,
     }
 }

@@ -29,11 +29,15 @@ use crate::model_mgr::{ModelManager, ModelUpdateConfig};
 use crate::symbols::SymbolSpaces;
 use dophy_coding::aggregate::AggregationPolicy;
 use dophy_routing::{Router, RouterConfig};
-use dophy_sim::obs::{DecodeEvent, DecodeOutcome, DropEvent, DropReason, EpochSwitchEvent};
+use dophy_sim::obs::{
+    data_trace_id, model_trace_id, DecodeEvent, DecodeOutcome, DropEvent, DropReason,
+    EpochSwitchEvent, SpanEvent, SpanPhase,
+};
+use dophy_sim::profile::{self, Subsystem};
 use dophy_sim::stats::{CountHistogram, Streaming};
 use dophy_sim::{
-    Ctx, Engine, FaultConfig, FaultPlan, Frame, NodeId, Protocol, RngHub, SendDone, SimConfig,
-    SimDuration, SimTime, TimerId, Topology,
+    Ctx, Engine, FaultConfig, FaultPlan, Frame, NodeId, Profiler, Protocol, RngHub, SendDone,
+    SimConfig, SimDuration, SimTime, TimerId, Topology,
 };
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -437,7 +441,18 @@ impl DophyNode {
         let wire = MAC_HEADER_BYTES + header.wire_bytes() + self.cfg.payload_bytes;
         drop(shared);
         self.stats.generated += 1;
-        ctx.send_unicast(parent, Arc::new(DataMsg { header }), wire);
+        let trace = data_trace_id(me.0, self.seq);
+        if let Some(observer) = ctx.observer() {
+            observer.on_span(
+                ctx.now(),
+                &SpanEvent {
+                    trace_id: trace,
+                    node: me.0,
+                    phase: SpanPhase::Origin,
+                },
+            );
+        }
+        ctx.send_unicast_traced(parent, Arc::new(DataMsg { header }), wire, trace);
     }
 
     fn handle_data(&mut self, ctx: &mut Ctx<'_>, frame: &Frame, msg: &DataMsg) {
@@ -467,6 +482,16 @@ impl DophyNode {
                         node: me.0,
                         dst: None,
                         reason: DropReason::TtlExpired,
+                    },
+                );
+                observer.on_span(
+                    ctx.now(),
+                    &SpanEvent {
+                        trace_id: data_trace_id(header.origin.0, header.seq),
+                        node: me.0,
+                        phase: SpanPhase::Drop {
+                            reason: DropReason::TtlExpired,
+                        },
                     },
                 );
             }
@@ -527,20 +552,49 @@ impl DophyNode {
                         reason: DropReason::NoRoute,
                     },
                 );
+                observer.on_span(
+                    ctx.now(),
+                    &SpanEvent {
+                        trace_id: data_trace_id(header.origin.0, header.seq),
+                        node: me.0,
+                        phase: SpanPhase::Drop {
+                            reason: DropReason::NoRoute,
+                        },
+                    },
+                );
             }
             return;
         };
         drop(shared);
         self.stats.forwarded += 1;
+        // The trace id travels with the packet's identity (origin, seq),
+        // so every hop of one packet shares a lifecycle.
+        let trace = data_trace_id(header.origin.0, header.seq);
+        if let Some(observer) = ctx.observer() {
+            observer.on_span(
+                ctx.now(),
+                &SpanEvent {
+                    trace_id: trace,
+                    node: me.0,
+                    phase: SpanPhase::Forward { to: parent.0 },
+                },
+            );
+        }
         let wire = MAC_HEADER_BYTES + header.wire_bytes() + self.cfg.payload_bytes;
-        ctx.send_unicast(parent, Arc::new(DataMsg { header }), wire);
+        ctx.send_unicast_traced(parent, Arc::new(DataMsg { header }), wire, trace);
     }
 
     /// Feeds one successfully decoded packet into the estimators and the
     /// model learners. This is the *only* estimator ingestion point, and
     /// it is reached exclusively from the `Ok` decode arms in
     /// [`Self::sink_deliver`] — quarantined packets can never touch it.
-    fn ingest_decoded(shared: &mut SinkState, now: SimTime, decoded: &DecodedPacket) {
+    fn ingest_decoded(
+        shared: &mut SinkState,
+        now: SimTime,
+        decoded: &DecodedPacket,
+        prof: Option<&Profiler>,
+    ) {
+        let t0 = profile::start(prof);
         for obs in &decoded.observations {
             shared
                 .estimator
@@ -555,11 +609,14 @@ impl DophyNode {
                 shared.manager.observe(h, a);
             }
         }
+        profile::stop(prof, Subsystem::EstimatorUpdate, t0);
     }
 
     fn sink_deliver(&mut self, ctx: &mut Ctx<'_>, frame: &Frame, msg: &DataMsg) {
         let header = &msg.header;
         let n = self.topo.node_count();
+        let prof = ctx.profiler();
+        let trace = data_trace_id(header.origin.0, header.seq);
         let mut shared = self.shared.lock();
         // Structural pre-checks run before the header is trusted for
         // anything — a corrupted origin would index out of bounds right
@@ -585,6 +642,14 @@ impl DophyNode {
                         outcome,
                     },
                 );
+                observer.on_span(
+                    ctx.now(),
+                    &SpanEvent {
+                        trace_id: trace,
+                        node: NodeId::SINK.0,
+                        phase: SpanPhase::Decode { outcome },
+                    },
+                );
             }
             return;
         }
@@ -605,82 +670,92 @@ impl DophyNode {
             dophy_coding::range::EncoderState::WIRE_SIZE + 1 + stream_len,
         );
 
+        let mut ingested: Option<u16> = None;
         let decode_outcome = match shared.manager.models_for_epoch(header.epoch).cloned() {
             None => {
                 shared.decode.unknown_epoch += 1;
                 DecodeOutcome::UnknownEpoch
             }
-            Some(models) => match decode_packet(
-                header,
-                &self.topo,
-                &self.spaces,
-                &models,
-                frame.src,
-                frame.attempt,
-            ) {
-                Ok(decoded) => {
-                    shared.decode.ok += 1;
-                    Self::ingest_decoded(&mut shared, ctx.now(), &decoded);
-                    DecodeOutcome::Ok
-                }
-                Err(DecodeError::IndexOutOfRange { .. }) => {
-                    // The classic wrong-model signature. Retry once with
-                    // the previous in-window epoch: wire-epoch wrap and
-                    // stalled dissemination both make the *older* set the
-                    // right one, and a wrong retry almost surely fails the
-                    // path-consistency check rather than decoding wrong.
-                    let fallback = shared
-                        .manager
-                        .fallback_models_for_epoch(header.epoch)
-                        .cloned();
-                    let retry = fallback.and_then(|m| {
-                        decode_packet(
-                            header,
-                            &self.topo,
-                            &self.spaces,
-                            &m,
-                            frame.src,
-                            frame.attempt,
-                        )
-                        .ok()
-                    });
-                    match retry {
-                        Some(decoded) => {
-                            shared.decode.ok += 1;
-                            shared.decode.fallback_ok += 1;
-                            Self::ingest_decoded(&mut shared, ctx.now(), &decoded);
-                            DecodeOutcome::Ok
-                        }
-                        None => {
-                            shared.decode.bad_index += 1;
-                            DecodeOutcome::BadIndex
+            Some(models) => {
+                let t0 = profile::start(prof);
+                let primary = decode_packet(
+                    header,
+                    &self.topo,
+                    &self.spaces,
+                    &models,
+                    frame.src,
+                    frame.attempt,
+                );
+                profile::stop(prof, Subsystem::Decode, t0);
+                match primary {
+                    Ok(decoded) => {
+                        shared.decode.ok += 1;
+                        Self::ingest_decoded(&mut shared, ctx.now(), &decoded, prof);
+                        ingested = Some(decoded.observations.len() as u16);
+                        DecodeOutcome::Ok
+                    }
+                    Err(DecodeError::IndexOutOfRange { .. }) => {
+                        // The classic wrong-model signature. Retry once with
+                        // the previous in-window epoch: wire-epoch wrap and
+                        // stalled dissemination both make the *older* set the
+                        // right one, and a wrong retry almost surely fails the
+                        // path-consistency check rather than decoding wrong.
+                        let fallback = shared
+                            .manager
+                            .fallback_models_for_epoch(header.epoch)
+                            .cloned();
+                        let retry = fallback.and_then(|m| {
+                            let t0 = profile::start(prof);
+                            let res = decode_packet(
+                                header,
+                                &self.topo,
+                                &self.spaces,
+                                &m,
+                                frame.src,
+                                frame.attempt,
+                            );
+                            profile::stop(prof, Subsystem::Decode, t0);
+                            res.ok()
+                        });
+                        match retry {
+                            Some(decoded) => {
+                                shared.decode.ok += 1;
+                                shared.decode.fallback_ok += 1;
+                                Self::ingest_decoded(&mut shared, ctx.now(), &decoded, prof);
+                                ingested = Some(decoded.observations.len() as u16);
+                                DecodeOutcome::Ok
+                            }
+                            None => {
+                                shared.decode.bad_index += 1;
+                                DecodeOutcome::BadIndex
+                            }
                         }
                     }
+                    Err(DecodeError::PathMismatch { .. }) => {
+                        shared.decode.path_mismatch += 1;
+                        DecodeOutcome::PathMismatch
+                    }
+                    Err(DecodeError::Coding(_)) => {
+                        shared.decode.coding += 1;
+                        DecodeOutcome::Coding
+                    }
+                    Err(DecodeError::CodingDisabled) => {
+                        shared.decode.disabled += 1;
+                        DecodeOutcome::Disabled
+                    }
+                    Err(DecodeError::HopCountOutOfRange { .. }) => {
+                        shared.decode.bad_hop_count += 1;
+                        DecodeOutcome::BadHopCount
+                    }
+                    // Unreachable here (the pre-check above already dropped
+                    // out-of-range origins), but the decoder reports it for
+                    // callers without that screen.
+                    Err(DecodeError::OriginOutOfRange { .. }) => {
+                        shared.decode.malformed += 1;
+                        DecodeOutcome::Malformed
+                    }
                 }
-                Err(DecodeError::PathMismatch { .. }) => {
-                    shared.decode.path_mismatch += 1;
-                    DecodeOutcome::PathMismatch
-                }
-                Err(DecodeError::Coding(_)) => {
-                    shared.decode.coding += 1;
-                    DecodeOutcome::Coding
-                }
-                Err(DecodeError::CodingDisabled) => {
-                    shared.decode.disabled += 1;
-                    DecodeOutcome::Disabled
-                }
-                Err(DecodeError::HopCountOutOfRange { .. }) => {
-                    shared.decode.bad_hop_count += 1;
-                    DecodeOutcome::BadHopCount
-                }
-                // Unreachable here (the pre-check above already dropped
-                // out-of-range origins), but the decoder reports it for
-                // callers without that screen.
-                Err(DecodeError::OriginOutOfRange { .. }) => {
-                    shared.decode.malformed += 1;
-                    DecodeOutcome::Malformed
-                }
-            },
+            }
         };
         if let Some(observer) = ctx.observer() {
             observer.on_decode(
@@ -692,6 +767,26 @@ impl DophyNode {
                     outcome: decode_outcome,
                 },
             );
+            observer.on_span(
+                ctx.now(),
+                &SpanEvent {
+                    trace_id: trace,
+                    node: NodeId::SINK.0,
+                    phase: SpanPhase::Decode {
+                        outcome: decode_outcome,
+                    },
+                },
+            );
+            if let Some(observations) = ingested {
+                observer.on_span(
+                    ctx.now(),
+                    &SpanEvent {
+                        trace_id: trace,
+                        node: NodeId::SINK.0,
+                        phase: SpanPhase::Ingest { observations },
+                    },
+                );
+            }
         }
     }
 }
@@ -787,6 +882,16 @@ impl Protocol for DophyNode {
                                 epoch: epoch as u64,
                             },
                         );
+                        // A model refresh originates a dissemination
+                        // lifecycle of its own.
+                        observer.on_span(
+                            ctx.now(),
+                            &SpanEvent {
+                                trace_id: model_trace_id(epoch as u64),
+                                node: ctx.node_id().0,
+                                phase: SpanPhase::Origin,
+                            },
+                        );
                     }
                 }
                 ctx.set_timer(self.cfg.model_update.update_period, TIMER_MODEL_UPDATE);
@@ -820,6 +925,19 @@ impl Protocol for DophyNode {
                     .corrupt_frame(&mut bytes, DophyHeader::FIXED_WIRE_BYTES)
                     .is_some()
                 {
+                    // The corruption span carries the packet's *original*
+                    // identity — the last trustworthy point in the
+                    // lifecycle before the bytes were damaged.
+                    if let Some(observer) = ctx.observer() {
+                        observer.on_span(
+                            ctx.now(),
+                            &SpanEvent {
+                                trace_id: data_trace_id(msg.header.origin.0, msg.header.seq),
+                                node: ctx.node_id().0,
+                                phase: SpanPhase::Corrupt,
+                            },
+                        );
+                    }
                     match DophyHeader::from_bytes(&bytes) {
                         Some(header) => msg.header = header,
                         None => {
@@ -831,6 +949,19 @@ impl Protocol for DophyNode {
                                         node: ctx.node_id().0,
                                         dst: None,
                                         reason: DropReason::Corrupt,
+                                    },
+                                );
+                                observer.on_span(
+                                    ctx.now(),
+                                    &SpanEvent {
+                                        trace_id: data_trace_id(
+                                            msg.header.origin.0,
+                                            msg.header.seq,
+                                        ),
+                                        node: ctx.node_id().0,
+                                        phase: SpanPhase::Drop {
+                                            reason: DropReason::Corrupt,
+                                        },
                                     },
                                 );
                             }

@@ -11,7 +11,7 @@
 use crate::protocol::{DophyNode, SinkState};
 use dophy_sim::engine::Engine;
 use dophy_sim::obs::MetricsRegistry;
-use dophy_sim::NodeId;
+use dophy_sim::{NodeId, Subsystem};
 
 /// Samples MAC, routing, coding, decode, and estimator state into `reg`.
 ///
@@ -141,6 +141,20 @@ pub fn sample_metrics(reg: &mut MetricsRegistry, engine: &Engine<DophyNode>, sin
         &[],
         sink.delivered_per_origin.iter().sum::<u64>(),
     );
+
+    // Hot-path self-profiling, when a profiler is installed on the engine:
+    // per-subsystem wall-time histograms (nanoseconds). These carry wall
+    // clock, not sim state — they vary run to run and are excluded from
+    // determinism fingerprints.
+    if let Some(prof) = engine.profiler() {
+        for sub in Subsystem::ALL {
+            reg.set_histogram(
+                "profile_wall_ns",
+                &[("subsystem", sub.name())],
+                prof.histogram(sub),
+            );
+        }
+    }
 }
 
 #[cfg(test)]

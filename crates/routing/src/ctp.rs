@@ -21,7 +21,7 @@
 
 use crate::beacon::{Trickle, TrickleConfig};
 use crate::table::{EstimatorConfig, NeighborTable};
-use dophy_sim::obs::ParentChangeEvent;
+use dophy_sim::obs::{beacon_trace_id, ParentChangeEvent, SpanEvent, SpanPhase};
 use dophy_sim::{Ctx, Frame, NodeId, SendDone, SimTime, TimerId};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -230,7 +230,18 @@ impl Router {
             seq: self.beacon_seq,
             etx_to_sink: self.own_etx(),
         };
-        ctx.send_broadcast(Arc::new(msg), BEACON_WIRE_BYTES);
+        let trace = beacon_trace_id(self.node.0, u64::from(self.beacon_seq));
+        if let Some(observer) = ctx.observer() {
+            observer.on_span(
+                ctx.now(),
+                &SpanEvent {
+                    trace_id: trace,
+                    node: self.node.0,
+                    phase: SpanPhase::Origin,
+                },
+            );
+        }
+        ctx.send_broadcast_traced(Arc::new(msg), BEACON_WIRE_BYTES, trace);
         self.stats.beacons_sent += 1;
     }
 

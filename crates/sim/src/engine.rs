@@ -22,8 +22,11 @@
 use crate::event::{EventKind, EventQueue};
 use crate::link::{LossModel, LossProcess};
 use crate::mac::MacConfig;
-use crate::obs::{AckEvent, DropEvent, DropReason, Observer, RxEvent, TimerEvent, TxEvent};
+use crate::obs::{
+    AckEvent, DropEvent, DropReason, Observer, RxEvent, SpanEvent, SpanPhase, TimerEvent, TxEvent,
+};
 use crate::packet::{Frame, Payload, SendDone, SendToken, TimerId};
+use crate::profile::{self, Profiler, Subsystem};
 use crate::rng::{RngHub, StreamKind};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Topology};
@@ -60,10 +63,12 @@ enum Command {
         token: SendToken,
         payload: Payload,
         bytes: usize,
+        trace: Option<u64>,
     },
     Broadcast {
         payload: Payload,
         bytes: usize,
+        trace: Option<u64>,
     },
     Timer {
         delay: SimDuration,
@@ -84,6 +89,7 @@ pub struct Ctx<'a> {
     commands: &'a mut Vec<Command>,
     next_token: &'a mut u64,
     observer: Option<&'a dyn Observer>,
+    profiler: Option<&'a Profiler>,
 }
 
 impl Ctx<'_> {
@@ -128,13 +134,39 @@ impl Ctx<'_> {
     /// on-air frame size (used for airtime and overhead accounting).
     /// Returns the token echoed in the matching `SendDone`.
     pub fn send_unicast(&mut self, dst: NodeId, payload: Payload, wire_bytes: usize) -> SendToken {
+        self.unicast(dst, payload, wire_bytes, None)
+    }
+
+    /// Like [`Ctx::send_unicast`], but tags the frame with a causal
+    /// lifecycle trace id: the engine emits [`SpanPhase::Tx`]/
+    /// [`SpanPhase::Deliver`]/[`SpanPhase::Drop`] spans for it when an
+    /// observer is installed. Trace ids must be deterministic (derived
+    /// from protocol state, never RNG) so tracing cannot perturb a run.
+    pub fn send_unicast_traced(
+        &mut self,
+        dst: NodeId,
+        payload: Payload,
+        wire_bytes: usize,
+        trace_id: u64,
+    ) -> SendToken {
+        self.unicast(dst, payload, wire_bytes, Some(trace_id))
+    }
+
+    fn unicast(
+        &mut self,
+        dst: NodeId,
+        payload: Payload,
+        bytes: usize,
+        trace: Option<u64>,
+    ) -> SendToken {
         let token = SendToken(*self.next_token);
         *self.next_token += 1;
         self.commands.push(Command::Unicast {
             dst,
             token,
             payload,
-            bytes: wire_bytes,
+            bytes,
+            trace,
         });
         token
     }
@@ -144,6 +176,17 @@ impl Ctx<'_> {
         self.commands.push(Command::Broadcast {
             payload,
             bytes: wire_bytes,
+            trace: None,
+        });
+    }
+
+    /// Like [`Ctx::send_broadcast`], but tags the frame with a causal
+    /// lifecycle trace id (see [`Ctx::send_unicast_traced`]).
+    pub fn send_broadcast_traced(&mut self, payload: Payload, wire_bytes: usize, trace_id: u64) {
+        self.commands.push(Command::Broadcast {
+            payload,
+            bytes: wire_bytes,
+            trace: Some(trace_id),
         });
     }
 
@@ -161,12 +204,23 @@ impl Ctx<'_> {
     }
 }
 
+impl<'a> Ctx<'a> {
+    /// The engine's self-profiler, if one is installed — lets protocol
+    /// layers bracket their own hot regions (decode, estimator update)
+    /// with [`crate::profile::start`]/[`crate::profile::stop`]. The
+    /// returned borrow outlives the callback's `&mut Ctx` uses.
+    pub fn profiler(&self) -> Option<&'a Profiler> {
+        self.profiler
+    }
+}
+
 struct QueuedTx {
     /// `None` = broadcast.
     dst: Option<NodeId>,
     token: SendToken,
     payload: Payload,
     bytes: usize,
+    trace: Option<u64>,
 }
 
 struct MacState {
@@ -183,13 +237,22 @@ pub struct Engine<P: Protocol> {
     protocols: Vec<Option<P>>,
     proto_rngs: Vec<SmallRng>,
     backoff_rngs: Vec<SmallRng>,
+    /// RNG hub the engine was built from; per-link streams are derived
+    /// from it lazily (see `link_rngs`).
+    hub: RngHub,
     /// Data-direction loss process per topology link id.
     link_procs: Vec<LossProcess>,
-    link_rngs: Vec<SmallRng>,
+    /// Per-link loss stream, created on first draw. Streams are seeded
+    /// independently per `(kind, src, dst)`, so deferring creation cannot
+    /// change any draw — it only skips seeding work for links that never
+    /// carry traffic (at 1000 nodes eager init cost ~2 ms per engine,
+    /// which dominated short sweep cells).
+    link_rngs: Vec<Option<SmallRng>>,
     /// ACK-direction loss process per topology link id (independent state
     /// built from the reverse link's model; see DESIGN.md substitutions).
     ack_procs: Vec<Option<LossProcess>>,
-    ack_rngs: Vec<SmallRng>,
+    /// Per-link ACK stream, lazily created like `link_rngs`.
+    ack_rngs: Vec<Option<SmallRng>>,
     macs: Vec<MacState>,
     /// Per-node radio power state (off = failed/sleeping node).
     radio_on: Vec<bool>,
@@ -203,6 +266,9 @@ pub struct Engine<P: Protocol> {
     /// Optional structured-event observer; `None` costs one untaken
     /// branch per hook site.
     observer: Option<Arc<dyn Observer>>,
+    /// Optional hot-path self-profiler; `None` costs one untaken branch
+    /// per instrumented scope (see [`crate::profile`]).
+    profiler: Option<Arc<Profiler>>,
     /// Events executed by [`Engine::step`] since construction.
     events_processed: u64,
 }
@@ -231,11 +297,10 @@ impl<P: Protocol> Engine<P> {
             "one loss model per link"
         );
         let link_procs: Vec<LossProcess> = loss_models.iter().map(LossModel::build).collect();
-        let link_rngs: Vec<SmallRng> = topo
-            .links()
-            .iter()
-            .map(|l| hub.stream(StreamKind::LinkLoss, u64::from(l.src.0), u64::from(l.dst.0)))
-            .collect();
+        // Per-link RNG streams are created lazily at first draw (each
+        // stream is seeded independently from `(kind, src, dst)`, so
+        // deferral is draw-order neutral — see the replay-identity test).
+        let link_rngs: Vec<Option<SmallRng>> = vec![None; topo.links().len()];
         // ACK process: reverse link's model with independent state.
         let ack_procs: Vec<Option<LossProcess>> = topo
             .links()
@@ -245,11 +310,7 @@ impl<P: Protocol> Engine<P> {
                     .map(|rid| loss_models[rid].build())
             })
             .collect();
-        let ack_rngs: Vec<SmallRng> = topo
-            .links()
-            .iter()
-            .map(|l| hub.stream(StreamKind::AckLoss, u64::from(l.src.0), u64::from(l.dst.0)))
-            .collect();
+        let ack_rngs: Vec<Option<SmallRng>> = vec![None; topo.links().len()];
         let proto_rngs = (0..n)
             .map(|i| hub.stream(StreamKind::Protocol, i as u64, 0))
             .collect();
@@ -265,6 +326,7 @@ impl<P: Protocol> Engine<P> {
             protocols: protocols.into_iter().map(Some).collect(),
             proto_rngs,
             backoff_rngs,
+            hub,
             link_procs,
             link_rngs,
             ack_procs,
@@ -282,7 +344,28 @@ impl<P: Protocol> Engine<P> {
             dst_pool: Vec::new(),
             started: false,
             observer: None,
+            profiler: None,
             events_processed: 0,
+        }
+    }
+
+    /// Forces creation of every per-link RNG stream up front, restoring
+    /// the eager-init behavior. Lazy and prewarmed engines must produce
+    /// byte-identical runs (streams are independently seeded); this
+    /// exists so tests and benchmarks can prove/measure exactly that.
+    pub fn prewarm_rng_streams(&mut self) {
+        let hub = self.hub;
+        for link_id in 0..self.link_procs.len() {
+            let (src, dst) = {
+                let l = &self.topo.links()[link_id];
+                (l.src, l.dst)
+            };
+            self.link_rngs[link_id].get_or_insert_with(|| {
+                hub.stream(StreamKind::LinkLoss, u64::from(src.0), u64::from(dst.0))
+            });
+            self.ack_rngs[link_id].get_or_insert_with(|| {
+                hub.stream(StreamKind::AckLoss, u64::from(src.0), u64::from(dst.0))
+            });
         }
     }
 
@@ -291,6 +374,32 @@ impl<P: Protocol> Engine<P> {
     /// run behaves bit-identically with or without one.
     pub fn set_observer(&mut self, observer: Arc<dyn Observer>) {
         self.observer = Some(observer);
+    }
+
+    /// Installs a hot-path self-profiler. Profiling measures wall time
+    /// only — it never touches simulation state or RNG streams, so a
+    /// profiled run is bit-identical to a bare run of the same seed.
+    pub fn set_profiler(&mut self, profiler: Arc<Profiler>) {
+        self.profiler = Some(profiler);
+    }
+
+    /// The installed self-profiler, if any (for metric export).
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_deref()
+    }
+
+    /// Emits a lifecycle span when the frame being handled is traced.
+    fn emit_span(obs: &dyn Observer, at: SimTime, trace: Option<u64>, node: u16, phase: SpanPhase) {
+        if let Some(trace_id) = trace {
+            obs.on_span(
+                at,
+                &SpanEvent {
+                    trace_id,
+                    node,
+                    phase,
+                },
+            );
+        }
     }
 
     /// Number of events executed by [`Engine::step`] so far.
@@ -357,7 +466,15 @@ impl<P: Protocol> Engine<P> {
     /// should treat this as a read at the current time).
     pub fn true_prr_now(&mut self, link_id: usize) -> f64 {
         let now = self.time;
-        self.link_procs[link_id].prr_at(now, &mut self.link_rngs[link_id])
+        let hub = self.hub;
+        let (src, dst) = {
+            let l = &self.topo.links()[link_id];
+            (l.src, l.dst)
+        };
+        let rng = self.link_rngs[link_id].get_or_insert_with(|| {
+            hub.stream(StreamKind::LinkLoss, u64::from(src.0), u64::from(dst.0))
+        });
+        self.link_procs[link_id].prr_at(now, rng)
     }
 
     /// Stationary/mean PRR of link `link_id`'s loss model.
@@ -380,7 +497,10 @@ impl<P: Protocol> Engine<P> {
 
     /// Executes the next event. Returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some((t, kind)) = self.queue.pop() else {
+        let t0 = profile::start(self.profiler.as_deref());
+        let popped = self.queue.pop();
+        profile::stop(self.profiler.as_deref(), Subsystem::QueuePop, t0);
+        let Some((t, kind)) = popped else {
             return false;
         };
         self.dispatch(t, kind);
@@ -420,6 +540,16 @@ impl<P: Protocol> Engine<P> {
                                 broadcast: frame.is_broadcast,
                             },
                         );
+                        Self::emit_span(
+                            obs,
+                            t,
+                            frame.trace_id,
+                            dst.0,
+                            SpanPhase::Deliver {
+                                src: frame.src.0,
+                                attempt: frame.attempt,
+                            },
+                        );
                     }
                     self.with_protocol(dst, |p, ctx| p.on_frame(ctx, &frame));
                 } else if let Some(obs) = self.obs() {
@@ -428,6 +558,15 @@ impl<P: Protocol> Engine<P> {
                         &DropEvent {
                             node: dst.0,
                             dst: None,
+                            reason: DropReason::ReceiverOff,
+                        },
+                    );
+                    Self::emit_span(
+                        obs,
+                        t,
+                        frame.trace_id,
+                        dst.0,
+                        SpanPhase::Drop {
                             reason: DropReason::ReceiverOff,
                         },
                     );
@@ -457,6 +596,16 @@ impl<P: Protocol> Engine<P> {
                                     broadcast: frame.is_broadcast,
                                 },
                             );
+                            Self::emit_span(
+                                obs,
+                                t,
+                                frame.trace_id,
+                                dst.0,
+                                SpanPhase::Deliver {
+                                    src: frame.src.0,
+                                    attempt: frame.attempt,
+                                },
+                            );
                         }
                         frame.dst = dst;
                         self.with_protocol(dst, |p, ctx| p.on_frame(ctx, &frame));
@@ -466,6 +615,15 @@ impl<P: Protocol> Engine<P> {
                             &DropEvent {
                                 node: dst.0,
                                 dst: None,
+                                reason: DropReason::ReceiverOff,
+                            },
+                        );
+                        Self::emit_span(
+                            obs,
+                            t,
+                            frame.trace_id,
+                            dst.0,
+                            SpanPhase::Drop {
                                 reason: DropReason::ReceiverOff,
                             },
                         );
@@ -486,7 +644,13 @@ impl<P: Protocol> Engine<P> {
     /// are executed). Sets the clock to `deadline` on return.
     pub fn run_until(&mut self, deadline: SimTime) {
         assert!(self.started, "call start() first");
-        while let Some((t, kind)) = self.queue.pop_at_or_before(deadline) {
+        loop {
+            let t0 = profile::start(self.profiler.as_deref());
+            let popped = self.queue.pop_at_or_before(deadline);
+            profile::stop(self.profiler.as_deref(), Subsystem::QueuePop, t0);
+            let Some((t, kind)) = popped else {
+                break;
+            };
             self.dispatch(t, kind);
         }
         self.time = deadline;
@@ -521,6 +685,7 @@ impl<P: Protocol> Engine<P> {
                 commands: &mut cmds,
                 next_token: &mut self.next_token,
                 observer: self.observer.as_deref(),
+                profiler: self.profiler.as_deref(),
             };
             f(proto, &mut ctx);
         }
@@ -541,6 +706,7 @@ impl<P: Protocol> Engine<P> {
                     token,
                     payload,
                     bytes,
+                    trace,
                 } => {
                     self.enqueue_tx(
                         node,
@@ -549,10 +715,15 @@ impl<P: Protocol> Engine<P> {
                             token,
                             payload,
                             bytes,
+                            trace,
                         },
                     );
                 }
-                Command::Broadcast { payload, bytes } => {
+                Command::Broadcast {
+                    payload,
+                    bytes,
+                    trace,
+                } => {
                     self.enqueue_tx(
                         node,
                         QueuedTx {
@@ -560,6 +731,7 @@ impl<P: Protocol> Engine<P> {
                             token: SendToken(u64::MAX),
                             payload,
                             bytes,
+                            trace,
                         },
                     );
                 }
@@ -588,6 +760,15 @@ impl<P: Protocol> Engine<P> {
                         reason: DropReason::RadioOff,
                     },
                 );
+                Self::emit_span(
+                    obs,
+                    self.time,
+                    tx.trace,
+                    node.0,
+                    SpanPhase::Drop {
+                        reason: DropReason::RadioOff,
+                    },
+                );
             }
             if let Some(dst) = tx.dst {
                 self.queue.push(
@@ -613,6 +794,15 @@ impl<P: Protocol> Engine<P> {
                     &DropEvent {
                         node: node.0,
                         dst: tx.dst.map(|d| d.0),
+                        reason: DropReason::QueueFull,
+                    },
+                );
+                Self::emit_span(
+                    obs,
+                    self.time,
+                    tx.trace,
+                    node.0,
+                    SpanPhase::Drop {
                         reason: DropReason::QueueFull,
                     },
                 );
@@ -648,8 +838,16 @@ impl<P: Protocol> Engine<P> {
         };
         mac.busy = true;
         match tx.dst {
-            None => self.transmit_broadcast(node, tx),
-            Some(dst) => self.transmit_unicast(node, dst, tx),
+            None => {
+                let t0 = profile::start(self.profiler.as_deref());
+                self.transmit_broadcast(node, tx);
+                profile::stop(self.profiler.as_deref(), Subsystem::BroadcastFanout, t0);
+            }
+            Some(dst) => {
+                let t0 = profile::start(self.profiler.as_deref());
+                self.transmit_unicast(node, dst, tx);
+                profile::stop(self.profiler.as_deref(), Subsystem::UnicastArq, t0);
+            }
         }
     }
 
@@ -674,11 +872,23 @@ impl<P: Protocol> Engine<P> {
                     ok: true,
                 },
             );
+            Self::emit_span(
+                obs,
+                t_done,
+                tx.trace,
+                node.0,
+                SpanPhase::Tx {
+                    dst: None,
+                    attempt: 1,
+                    ok: true,
+                },
+            );
         }
         // Cloning the Arc (a refcount bump) detaches the adjacency borrow
         // from `self`, so the fan-out iterates the topology's contiguous
         // (neighbor, link id) pairs directly — no per-beacon Vec clone.
         let topo = Arc::clone(&self.topo);
+        let hub = self.hub;
         let mut dsts = self.dst_pool.pop().unwrap_or_default();
         for (i, (v, link_id)) in topo.neighbor_links(node).enumerate() {
             // Delivery order is part of the determinism contract: pairs
@@ -689,7 +899,10 @@ impl<P: Protocol> Engine<P> {
             if !self.radio_on[v.index()] {
                 continue; // receiver powered down: nothing samples the channel
             }
-            let ok = self.link_procs[link_id].sample(t_done, &mut self.link_rngs[link_id]);
+            let rng = self.link_rngs[link_id].get_or_insert_with(|| {
+                hub.stream(StreamKind::LinkLoss, u64::from(node.0), u64::from(v.0))
+            });
+            let ok = self.link_procs[link_id].sample(t_done, rng);
             self.trace.record_broadcast_attempt(link_id, ok);
             if ok {
                 self.trace.broadcast_rx += 1;
@@ -712,6 +925,7 @@ impl<P: Protocol> Engine<P> {
                         attempt: 1,
                         wire_bytes: tx.bytes,
                         rx_time: t_done,
+                        trace_id: tx.trace,
                         payload: Arc::clone(&tx.payload),
                     },
                     dsts,
@@ -751,6 +965,15 @@ impl<P: Protocol> Engine<P> {
                         reason: DropReason::NoLink,
                     },
                 );
+                Self::emit_span(
+                    obs,
+                    t_done,
+                    tx.trace,
+                    node.0,
+                    SpanPhase::Drop {
+                        reason: DropReason::NoLink,
+                    },
+                );
             }
             self.queue.push(
                 t_done,
@@ -787,6 +1010,15 @@ impl<P: Protocol> Engine<P> {
                         reason: DropReason::ReceiverOff,
                     },
                 );
+                Self::emit_span(
+                    obs,
+                    t,
+                    tx.trace,
+                    node.0,
+                    SpanPhase::Drop {
+                        reason: DropReason::ReceiverOff,
+                    },
+                );
             }
             self.queue.push(
                 t,
@@ -804,11 +1036,15 @@ impl<P: Protocol> Engine<P> {
         }
 
         self.trace.unicast_started += 1;
+        let hub = self.hub;
         let mut t = self.time;
         let mut acked_at_attempt: Option<u16> = None;
         for attempt in 1..=self.mac_cfg.max_attempts {
             t = t + self.backoff(node) + self.mac_cfg.tx_time(tx.bytes);
-            let data_ok = self.link_procs[link_id].sample(t, &mut self.link_rngs[link_id]);
+            let rng = self.link_rngs[link_id].get_or_insert_with(|| {
+                hub.stream(StreamKind::LinkLoss, u64::from(node.0), u64::from(dst.0))
+            });
+            let data_ok = self.link_procs[link_id].sample(t, rng);
             self.trace.record_data_attempt(link_id, data_ok, tx.bytes);
             if let Some(obs) = self.obs() {
                 obs.on_tx(
@@ -818,6 +1054,17 @@ impl<P: Protocol> Engine<P> {
                         dst: Some(dst.0),
                         attempt,
                         bytes: tx.bytes as u32,
+                        ok: data_ok,
+                    },
+                );
+                Self::emit_span(
+                    obs,
+                    t,
+                    tx.trace,
+                    node.0,
+                    SpanPhase::Tx {
+                        dst: Some(dst.0),
+                        attempt,
                         ok: data_ok,
                     },
                 );
@@ -834,13 +1081,19 @@ impl<P: Protocol> Engine<P> {
                             attempt,
                             wire_bytes: tx.bytes,
                             rx_time: t,
+                            trace_id: tx.trace,
                             payload: Arc::clone(&tx.payload),
                         },
                     },
                 );
                 let t_ack = t + SimDuration::from_micros(self.mac_cfg.ack_us);
                 let ack_ok = match self.ack_procs[link_id].as_mut() {
-                    Some(proc_) => proc_.sample(t_ack, &mut self.ack_rngs[link_id]),
+                    Some(proc_) => {
+                        let ack_rng = self.ack_rngs[link_id].get_or_insert_with(|| {
+                            hub.stream(StreamKind::AckLoss, u64::from(node.0), u64::from(dst.0))
+                        });
+                        proc_.sample(t_ack, ack_rng)
+                    }
                     None => false, // asymmetric link: ACK direction unusable
                 };
                 self.trace.record_ack_attempt(link_id, ack_ok, ACK_BYTES);
@@ -884,6 +1137,15 @@ impl<P: Protocol> Engine<P> {
                         &DropEvent {
                             node: node.0,
                             dst: Some(dst.0),
+                            reason: DropReason::LinkExhausted,
+                        },
+                    );
+                    Self::emit_span(
+                        obs,
+                        t,
+                        tx.trace,
+                        node.0,
+                        SpanPhase::Drop {
                             reason: DropReason::LinkExhausted,
                         },
                     );
@@ -1068,6 +1330,92 @@ mod tests {
             (s.dedup_received, s.received.clone(), e.trace().bytes_on_air)
         };
         assert_eq!(run(), run());
+    }
+
+    /// Exercises many links at once: every node periodically broadcasts
+    /// and unicasts towards node 0, so broadcast fan-out, ARQ data, and
+    /// ACK streams all get drawn on most links.
+    struct Chatter {
+        rounds: u32,
+        received: Vec<(u16, u16)>, // (src, attempt) of every copy seen
+    }
+
+    impl Protocol for Chatter {
+        fn on_init(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(SimDuration::from_millis(100), TimerId(0));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _t: TimerId) {
+            if self.rounds == 0 {
+                return;
+            }
+            self.rounds -= 1;
+            ctx.send_broadcast(Arc::new(()), 20);
+            if ctx.node_id() != NodeId(0) {
+                let next = ctx.neighbors().first().copied().unwrap_or(NodeId(0));
+                ctx.send_unicast(next, Arc::new(()), 40);
+            }
+            ctx.set_timer(SimDuration::from_millis(100), TimerId(0));
+        }
+        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, frame: &Frame) {
+            self.received.push((frame.src.0, frame.attempt));
+        }
+    }
+
+    #[test]
+    fn lazy_rng_streams_match_prewarmed_run() {
+        // Replay identity for the lazy per-link RNG init: materializing
+        // every stream up front (the old eager behavior) and creating
+        // them on first draw must produce byte-identical runs, because
+        // each stream is seeded independently per (kind, src, dst).
+        let run = |prewarm: bool| {
+            let hub = RngHub::new(23);
+            let topo = Arc::new(Topology::generate(
+                Placement::Grid {
+                    side: 4,
+                    spacing: 8.0,
+                },
+                &RadioModel::default(),
+                &hub,
+            ));
+            let models: Vec<LossModel> = topo
+                .links()
+                .iter()
+                .map(|_| LossModel::Bernoulli { prr: 0.6 })
+                .collect();
+            let protocols = (0..topo.node_count())
+                .map(|_| Chatter {
+                    rounds: 50,
+                    received: Vec::new(),
+                })
+                .collect();
+            let mut e = Engine::new(topo, &models, MacConfig::default(), hub, protocols);
+            if prewarm {
+                e.prewarm_rng_streams();
+            }
+            e.start();
+            e.run_for(SimDuration::from_secs(60));
+            let prr: Vec<Option<f64>> = e
+                .trace()
+                .links()
+                .iter()
+                .map(|l| l.empirical_prr())
+                .collect();
+            let received: Vec<Vec<(u16, u16)>> = (0..e.topology().node_count())
+                .map(|i| e.protocol(NodeId(i as u16)).received.clone())
+                .collect();
+            (
+                received,
+                e.trace().bytes_on_air,
+                e.trace().unicast_acked,
+                e.trace().broadcast_rx,
+                prr,
+            )
+        };
+        let lazy = run(false);
+        let prewarmed = run(true);
+        assert_eq!(lazy, prewarmed);
+        assert!(lazy.2 > 0, "no unicast traffic exercised");
+        assert!(lazy.3 > 0, "no broadcast traffic exercised");
     }
 
     /// Protocol that turns its radio off at a scheduled time.

@@ -85,6 +85,23 @@ const BUCKET_SHIFT: u64 = 10;
 /// comfortably beyond MAC timescales and short protocol timers.
 const RING_BUCKETS: u64 = 4096;
 
+/// Protocol timers (routing beacons, traffic periods, ARQ completions)
+/// routinely land up to 2 s out. Events inside the ring window are O(1);
+/// everything past it spills to the far heap, so shrinking the window
+/// below this horizon would silently push the *common case* through the
+/// heap and forfeit the calendar ring's whole advantage.
+const PROTOCOL_TIMER_HORIZON_US: u64 = 2_000_000;
+
+// Fail fast at compile time if a retuning of `RING_BUCKETS`/`BUCKET_SHIFT`
+// shrinks the ≈4.2 s ring window below the 2 s protocol-timer horizon.
+const _: () = assert!(
+    (RING_BUCKETS << BUCKET_SHIFT) >= PROTOCOL_TIMER_HORIZON_US,
+    "calendar-ring window (RING_BUCKETS << BUCKET_SHIFT microseconds) is below the \
+     2 s protocol-timer horizon; near-term timers would spill to the far heap \
+     on every push. Keep the window >= 2_000_000 us (the shipped tuning gives \
+     ~4.2 s) or retune both constants together."
+);
+
 /// Overflow-heap fan-out. Four children per node: shallower than a binary
 /// heap, and the children of `i` share a cache line.
 const ARITY: usize = 4;

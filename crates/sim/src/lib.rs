@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chrome;
 pub mod config;
 pub mod energy;
 pub mod engine;
@@ -45,6 +46,7 @@ pub mod link;
 pub mod mac;
 pub mod obs;
 pub mod packet;
+pub mod profile;
 pub mod radio;
 pub mod rng;
 pub mod stats;
@@ -53,6 +55,7 @@ pub mod topology;
 pub mod trace;
 pub mod traffic;
 
+pub use chrome::ChromeTracer;
 pub use config::{LinkDynamics, SimConfig};
 pub use energy::{EnergyModel, EnergyReport};
 pub use engine::{Ctx, Engine, Protocol};
@@ -63,10 +66,11 @@ pub use fault::{
 pub use link::{LossModel, LossProcess};
 pub use mac::MacConfig;
 pub use obs::{
-    CountingObserver, Event, JsonlTracer, MetricsRegistry, MetricsSnapshot, Observer, Severity,
-    TraceRecord,
+    CountingObserver, Event, FlightRecorder, JsonlTracer, MetricsRegistry, MetricsSnapshot,
+    Observer, Severity, SpanEvent, SpanPhase, TraceKind, TraceRecord,
 };
 pub use packet::{Frame, Payload, SendDone, SendToken, TimerId};
+pub use profile::{ProfileReport, Profiler, Subsystem};
 pub use radio::RadioModel;
 pub use rng::{RngHub, StreamKind};
 pub use time::{SimDuration, SimTime};

@@ -25,8 +25,9 @@
 use crate::time::SimTime;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 // ---------------------------------------------------------------------------
@@ -174,6 +175,126 @@ pub struct DecodeEvent {
     pub outcome: DecodeOutcome,
 }
 
+// ---------------------------------------------------------------------------
+// Causal lifecycle spans
+// ---------------------------------------------------------------------------
+
+/// What class of traced object a trace id refers to.
+///
+/// Trace ids are deterministic 64-bit values whose top two bits encode
+/// the kind, so an id alone identifies both the object and its class.
+/// They are derived purely from protocol state (origin/sequence numbers,
+/// beacon counters, epoch numbers) — never from simulation RNG — so
+/// assigning them cannot perturb a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A data (probe) packet, identified by `(origin, seq)`.
+    Data,
+    /// A routing beacon, identified by `(node, beacon_seq)`.
+    Beacon,
+    /// A model-epoch publication, identified by the epoch number.
+    Model,
+}
+
+impl TraceKind {
+    /// Decodes the kind tag from a trace id's top two bits.
+    #[must_use]
+    pub fn of(trace_id: u64) -> Option<TraceKind> {
+        match trace_id >> 62 {
+            1 => Some(TraceKind::Data),
+            2 => Some(TraceKind::Beacon),
+            3 => Some(TraceKind::Model),
+            _ => None,
+        }
+    }
+
+    /// Short lowercase name (`data`/`beacon`/`model`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Data => "data",
+            TraceKind::Beacon => "beacon",
+            TraceKind::Model => "model",
+        }
+    }
+}
+
+/// Trace id for a data (probe) packet: stable across every hop because
+/// it is derived from the origin header, not from per-hop state.
+#[must_use]
+pub const fn data_trace_id(origin: u16, seq: u32) -> u64 {
+    (1u64 << 62) | ((origin as u64) << 32) | seq as u64
+}
+
+/// Trace id for a routing beacon, from the sender's beacon counter.
+#[must_use]
+pub const fn beacon_trace_id(node: u16, beacon_seq: u64) -> u64 {
+    (2u64 << 62) | ((node as u64) << 40) | (beacon_seq & 0xFF_FFFF_FFFF)
+}
+
+/// Trace id for a model-epoch publication.
+#[must_use]
+pub const fn model_trace_id(epoch: u64) -> u64 {
+    (3u64 << 62) | (epoch & 0x3FFF_FFFF_FFFF_FFFF)
+}
+
+/// One step in a traced object's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanPhase {
+    /// The object was created and handed to the MAC (packet generated,
+    /// beacon emitted, model epoch published).
+    Origin,
+    /// A physical transmission attempt of the traced frame.
+    Tx {
+        /// Destination; `None` for broadcast.
+        dst: Option<u16>,
+        /// 1-based ARQ attempt (1 for broadcast).
+        attempt: u16,
+        /// Whether the channel delivered this copy.
+        ok: bool,
+    },
+    /// A copy of the traced frame reached a node's protocol.
+    Deliver {
+        /// Sending node of the delivered copy.
+        src: u16,
+        /// Attempt number the copy was sent on.
+        attempt: u16,
+    },
+    /// An intermediate node re-enqueued the packet towards its parent.
+    Forward {
+        /// Next-hop destination.
+        to: u16,
+    },
+    /// The fault layer destroyed the frame (structural corruption).
+    Corrupt,
+    /// The traced object died at this node.
+    Drop {
+        /// Why it died.
+        reason: DropReason,
+    },
+    /// The sink finished decoding the traced packet.
+    Decode {
+        /// Decoder verdict (quarantine cause when not `Ok`).
+        outcome: DecodeOutcome,
+    },
+    /// The estimator ingested the decoded per-hop observations.
+    Ingest {
+        /// Number of per-link observations extracted.
+        observations: u16,
+    },
+}
+
+/// A causal lifecycle span: one phase of one traced object at one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanEvent {
+    /// Deterministic id shared by every span of the same object.
+    pub trace_id: u64,
+    /// Node at which the phase happened.
+    pub node: u16,
+    /// Which lifecycle step this is.
+    pub phase: SpanPhase,
+}
+
 /// Any observable event, tagged by kind.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Event {
@@ -193,6 +314,8 @@ pub enum Event {
     EpochSwitch(EpochSwitchEvent),
     /// Sink decode outcome.
     Decode(DecodeEvent),
+    /// Causal lifecycle span.
+    Span(SpanEvent),
 }
 
 /// Coarse importance level used for trace filtering.
@@ -219,6 +342,8 @@ pub enum Category {
     Model,
     /// Sink decode events.
     Decode,
+    /// Causal packet-lifecycle spans.
+    Lifecycle,
 }
 
 impl Event {
@@ -236,6 +361,11 @@ impl Event {
                     Severity::Warn
                 }
             }
+            Event::Span(e) => match e.phase {
+                SpanPhase::Drop { .. } | SpanPhase::Corrupt => Severity::Warn,
+                SpanPhase::Decode { outcome } if outcome != DecodeOutcome::Ok => Severity::Warn,
+                _ => Severity::Debug,
+            },
         }
     }
 
@@ -252,6 +382,7 @@ impl Event {
             Event::ParentChange(_) => Category::Routing,
             Event::EpochSwitch(_) => Category::Model,
             Event::Decode(_) => Category::Decode,
+            Event::Span(_) => Category::Lifecycle,
         }
     }
 }
@@ -284,6 +415,8 @@ pub trait Observer: Send + Sync {
     fn on_epoch_switch(&self, _now: SimTime, _ev: &EpochSwitchEvent) {}
     /// A sink-side decode finished.
     fn on_decode(&self, _now: SimTime, _ev: &DecodeEvent) {}
+    /// A causal lifecycle span was recorded for a traced object.
+    fn on_span(&self, _now: SimTime, _ev: &SpanEvent) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -430,6 +563,10 @@ impl<W: Write + Send> Observer for JsonlTracer<W> {
     fn on_decode(&self, now: SimTime, ev: &DecodeEvent) {
         self.emit(now, Event::Decode(*ev));
     }
+
+    fn on_span(&self, now: SimTime, ev: &SpanEvent) {
+        self.emit(now, Event::Span(*ev));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -455,6 +592,8 @@ pub struct EventCounts {
     pub epoch_switches: u64,
     /// Decode outcomes.
     pub decodes: u64,
+    /// Causal lifecycle spans.
+    pub spans: u64,
 }
 
 /// Observer tallying event totals and per-link activity.
@@ -471,6 +610,7 @@ pub struct CountingObserver {
     parent_changes: AtomicU64,
     epoch_switches: AtomicU64,
     decodes: AtomicU64,
+    spans: AtomicU64,
     /// Events per directed link `(src, dst)` (tx attempts + acks + drops).
     link_events: Mutex<BTreeMap<(u16, u16), u64>>,
 }
@@ -493,6 +633,7 @@ impl CountingObserver {
             parent_changes: self.parent_changes.load(Ordering::Relaxed),
             epoch_switches: self.epoch_switches.load(Ordering::Relaxed),
             decodes: self.decodes.load(Ordering::Relaxed),
+            spans: self.spans.load(Ordering::Relaxed),
         }
     }
 
@@ -550,6 +691,10 @@ impl Observer for CountingObserver {
 
     fn on_decode(&self, _now: SimTime, _ev: &DecodeEvent) {
         self.decodes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_span(&self, _now: SimTime, _ev: &SpanEvent) {
+        self.spans.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -614,6 +759,195 @@ impl Observer for MultiObserver {
         for o in &self.observers {
             o.on_decode(now, ev);
         }
+    }
+
+    fn on_span(&self, now: SimTime, ev: &SpanEvent) {
+        for o in &self.observers {
+            o.on_span(now, ev);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+/// Fixed-size ring of the most recent observer events, for postmortems.
+///
+/// The recorder keeps the last `capacity` events (every kind, including
+/// lifecycle spans with their trace ids) as [`TraceRecord`]s. When a run
+/// dies inside the executor's `catch_unwind` cell isolation, the harness
+/// calls [`FlightRecorder::dump_postmortem`] to write the tail as JSONL —
+/// a header line describing the failure, then one record per line, oldest
+/// first. Recording is bounded-memory and lock-scoped per event, so the
+/// recorder is safe to leave attached to long runs.
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: Mutex<VecDeque<TraceRecord>>,
+    total: AtomicU64,
+    output: Option<PathBuf>,
+}
+
+/// Default number of events a [`FlightRecorder`] retains.
+pub const FLIGHT_RECORDER_DEFAULT_CAPACITY: usize = 256;
+
+impl FlightRecorder {
+    /// Recorder retaining the last `capacity` events (no output path;
+    /// dump via [`FlightRecorder::write_postmortem`] or `tail`).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            total: AtomicU64::new(0),
+            output: None,
+        }
+    }
+
+    /// Recorder that dumps its postmortem to `path` on failure.
+    #[must_use]
+    pub fn with_output(capacity: usize, path: impl Into<PathBuf>) -> Self {
+        let mut r = Self::new(capacity);
+        r.output = Some(path.into());
+        r
+    }
+
+    /// Maximum number of events retained.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events seen (retained + evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The retained tail, oldest first.
+    pub fn tail(&self) -> Vec<TraceRecord> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    fn record(&self, now: SimTime, event: Event) {
+        let record = TraceRecord {
+            t_us: now.as_micros(),
+            severity: event.severity(),
+            category: event.category(),
+            event,
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Writes the postmortem to `w`: one header line (`{"postmortem":...}`
+    /// with the failing cell label, error text, and ring statistics),
+    /// then the retained tail as one [`TraceRecord`] JSON object per
+    /// line, oldest first. Returns the number of event lines written.
+    pub fn write_postmortem<W: Write>(
+        &self,
+        mut w: W,
+        label: &str,
+        error: &str,
+    ) -> std::io::Result<u64> {
+        let tail = self.tail();
+        let header = serde::Value::Object(vec![(
+            "postmortem".to_string(),
+            serde::Value::Object(vec![
+                ("label".to_string(), serde::Value::String(label.to_string())),
+                ("error".to_string(), serde::Value::String(error.to_string())),
+                ("events".to_string(), serde::Value::UInt(tail.len() as u64)),
+                (
+                    "total_recorded".to_string(),
+                    serde::Value::UInt(self.total_recorded()),
+                ),
+                (
+                    "capacity".to_string(),
+                    serde::Value::UInt(self.capacity as u64),
+                ),
+            ]),
+        )]);
+        let header = serde_json::to_string(&header)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        writeln!(w, "{header}")?;
+        let mut n = 0u64;
+        for rec in &tail {
+            let line = serde_json::to_string(rec)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            writeln!(w, "{line}")?;
+            n += 1;
+        }
+        w.flush()?;
+        Ok(n)
+    }
+
+    /// Dumps the postmortem to the configured output path (if any).
+    /// Returns the path written, or `None` when no path was configured
+    /// or the write failed (failures are reported on stderr — a crashing
+    /// run must not lose its original error to a dump error).
+    pub fn dump_postmortem(&self, label: &str, error: &str) -> Option<&Path> {
+        let path = self.output.as_deref()?;
+        match std::fs::File::create(path)
+            .and_then(|f| self.write_postmortem(std::io::BufWriter::new(f), label, error))
+        {
+            Ok(n) => {
+                eprintln!(
+                    "flight recorder: wrote {} events to {} for failed cell '{}'",
+                    n,
+                    path.display(),
+                    label
+                );
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!(
+                    "flight recorder: failed to write postmortem to {}: {e}",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+}
+
+impl Observer for FlightRecorder {
+    fn on_tx(&self, now: SimTime, ev: &TxEvent) {
+        self.record(now, Event::Tx(*ev));
+    }
+
+    fn on_rx(&self, now: SimTime, ev: &RxEvent) {
+        self.record(now, Event::Rx(*ev));
+    }
+
+    fn on_ack(&self, now: SimTime, ev: &AckEvent) {
+        self.record(now, Event::Ack(*ev));
+    }
+
+    fn on_drop(&self, now: SimTime, ev: &DropEvent) {
+        self.record(now, Event::Drop(*ev));
+    }
+
+    fn on_timer(&self, now: SimTime, ev: &TimerEvent) {
+        self.record(now, Event::Timer(*ev));
+    }
+
+    fn on_parent_change(&self, now: SimTime, ev: &ParentChangeEvent) {
+        self.record(now, Event::ParentChange(*ev));
+    }
+
+    fn on_epoch_switch(&self, now: SimTime, ev: &EpochSwitchEvent) {
+        self.record(now, Event::EpochSwitch(*ev));
+    }
+
+    fn on_decode(&self, now: SimTime, ev: &DecodeEvent) {
+        self.record(now, Event::Decode(*ev));
+    }
+
+    fn on_span(&self, now: SimTime, ev: &SpanEvent) {
+        self.record(now, Event::Span(*ev));
     }
 }
 
@@ -753,6 +1087,13 @@ impl MetricsRegistry {
             .entry(Self::key(name, labels))
             .or_default()
             .observe(value);
+    }
+
+    /// Replaces a histogram with an externally aggregated state — for
+    /// sources (like the self-profiler) that maintain their own buckets
+    /// and are sampled wholesale into the registry.
+    pub fn set_histogram(&mut self, name: &str, labels: &[(&str, &str)], hist: Histogram) {
+        self.histograms.insert(Self::key(name, labels), hist);
     }
 
     /// Current value of a counter, if it exists.
@@ -921,6 +1262,109 @@ mod tests {
         match rec.event {
             Event::ParentChange(e) => assert_eq!(e.new_parent, 0),
             other => panic!("wrong event: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_ids_encode_kind_and_identity() {
+        let d = data_trace_id(7, 42);
+        let b = beacon_trace_id(7, 42);
+        let m = model_trace_id(42);
+        assert_eq!(TraceKind::of(d), Some(TraceKind::Data));
+        assert_eq!(TraceKind::of(b), Some(TraceKind::Beacon));
+        assert_eq!(TraceKind::of(m), Some(TraceKind::Model));
+        assert_eq!(TraceKind::of(0), None);
+        // Distinct objects get distinct ids; same object gets the same id.
+        assert_ne!(d, b);
+        assert_ne!(d, data_trace_id(7, 43));
+        assert_eq!(d, data_trace_id(7, 42));
+    }
+
+    #[test]
+    fn span_records_round_trip_and_filter() {
+        let tracer = JsonlTracer::new(Vec::new()).with_min_severity(Severity::Warn);
+        let now = t(5);
+        let ok_span = SpanEvent {
+            trace_id: data_trace_id(3, 1),
+            node: 3,
+            phase: SpanPhase::Origin,
+        };
+        let drop_span = SpanEvent {
+            trace_id: data_trace_id(3, 1),
+            node: 2,
+            phase: SpanPhase::Drop {
+                reason: DropReason::LinkExhausted,
+            },
+        };
+        tracer.on_span(now, &ok_span);
+        tracer.on_span(now, &drop_span);
+        assert_eq!(tracer.lines_written(), 1, "debug span must be filtered");
+        let text = String::from_utf8(tracer.into_inner()).unwrap();
+        let rec: TraceRecord = serde_json::from_str(text.trim()).unwrap();
+        assert_eq!(rec.category, Category::Lifecycle);
+        assert_eq!(rec.severity, Severity::Warn);
+        assert_eq!(rec.event, Event::Span(drop_span));
+    }
+
+    #[test]
+    fn flight_recorder_dumps_tail_on_injected_panic() {
+        let rec = FlightRecorder::new(4);
+        let now = t(1);
+        // More events than capacity: only the newest four must survive.
+        for seq in 0..8u32 {
+            rec.on_span(
+                now,
+                &SpanEvent {
+                    trace_id: data_trace_id(1, seq),
+                    node: 1,
+                    phase: SpanPhase::Origin,
+                },
+            );
+        }
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for seq in 8..10u32 {
+                rec.on_span(
+                    now,
+                    &SpanEvent {
+                        trace_id: data_trace_id(1, seq),
+                        node: 1,
+                        phase: SpanPhase::Origin,
+                    },
+                );
+            }
+            panic!("injected failure");
+        }));
+        assert!(panicked.is_err());
+
+        let mut buf = Vec::new();
+        let n = rec
+            .write_postmortem(&mut buf, "unit-cell", "injected failure")
+            .unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(rec.total_recorded(), 10);
+
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5, "header + 4 events");
+        let header: serde::Value = serde_json::from_str(lines[0]).unwrap();
+        let pm = serde::find_field(header.as_object().unwrap(), "postmortem")
+            .and_then(serde::Value::as_object)
+            .unwrap();
+        assert_eq!(
+            serde::find_field(pm, "error").and_then(serde::Value::as_str),
+            Some("injected failure")
+        );
+        assert_eq!(
+            serde::find_field(pm, "events"),
+            Some(&serde::Value::UInt(4))
+        );
+        // The tail is exactly the last four spans, in order, trace ids intact.
+        for (i, line) in lines[1..].iter().enumerate() {
+            let rec: TraceRecord = serde_json::from_str(line).unwrap();
+            match rec.event {
+                Event::Span(s) => assert_eq!(s.trace_id, data_trace_id(1, 6 + i as u32)),
+                other => panic!("unexpected event in tail: {other:?}"),
+            }
         }
     }
 

@@ -44,6 +44,11 @@ pub struct Frame {
     pub wire_bytes: usize,
     /// Simulated reception time.
     pub rx_time: SimTime,
+    /// Causal lifecycle trace id carried by this frame, when the sender
+    /// tagged its send (see [`crate::obs::SpanEvent`]). Deterministic —
+    /// derived from protocol state, never from RNG — and ignored by the
+    /// engine except for span emission, so tracing cannot perturb a run.
+    pub trace_id: Option<u64>,
     /// Protocol payload.
     pub payload: Payload,
 }
@@ -94,6 +99,7 @@ mod tests {
             attempt: 1,
             wire_bytes: 40,
             rx_time: SimTime::ZERO,
+            trace_id: None,
             payload: Arc::new(Msg { x: 7 }),
         };
         assert_eq!(f.payload_as::<Msg>(), Some(&Msg { x: 7 }));

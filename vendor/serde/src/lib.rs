@@ -73,6 +73,18 @@ pub fn find_field<'a>(entries: &'a [(String, Value)], name: &str) -> Option<&'a 
     entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
 }
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Serialization/deserialization error: a message describing the mismatch.
 #[derive(Debug, Clone)]
 pub struct Error {

@@ -240,13 +240,21 @@ impl<'a> Parser<'a> {
                     }
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so byte
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf-8"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Bulk-copy the run of plain characters up to the next
+                    // quote or escape. The input is a &str and `"`/`\` are
+                    // ASCII, so both ends of the run are char boundaries;
+                    // validating only this chunk keeps parsing linear in the
+                    // document size.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("bad utf-8"))?;
+                    out.push_str(chunk);
                 }
             }
         }
