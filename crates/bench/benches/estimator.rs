@@ -48,7 +48,7 @@ fn bench_mle(c: &mut Criterion) {
 
 /// Builds a synthetic measurement set shaped like a collection tree:
 /// `origins` chains of depth up to 5 sharing links near the sink.
-fn tree_measurements(origins: u16) -> TraditionalTomography {
+fn tree_measurements(origins: u32) -> TraditionalTomography {
     let mut t = TraditionalTomography::new();
     let mut rng = SmallRng::seed_from_u64(4);
     for o in 1..=origins {
@@ -78,7 +78,7 @@ fn tree_measurements(origins: u16) -> TraditionalTomography {
 fn bench_traditional(c: &mut Criterion) {
     let mut g = c.benchmark_group("traditional-tomography");
     g.sample_size(20);
-    for origins in [50u16, 200, 400] {
+    for origins in [50u32, 200, 400] {
         let t = tree_measurements(origins);
         let cfg = TraditionalConfig::default();
         g.bench_with_input(BenchmarkId::new("em", origins), &t, |b, t| {

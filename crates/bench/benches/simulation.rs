@@ -8,7 +8,7 @@ use dophy_routing::{RouterConfig, RoutingOnlyNode};
 use dophy_sim::{Engine, LinkDynamics, MacConfig, Placement, RadioModel, SimConfig, SimDuration};
 use std::sync::Arc;
 
-fn sim_config(n: u16, seed: u64) -> SimConfig {
+fn sim_config(n: u32, seed: u64) -> SimConfig {
     SimConfig {
         placement: Placement::UniformDisk {
             n,
@@ -24,7 +24,7 @@ fn sim_config(n: u16, seed: u64) -> SimConfig {
 fn bench_routing_only(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim-routing-only");
     g.sample_size(10);
-    for n in [50u16, 200] {
+    for n in [50u32, 200] {
         g.bench_with_input(BenchmarkId::new("60s-sim", n), &n, |b, &n| {
             b.iter(|| {
                 let cfg = sim_config(n, 1);
@@ -46,7 +46,7 @@ fn bench_routing_only(c: &mut Criterion) {
 fn bench_full_stack(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim-full-stack");
     g.sample_size(10);
-    for n in [50u16, 200] {
+    for n in [50u32, 200] {
         g.bench_with_input(BenchmarkId::new("120s-sim", n), &n, |b, &n| {
             b.iter(|| {
                 let sim = sim_config(n, 2);

@@ -13,6 +13,11 @@
 //! and runner knobs. Everything a downstream user needs to evaluate their
 //! own deployment shape without writing Rust.
 //!
+//! `--shards N` overrides the spec's engine selection: `N > 0` drives the
+//! run with the sharded multi-core engine (`N` spatial shards, results
+//! identical for any `N` at the same seed), `0` forces the single-loop
+//! engine. Large topologies (10k+ nodes) should shard.
+//!
 //! Observability flags (all optional, none change the results):
 //!
 //! * `--trace-out <path>` — stream structured engine/protocol events;
@@ -36,7 +41,7 @@
 //! `target/BENCH_telemetry.json` so perf changes leave a trail.
 
 use dophy::diagnosis::{DiagnosisConfig, NetworkHealthReport};
-use dophy::protocol::build_simulation;
+use dophy::protocol::{build_sharded_simulation, build_simulation};
 use dophy_bench::{execute_cell, resolve_jobs, telemetry, FaultSummary, Instruments, RunSpec};
 use dophy_sim::obs::{FlightRecorder, JsonlTracer, FLIGHT_RECORDER_DEFAULT_CAPACITY};
 use dophy_sim::ChromeTracer;
@@ -51,8 +56,8 @@ use std::sync::Arc;
 
 #[derive(Serialize)]
 struct LinkRow {
-    src: u16,
-    dst: u16,
+    src: u32,
+    dst: u32,
     estimated_loss: f64,
     true_loss: Option<f64>,
 }
@@ -102,10 +107,11 @@ struct Cli {
     metrics_out: Option<PathBuf>,
     metrics_every_s: f64,
     jobs: Option<usize>,
+    shards: Option<u16>,
 }
 
 const USAGE: &str = "usage: dophy-run <scenario.json> [--text] [--progress] [--jobs N] \
-[--trace-out <path>] [--trace-format jsonl|chrome] [--trace-sample N] \
+[--shards N] [--trace-out <path>] [--trace-format jsonl|chrome] [--trace-sample N] \
 [--profile <path>] [--flight-recorder <path>] \
 [--metrics-out <path>] [--metrics-every <secs>] | --print-default";
 
@@ -123,6 +129,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         metrics_out: None,
         metrics_every_s: 60.0,
         jobs: None,
+        shards: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -167,6 +174,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .filter(|s| *s > 0.0)
                     .ok_or_else(|| format!("--metrics-every wants a positive number, got {raw}"))?;
             }
+            "--shards" => {
+                let raw = value(&mut i)?;
+                cli.shards = Some(
+                    raw.parse::<u16>()
+                        .map_err(|_| format!("--shards wants a small integer, got {raw}"))?,
+                );
+            }
             "--jobs" | "-j" => {
                 let raw = value(&mut i)?;
                 cli.jobs = Some(
@@ -197,8 +211,16 @@ fn run(cli: Cli) -> Result<(), String> {
     };
 
     let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let spec: RunSpec =
+    let mut spec: RunSpec =
         serde_json::from_str(&raw).map_err(|e| format!("invalid scenario {path}: {e}"))?;
+    if let Some(shards) = cli.shards {
+        spec.shards = Some(shards);
+    }
+    if cli.profile_out.is_some() && spec.shards.unwrap_or(0) > 0 {
+        return Err(
+            "--profile needs the single-loop engine; drop it or pass --shards 0".to_string(),
+        );
+    }
 
     if cli.trace_sample > 1 && cli.trace_format != TraceFormat::Chrome {
         return Err("--trace-sample only applies to --trace-format chrome".to_string());
@@ -351,10 +373,22 @@ fn run(cli: Cli) -> Result<(), String> {
 
     if cli.text {
         // Also produce the operator-facing health report from a dedicated
-        // run of the same scenario (run_scenario consumes its engine).
-        let (mut engine, shared) = build_simulation(&spec.sim, &spec.dophy);
-        engine.start();
-        engine.run_for(spec.duration);
+        // run of the same scenario (run_scenario consumes its engine),
+        // on whichever engine the spec selects.
+        let shared = match spec.shards.unwrap_or(0) {
+            0 => {
+                let (mut engine, shared) = build_simulation(&spec.sim, &spec.dophy);
+                engine.start();
+                engine.run_for(spec.duration);
+                shared
+            }
+            shards => {
+                let (mut engine, shared) = build_sharded_simulation(&spec.sim, &spec.dophy, shards);
+                engine.start();
+                engine.run_for(spec.duration);
+                shared
+            }
+        };
         let health = NetworkHealthReport::generate(
             &shared.lock(),
             SimTime::ZERO + spec.duration,

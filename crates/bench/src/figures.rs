@@ -25,7 +25,7 @@ use dophy_sim::{
 use std::collections::BTreeMap;
 
 /// Link → estimated-loss map, as produced by each scheme.
-pub type LossMap = std::collections::HashMap<(u16, u16), f64>;
+pub type LossMap = std::collections::HashMap<(u32, u32), f64>;
 /// A named experiment entry: id plus its plan builder.
 pub type Experiment = (&'static str, fn(bool) -> Plan);
 /// Named metric extractor over a finished run.
@@ -406,7 +406,7 @@ pub fn fig7_accuracy_vs_dynamics(quick: bool) -> Plan {
 
 /// Accuracy and overhead across network sizes (constant node density).
 pub fn fig8_accuracy_vs_size(quick: bool) -> Plan {
-    let sizes: Vec<u16> = if quick {
+    let sizes: Vec<u32> = if quick {
         vec![50, 100, 150]
     } else {
         vec![50, 100, 200, 300, 400]
@@ -1535,28 +1535,53 @@ pub fn fig13_faults(quick: bool) -> Plan {
 /// `events-per-sim-sec` series stay fully deterministic. Peak RSS is a
 /// process-wide high-water mark, so the cells are declared smallest-first
 /// and the figure is only a true per-cell peak at `--jobs 1`.
+///
+/// Beyond 1000 nodes the sweep switches to the sharded multi-core engine
+/// (`*-sharded` series, shard count scaling with n): the single event
+/// loop is the scaling bottleneck the sharded engine exists to remove.
+/// The n=1000 point appears in both series — same workload on both
+/// engines — so the per-core engine overhead/speedup is read directly off
+/// the figure, and the accuracy series answer the real question at 10k
+/// nodes: does the stack still deliver and estimate. (At 10k nodes the
+/// routing tree alone takes a few hundred simulated seconds to span the
+/// ~30-hop network, so quick-mode delivery is dominated by tree
+/// formation; the full run is the meaningful accuracy sample.)
 pub fn fig14_scale(quick: bool) -> Plan {
-    let sizes: Vec<u16> = vec![200, 400, 600, 800, 1000];
-    let cells = sizes
+    let sizes: Vec<u32> = vec![200, 400, 600, 800, 1000];
+    // (nodes, shards): shard count grows with n so per-shard work stays
+    // roughly constant; every count yields identical results anyway.
+    let sharded: Vec<(u32, u16)> = if quick {
+        vec![(1000, 8), (10_000, 32)]
+    } else {
+        vec![(1000, 8), (4000, 16), (10_000, 32)]
+    };
+    let disk = |n: u32| SimConfig {
+        placement: Placement::UniformDisk {
+            n,
+            radius: 120.0 * (f64::from(n) / 200.0).sqrt(),
+        },
+        radio: RadioModel::default(),
+        mac: MacConfig::default(),
+        dynamics: LinkDynamics::Static,
+        seed: 211,
+    };
+    let mut cells: Vec<Cell> = sizes
         .iter()
         .map(|&n| {
-            let sim = SimConfig {
-                placement: Placement::UniformDisk {
-                    n,
-                    radius: 120.0 * (f64::from(n) / 200.0).sqrt(),
-                },
-                radio: RadioModel::default(),
-                mac: MacConfig::default(),
-                dynamics: LinkDynamics::Static,
-                seed: 211,
-            };
             Cell::run(
                 format!("n={n}"),
-                RunSpec::new(sim, canonical_dophy(), duration(quick) / 2),
+                RunSpec::new(disk(n), canonical_dophy(), duration(quick) / 2),
             )
         })
         .collect();
+    cells.extend(sharded.iter().map(|&(n, shards)| {
+        Cell::run(
+            format!("n={n}-sharded{shards}"),
+            RunSpec::new(disk(n), canonical_dophy(), duration(quick) / 2).with_shards(shards),
+        )
+    }));
 
+    let sharded_sizes: Vec<u32> = sharded.iter().map(|&(n, _)| n).collect();
     Plan::new("fig14-scale", cells, move |outs| {
         let mut fig = FigureResult::new(
             "fig14-scale",
@@ -1564,52 +1589,66 @@ pub fn fig14_scale(quick: bool) -> Plan {
             "network size (nodes)",
             "seconds / events per second / MiB / MAE / bytes",
         );
-        let collect = |sel: &dyn Fn(&RunOutput) -> f64| -> Vec<(f64, f64)> {
-            sizes
-                .iter()
-                .zip(&outs)
-                .map(|(&n, o)| (f64::from(n), sel(o.as_ref())))
-                .collect()
+        let single = &outs[..sizes.len()];
+        let shard_outs = &outs[sizes.len()..];
+        let series_for = |label: &str,
+                          xs: &[u32],
+                          chunk: &[std::sync::Arc<RunOutput>],
+                          sel: &dyn Fn(&RunOutput) -> f64|
+         -> Series {
+            Series::new(
+                label,
+                xs.iter()
+                    .zip(chunk)
+                    .map(|(&n, o)| (f64::from(n), sel(o.as_ref())))
+                    .collect::<Vec<_>>(),
+            )
         };
-        fig.push_series(Series::new(
-            "wall-seconds",
-            collect(&|o| o.telemetry.wall_seconds),
-        ));
-        fig.push_series(Series::new(
-            "events-per-wall-sec",
-            collect(&|o| o.telemetry.events_per_sec),
-        ));
-        fig.push_series(Series::new(
-            "events-per-sim-sec",
-            collect(&|o| o.telemetry.events_processed as f64 / o.telemetry.sim_seconds.max(1e-9)),
-        ));
-        fig.push_series(Series::new(
-            "peak-rss-mib",
-            collect(&|o| o.telemetry.peak_rss_bytes as f64 / (1024.0 * 1024.0)),
-        ));
-        fig.push_series(Series::new(
-            "dophy-mae",
-            collect(&|o| o.score_scheme(&o.dophy).mae),
-        ));
-        fig.push_series(Series::new(
-            "bytes-per-packet",
-            collect(&|o| o.overhead.mean_stream_bytes()),
-        ));
-        fig.push_series(Series::new(
-            "delivery-ratio",
-            collect(&|o| o.delivery_ratio),
-        ));
-        let small = &outs[0].telemetry;
-        let big = outs.last().unwrap().telemetry;
+        type Selector<'a> = &'a dyn Fn(&RunOutput) -> f64;
+        let selectors: [(&str, Selector); 7] = [
+            ("wall-seconds", &|o| o.telemetry.wall_seconds),
+            ("events-per-wall-sec", &|o| o.telemetry.events_per_sec),
+            ("events-per-sim-sec", &|o| {
+                o.telemetry.events_processed as f64 / o.telemetry.sim_seconds.max(1e-9)
+            }),
+            ("peak-rss-mib", &|o| {
+                o.telemetry.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+            }),
+            ("dophy-mae", &|o| o.score_scheme(&o.dophy).mae),
+            ("bytes-per-packet", &|o| o.overhead.mean_stream_bytes()),
+            ("delivery-ratio", &|o| o.delivery_ratio),
+        ];
+        for (name, sel) in selectors {
+            fig.push_series(series_for(name, &sizes, single, sel));
+            fig.push_series(series_for(
+                &format!("{name}-sharded"),
+                &sharded_sizes,
+                shard_outs,
+                sel,
+            ));
+        }
+        let small = &single[0].telemetry;
+        let big = single.last().unwrap().telemetry;
         fig.note(format!(
-            "1000 nodes: {} events in {:.2} s wall ({:.0} ev/s, sim/wall {:.0}x); \
-             200 nodes: {:.2} s — wall time should scale ~linearly with n at \
+            "single loop, 1000 nodes: {} events in {:.2} s wall ({:.0} ev/s, sim/wall \
+             {:.0}x); 200 nodes: {:.2} s — wall time should scale ~linearly with n at \
              constant density",
             big.events_processed,
             big.wall_seconds,
             big.events_per_sec,
             big.sim_wall_ratio,
             small.wall_seconds,
+        ));
+        let sharded_big = shard_outs.last().unwrap();
+        fig.note(format!(
+            "sharded engine, {} nodes: {} events in {:.2} s wall ({:.0} ev/s), \
+             delivery ratio {:.3}. The shared n=1000 point gives the \
+             engine-vs-engine throughput ratio on this machine",
+            sharded_sizes.last().unwrap(),
+            sharded_big.telemetry.events_processed,
+            sharded_big.telemetry.wall_seconds,
+            sharded_big.telemetry.events_per_sec,
+            sharded_big.delivery_ratio,
         ));
         fig.note(
             "wall-seconds / events-per-wall-sec / peak-rss-mib are machine- and \

@@ -15,22 +15,24 @@ use dophy::baseline::{
 };
 use dophy::metrics::{score, AccuracyReport};
 use dophy::protocol::{
-    build_simulation_with_faults, DecodeStats, DophyConfig, DophyNode, OverheadStats,
+    build_sharded_simulation_with_faults, build_simulation_with_faults, DecodeStats, DophyConfig,
+    DophyNode, OverheadStats, SinkState,
 };
 use dophy::telemetry::sample_metrics;
 use dophy_routing::{churn_report, ChurnReport};
 use dophy_sim::obs::{FlightRecorder, MetricsRegistry, MetricsSnapshot, MultiObserver, Observer};
 use dophy_sim::{
-    Engine, FaultConfig, FaultInjection, NodeId, ProfileReport, Profiler, SimConfig, SimDuration,
-    SimTime,
+    FaultConfig, FaultInjection, FaultPlan, NodeId, ProfileReport, Profiler, SimConfig, SimDriver,
+    SimDuration, SimTime, Topology, Trace,
 };
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Directed link key.
-pub type LinkKey = (u16, u16);
+pub type LinkKey = (u32, u32);
 
 /// Optional per-origin snapshot path used for baseline attribution.
 type SnapshotPaths = Vec<Option<Vec<LinkKey>>>;
@@ -62,6 +64,14 @@ pub struct RunSpec {
     /// specs predating this field (a missing `faults` key in JSON
     /// deserializes to `None`, so old scenario files keep working).
     pub faults: Option<FaultConfig>,
+    /// Engine selection: `None` or `Some(0)` (a missing key in legacy
+    /// JSON deserializes to `None`) runs the single-loop engine,
+    /// bit-identical to specs predating this field. `Some(n)` for `n > 0`
+    /// runs the sharded multi-core engine with `n` spatial shards.
+    /// Sharded results are byte-identical across shard *and* thread
+    /// counts, but are a different (equally valid) sample path than the
+    /// single-loop engine's — so the value participates in the spec hash.
+    pub shards: Option<u16>,
 }
 
 impl RunSpec {
@@ -76,6 +86,15 @@ impl RunSpec {
             min_est_samples: 10,
             checkpoints: false,
             faults: None,
+            shards: None,
+        }
+    }
+
+    /// The same spec on the sharded engine with `shards` spatial shards.
+    pub fn with_shards(self, shards: u16) -> Self {
+        Self {
+            shards: Some(shards),
+            ..self
         }
     }
 }
@@ -162,7 +181,7 @@ pub struct RunOutput {
     /// Routing churn metrics.
     pub churn: ChurnReport,
     /// Ground-truth hop logs of delivered packets (origin, seq) → hops.
-    pub true_hops: HashMap<(u16, u32), dophy::protocol::TrueHops>,
+    pub true_hops: HashMap<(u32, u32), dophy::protocol::TrueHops>,
     /// Per-link ground truth transmission counts (for re-encoding figures).
     pub node_count: usize,
     /// Largest candidate-table size (fixed-width id field sizing).
@@ -191,7 +210,7 @@ impl RunOutput {
 
 /// Follows parents from `origin` to the sink; `None` on loops or missing
 /// routes. Returns the link list origin→sink.
-fn current_path(engine: &Engine<DophyNode>, origin: NodeId) -> Option<Vec<LinkKey>> {
+fn current_path<E: SimDriver<DophyNode>>(engine: &E, origin: NodeId) -> Option<Vec<LinkKey>> {
     let n = engine.topology().node_count();
     let mut cur = origin;
     let mut path = Vec::new();
@@ -206,11 +225,10 @@ fn current_path(engine: &Engine<DophyNode>, origin: NodeId) -> Option<Vec<LinkKe
     None // loop
 }
 
-fn truth_map(engine: &Engine<DophyNode>, min_tx: u64) -> HashMap<LinkKey, f64> {
-    let topo = engine.topology();
+fn truth_map(topo: &Topology, trace: &Trace, min_tx: u64) -> HashMap<LinkKey, f64> {
     let mut truth = HashMap::new();
     for (i, l) in topo.links().iter().enumerate() {
-        let t = engine.trace().links()[i];
+        let t = trace.links()[i];
         if t.data_tx >= min_tx {
             if let Some(loss) = t.empirical_loss() {
                 truth.insert((l.src.0, l.dst.0), loss);
@@ -234,7 +252,7 @@ fn attribute_window(sent: u64, delivered: u64, carry: u64) -> (u64, u64) {
     (used, available - used)
 }
 
-fn estimates_to_loss(v: Vec<((u16, u16), dophy::LossEstimate)>) -> HashMap<LinkKey, f64> {
+fn estimates_to_loss(v: Vec<((u32, u32), dophy::LossEstimate)>) -> HashMap<LinkKey, f64> {
     v.into_iter().map(|(k, e)| (k, e.loss)).collect()
 }
 
@@ -250,9 +268,52 @@ pub fn run_scenario(spec: &RunSpec) -> RunOutput {
 }
 
 /// Runs a scenario to completion with optional observability attached.
+///
+/// With [`RunSpec::shards`] non-zero the run is driven by the sharded
+/// multi-core engine; everything downstream (baseline attribution,
+/// checkpoints, metrics, outputs) is engine-agnostic.
+///
+/// # Panics
+///
+/// Panics when `inst.profile` is combined with a sharded spec: the
+/// hot-path self-profiler attributes wall time to one event loop and has
+/// no meaningful reading across worker threads. Profile on `shards: 0`.
 pub fn run_scenario_with(spec: &RunSpec, inst: Instruments) -> RunOutput {
-    let (mut engine, shared, fault_plan) =
-        build_simulation_with_faults(&spec.sim, &spec.dophy, spec.faults.as_ref());
+    let shards = spec.shards.unwrap_or(0);
+    if shards == 0 {
+        let (mut engine, shared, fault_plan) =
+            build_simulation_with_faults(&spec.sim, &spec.dophy, spec.faults.as_ref());
+        let profiler = inst.profile.then(|| Arc::new(Profiler::new()));
+        if let Some(prof) = &profiler {
+            engine.set_profiler(Arc::clone(prof));
+        }
+        drive(spec, inst, engine, shared, fault_plan, profiler)
+    } else {
+        assert!(
+            !inst.profile,
+            "hot-path profiling attributes wall time to a single event loop and is \
+             not supported on the sharded engine; profile with shards: 0"
+        );
+        let (engine, shared, fault_plan) = build_sharded_simulation_with_faults(
+            &spec.sim,
+            &spec.dophy,
+            spec.faults.as_ref(),
+            shards,
+        );
+        drive(spec, inst, engine, shared, fault_plan, None)
+    }
+}
+
+/// Engine-agnostic body of [`run_scenario_with`]: drives `engine` through
+/// the spec's windows and extracts every output.
+fn drive<E: SimDriver<DophyNode>>(
+    spec: &RunSpec,
+    inst: Instruments,
+    mut engine: E,
+    shared: Arc<Mutex<SinkState>>,
+    fault_plan: Option<Arc<FaultPlan>>,
+    profiler: Option<Arc<Profiler>>,
+) -> RunOutput {
     // Flight recorder first in the chain: it must capture each event
     // before any other observer gets a chance to panic on it.
     let observer = match (inst.flight_recorder, inst.observer) {
@@ -267,10 +328,6 @@ pub fn run_scenario_with(spec: &RunSpec, inst: Instruments) -> RunOutput {
     };
     if let Some(observer) = observer {
         engine.set_observer(observer);
-    }
-    let profiler = inst.profile.then(|| Arc::new(Profiler::new()));
-    if let Some(prof) = &profiler {
-        engine.set_profiler(Arc::clone(prof));
     }
     let mut registry = inst.metrics_every.map(|_| MetricsRegistry::new());
     let meter = inst.progress.then(|| ProgressMeter::new(spec.duration));
@@ -293,7 +350,7 @@ pub fn run_scenario_with(spec: &RunSpec, inst: Instruments) -> RunOutput {
         // Snapshot the tree BEFORE the window: this is the attribution the
         // baseline will use for the window's packets.
         let paths: SnapshotPaths = (0..n)
-            .map(|i| current_path(&engine, NodeId(i as u16)))
+            .map(|i| current_path(&engine, NodeId::from_index(i)))
             .collect();
         let step = spec.window.min(spec.duration - elapsed);
         match (&mut registry, inst.metrics_every) {
@@ -346,7 +403,11 @@ pub fn run_scenario_with(spec: &RunSpec, inst: Instruments) -> RunOutput {
         }
 
         if spec.checkpoints {
-            let truth = truth_map(&engine, spec.min_truth_tx);
+            let truth = truth_map(
+                engine.topology(),
+                &engine.trace_snapshot(),
+                spec.min_truth_tx,
+            );
             let s = shared.lock();
             let dophy_est = estimates_to_loss(s.estimator.estimates(r, spec.min_est_samples));
             let naive_est = estimates_to_loss(s.estimator.naive_estimates(spec.min_est_samples));
@@ -383,16 +444,20 @@ pub fn run_scenario_with(spec: &RunSpec, inst: Instruments) -> RunOutput {
         telemetry,
     );
 
-    let truth = truth_map(&engine, spec.min_truth_tx);
+    let truth = truth_map(
+        engine.topology(),
+        &engine.trace_snapshot(),
+        spec.min_truth_tx,
+    );
     let duration_t = SimTime::ZERO + spec.duration;
     let churn = {
         let logs: Vec<&[(SimTime, NodeId)]> = (1..n)
-            .map(|i| engine.protocol(NodeId(i as u16)).router().parent_log())
+            .map(|i| engine.protocol(NodeId::from_index(i)).router().parent_log())
             .collect();
         churn_report(&logs, duration_t)
     };
     let max_degree = (0..n)
-        .map(|i| engine.topology().neighbors(NodeId(i as u16)).len())
+        .map(|i| engine.topology().neighbors(NodeId::from_index(i)).len())
         .max()
         .unwrap_or(1);
 
@@ -587,6 +652,53 @@ mod tests {
         assert!(clean.faults.is_none());
         assert_eq!(clean.decode.malformed, 0);
         assert_eq!(clean.decode.bad_hop_count, 0);
+    }
+
+    #[test]
+    fn sharded_scenario_is_shard_invariant_and_complete() {
+        // The sharded engine must produce the same figures for any shard
+        // count, and those figures must pass the same sanity bar as the
+        // single-loop ones (it is a different — equally valid — sample
+        // path, so no cross-engine equality is asserted).
+        let a = run_scenario(&quick_spec().with_shards(1));
+        let b = run_scenario(&quick_spec().with_shards(5));
+        assert_eq!(a.decode, b.decode);
+        assert_eq!(a.overhead.packets, b.overhead.packets);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.dophy, b.dophy);
+        assert_eq!(a.em, b.em);
+        assert_eq!(a.checkpoints.len(), b.checkpoints.len());
+        assert!(a.overhead.packets > 300);
+        assert!(a.delivery_ratio > 0.9);
+        let rep = a.score_scheme(&a.dophy);
+        assert!(rep.scored_links >= 5);
+        assert!(rep.mae < 0.1, "sharded dophy MAE {}", rep.mae);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported on the sharded engine")]
+    fn profiling_a_sharded_run_panics() {
+        let inst = Instruments {
+            profile: true,
+            ..Instruments::default()
+        };
+        run_scenario_with(&quick_spec().with_shards(2), inst);
+    }
+
+    #[test]
+    fn runspec_shards_field_round_trips_and_defaults() {
+        let spec = quick_spec().with_shards(8);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: RunSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.shards, Some(8));
+        assert_eq!(back, spec);
+        // Pre-sharding JSON (no `shards` key) still deserializes to the
+        // single-loop engine.
+        let legacy = serde_json::to_string(&quick_spec()).unwrap();
+        let stripped = legacy.replace(",\"shards\":null", "");
+        assert!(!stripped.contains("shards"));
+        let parsed: RunSpec = serde_json::from_str(&stripped).unwrap();
+        assert!(parsed.shards.is_none());
     }
 
     #[test]

@@ -27,7 +27,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Directed link key.
-pub type LinkKey = (u16, u16);
+pub type LinkKey = (u32, u32);
 
 /// One path's aggregated end-to-end measurement.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -298,7 +298,7 @@ mod tests {
         let firsts = [0.95, 0.9, 0.8, 0.7, 0.99];
         let mut t = TraditionalTomography::new();
         for (i, &f) in firsts.iter().enumerate() {
-            let o = (i + 1) as u16;
+            let o = (i + 1) as u32;
             t.add(PathMeasurement {
                 path: vec![(o, 9), (9, 0)],
                 sent: 50_000,
@@ -318,7 +318,7 @@ mod tests {
             est[&(9, 0)]
         );
         for (i, &f) in firsts.iter().enumerate() {
-            let o = (i + 1) as u16;
+            let o = (i + 1) as u32;
             assert!(
                 (est[&(o, 9)] - f).abs() < 0.03,
                 "first hop {o}: {} vs {f}",

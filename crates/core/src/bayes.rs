@@ -152,7 +152,7 @@ fn conditional_mean_attempts(p: f64, lo: u16, hi: u16) -> f64 {
 #[derive(Debug, Clone, Default)]
 pub struct BayesNetworkEstimator {
     prior: Option<BetaPrior>,
-    links: HashMap<(u16, u16), BayesLinkEstimator>,
+    links: HashMap<(u32, u32), BayesLinkEstimator>,
 }
 
 impl BayesNetworkEstimator {
@@ -165,7 +165,7 @@ impl BayesNetworkEstimator {
     }
 
     /// Records one observation.
-    pub fn observe(&mut self, src: u16, dst: u16, obs: AttemptObservation) {
+    pub fn observe(&mut self, src: u32, dst: u32, obs: AttemptObservation) {
         let prior = self.prior.unwrap_or_default();
         self.links
             .entry((src, dst))
@@ -174,7 +174,7 @@ impl BayesNetworkEstimator {
     }
 
     /// All estimates with at least `min_samples` observations.
-    pub fn estimates(&self, min_samples: u64) -> Vec<((u16, u16), LossEstimate)> {
+    pub fn estimates(&self, min_samples: u64) -> Vec<((u32, u32), LossEstimate)> {
         let mut v: Vec<_> = self
             .links
             .iter()

@@ -251,7 +251,7 @@ mod tests {
 
     fn spaces(topo: &Topology, policy: AggregationPolicy, refine: bool) -> SymbolSpaces {
         let max_degree = (0..topo.node_count())
-            .map(|i| topo.neighbors(NodeId(i as u16)).len())
+            .map(|i| topo.neighbors(NodeId::from_index(i)).len())
             .max()
             .unwrap();
         SymbolSpaces::new(max_degree, 7, policy, refine)
@@ -360,7 +360,7 @@ mod tests {
         let mut h = DophyHeader::new(origin, 1, 0);
         encode_hop(&mut h, &t, &s, &models, origin, mid, 1).unwrap();
         // Claim the final sender is someone other than `mid`.
-        let wrong = (0..t.node_count() as u16)
+        let wrong = (0..t.node_count() as u32)
             .map(NodeId)
             .find(|&v| v != mid)
             .unwrap();

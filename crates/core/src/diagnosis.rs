@@ -44,7 +44,7 @@ impl Default for DiagnosisConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinkHealth {
     /// The directed link.
-    pub link: (u16, u16),
+    pub link: (u32, u32),
     /// Long-run loss estimate (cumulative MLE).
     pub loss: f64,
     /// Wald standard error, when available.

@@ -129,7 +129,7 @@ mod tests {
 
     fn spaces(topo: &Topology) -> SymbolSpaces {
         let max_degree = (0..topo.node_count())
-            .map(|i| topo.neighbors(NodeId(i as u16)).len())
+            .map(|i| topo.neighbors(NodeId::from_index(i)).len())
             .max()
             .unwrap();
         SymbolSpaces::new(max_degree, 7, AggregationPolicy::Cap { cap: 4 }, false)
@@ -165,7 +165,7 @@ mod tests {
         let models = ModelSet::initial(&s);
         let mut h = DophyHeader::new(NodeId(0), 1, 0);
         // Find a node that is NOT a neighbor of node 0.
-        let non = (0..t.node_count() as u16)
+        let non = (0..t.node_count() as u32)
             .map(NodeId)
             .find(|&v| v != NodeId(0) && !t.neighbors(NodeId(0)).contains(&v));
         if let Some(non) = non {

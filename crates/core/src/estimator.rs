@@ -253,7 +253,7 @@ impl LinkEstimator {
 /// Network-wide estimator: one [`LinkEstimator`] per directed link.
 #[derive(Debug, Clone, Default)]
 pub struct NetworkEstimator {
-    links: HashMap<(u16, u16), LinkEstimator>,
+    links: HashMap<(u32, u32), LinkEstimator>,
 }
 
 impl NetworkEstimator {
@@ -263,7 +263,7 @@ impl NetworkEstimator {
     }
 
     /// Records one observation for link `src → dst`.
-    pub fn observe(&mut self, src: u16, dst: u16, obs: AttemptObservation) {
+    pub fn observe(&mut self, src: u32, dst: u32, obs: AttemptObservation) {
         self.links.entry((src, dst)).or_default().observe(obs);
     }
 
@@ -273,12 +273,12 @@ impl NetworkEstimator {
     }
 
     /// Per-link estimator access.
-    pub fn link(&self, src: u16, dst: u16) -> Option<&LinkEstimator> {
+    pub fn link(&self, src: u32, dst: u32) -> Option<&LinkEstimator> {
         self.links.get(&(src, dst))
     }
 
     /// All MLE estimates with at least `min_samples` observations.
-    pub fn estimates(&self, r: u16, min_samples: u64) -> Vec<((u16, u16), LossEstimate)> {
+    pub fn estimates(&self, r: u16, min_samples: u64) -> Vec<((u32, u32), LossEstimate)> {
         let mut v: Vec<_> = self
             .links
             .iter()
@@ -290,7 +290,7 @@ impl NetworkEstimator {
     }
 
     /// All naive estimates with at least `min_samples` observations.
-    pub fn naive_estimates(&self, min_samples: u64) -> Vec<((u16, u16), LossEstimate)> {
+    pub fn naive_estimates(&self, min_samples: u64) -> Vec<((u32, u32), LossEstimate)> {
         let mut v: Vec<_> = self
             .links
             .iter()

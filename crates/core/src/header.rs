@@ -5,6 +5,7 @@
 //! | field        | bytes | notes                                        |
 //! |--------------|-------|----------------------------------------------|
 //! | origin       | 2     | source node id (plaintext — anchors decoding)|
+//! |              |       | wire cap: ids ≤ 65535 (engine ids are wider) |
 //! | seq          | 4     | per-origin sequence number                   |
 //! | epoch        | 1     | probability-model epoch the stream uses      |
 //! | hops         | 1     | hop counter / TTL guard                      |
@@ -100,7 +101,12 @@ impl DophyHeader {
     /// accounting is the real serialized size, not an estimate.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.wire_bytes());
-        out.extend_from_slice(&self.origin.0.to_be_bytes());
+        // The wire layout carries a 2-byte origin: the dophy protocol
+        // stack addresses at most 65536 nodes even though engine node ids
+        // are 32-bit (the builder rejects larger topologies up front).
+        let origin =
+            u16::try_from(self.origin.0).expect("dophy wire format carries 16-bit node ids");
+        out.extend_from_slice(&origin.to_be_bytes());
         out.extend_from_slice(&self.seq.to_be_bytes());
         out.push(self.epoch);
         debug_assert!(self.hops < 0x80, "hops field is 7 bits");
@@ -126,7 +132,7 @@ impl DophyHeader {
         if buf.len() < Self::FIXED_WIRE_BYTES {
             return None;
         }
-        let origin = NodeId(u16::from_be_bytes([buf[0], buf[1]]));
+        let origin = NodeId(u32::from(u16::from_be_bytes([buf[0], buf[1]])));
         let seq = u32::from_be_bytes([buf[2], buf[3], buf[4], buf[5]]);
         let epoch = buf[6];
         let hops = buf[7] & 0x7F;

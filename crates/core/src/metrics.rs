@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Directed link key (matches `baseline::LinkKey`).
-pub type LinkKey = (u16, u16);
+pub type LinkKey = (u32, u32);
 
 /// Accuracy summary for one scheme on one run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -107,7 +107,7 @@ impl AccuracyReport {
 mod tests {
     use super::*;
 
-    fn map(pairs: &[((u16, u16), f64)]) -> HashMap<LinkKey, f64> {
+    fn map(pairs: &[((u32, u32), f64)]) -> HashMap<LinkKey, f64> {
         pairs.iter().copied().collect()
     }
 

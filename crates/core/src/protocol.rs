@@ -36,8 +36,8 @@ use dophy_sim::obs::{
 use dophy_sim::profile::{self, Subsystem};
 use dophy_sim::stats::{CountHistogram, Streaming};
 use dophy_sim::{
-    Ctx, Engine, FaultConfig, FaultPlan, Frame, NodeId, Profiler, Protocol, RngHub, SendDone,
-    SimConfig, SimDuration, SimTime, TimerId, Topology,
+    Ctx, Engine, FaultConfig, FaultPlan, Frame, LossModel, NodeId, Profiler, Protocol, RngHub,
+    SendDone, ShardedEngine, SimConfig, SimDuration, SimTime, TimerId, Topology,
 };
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -246,7 +246,7 @@ impl DecodeStats {
 
 /// One packet's ground-truth hop log: `(sender, receiver, attempt)` per
 /// hop, recorded by the forwarding nodes and completed at the sink.
-pub type TrueHops = Vec<(u16, u16, u16)>;
+pub type TrueHops = Vec<(u32, u32, u16)>;
 
 /// Everything the sink knows, shared across protocol instances.
 pub struct SinkState {
@@ -269,7 +269,7 @@ pub struct SinkState {
     pub delivered_per_origin: Vec<u64>,
     /// Ground-truth hop logs of delivered packets, keyed by (origin, seq).
     /// Verification/benchmark channel, not protocol state.
-    pub true_hops: HashMap<(u16, u32), TrueHops>,
+    pub true_hops: HashMap<(u32, u32), TrueHops>,
     /// Packets dropped for lack of a route.
     pub no_route_drops: u64,
     /// Packets dropped by the TTL guard.
@@ -300,8 +300,8 @@ impl SinkState {
 
 /// Duplicate-suppression set with FIFO eviction.
 struct DedupSet {
-    seen: HashSet<(u16, u32)>,
-    order: VecDeque<(u16, u32)>,
+    seen: HashSet<(u32, u32)>,
+    order: VecDeque<(u32, u32)>,
     capacity: usize,
 }
 
@@ -315,7 +315,7 @@ impl DedupSet {
     }
 
     /// Returns true if the key was fresh (and records it).
-    fn insert(&mut self, key: (u16, u32)) -> bool {
+    fn insert(&mut self, key: (u32, u32)) -> bool {
         if !self.seen.insert(key) {
             return false;
         }
@@ -1006,11 +1006,115 @@ pub fn build_simulation_with_faults(
     Arc<Mutex<SinkState>>,
     Option<Arc<FaultPlan>>,
 ) {
+    let parts = assemble_simulation(sim, dophy, faults);
+    let engine = Engine::new(
+        parts.topo,
+        &parts.models,
+        sim.mac,
+        parts.hub,
+        parts.protocols,
+    );
+    (engine, parts.shared, parts.plan)
+}
+
+/// Sharded twin of [`build_simulation`]: identical topology, loss models,
+/// protocols, and shared sink state, driven by the multi-core
+/// [`ShardedEngine`]. See [`build_sharded_simulation_with_faults`] for the
+/// preconditions.
+pub fn build_sharded_simulation(
+    sim: &SimConfig,
+    dophy: &DophyConfig,
+    shards: u16,
+) -> (ShardedEngine<DophyNode>, Arc<Mutex<SinkState>>) {
+    let (engine, shared, _) = build_sharded_simulation_with_faults(sim, dophy, None, shards);
+    (engine, shared)
+}
+
+/// Sharded twin of [`build_simulation_with_faults`]. Results are
+/// byte-identical across shard and thread counts (but not to the
+/// single-loop engine — see the `dophy_sim::shard` docs).
+///
+/// # Panics
+///
+/// Two fault/config shapes cannot keep the cross-shard determinism
+/// contract and are refused up front:
+///
+/// * **Frame-corruption faults** (`frame_corrupt_prob > 0` or
+///   `truncate_prob > 0`) draw from one global corruption stream in
+///   delivery order, which shard scheduling would scramble.
+/// * **Dissemination faster than the conservative window**: non-sink
+///   nodes must activate new model epochs no earlier than one window
+///   after a sink refresh, otherwise a same-window read of the model
+///   manager could see the flood early on some shard interleavings.
+///   This requires `max_propagation_delay / (max_depth + 1)` to exceed
+///   the window `backoff_us/2 + frame_overhead_us` — true by orders of
+///   magnitude for realistic configs.
+pub fn build_sharded_simulation_with_faults(
+    sim: &SimConfig,
+    dophy: &DophyConfig,
+    faults: Option<&FaultConfig>,
+    shards: u16,
+) -> (
+    ShardedEngine<DophyNode>,
+    Arc<Mutex<SinkState>>,
+    Option<Arc<FaultPlan>>,
+) {
+    if let Some(f) = faults {
+        assert!(
+            f.frame_corrupt_prob == 0.0 && f.truncate_prob == 0.0,
+            "frame-corruption faults draw from a global stream in delivery order \
+             and are not shard-deterministic; run them on the single-loop engine"
+        );
+    }
+    let parts = assemble_simulation(sim, dophy, faults);
+    let window_us = sim.mac.backoff_us / 2 + sim.mac.frame_overhead_us;
+    let max_depth = parts
+        .topo
+        .hops_to_sink()
+        .into_iter()
+        .filter(|&d| d != usize::MAX)
+        .max()
+        .unwrap_or(0) as u64;
+    let per_hop_us = dophy.model_update.max_propagation_delay.as_micros() / (max_depth + 1);
+    assert!(
+        per_hop_us > window_us,
+        "model dissemination per-hop delay ({per_hop_us}µs) must exceed the \
+         conservative window ({window_us}µs) for shard-count-invariant epoch \
+         activation; raise max_propagation_delay or use the single-loop engine"
+    );
+    let engine = ShardedEngine::new(
+        parts.topo,
+        &parts.models,
+        sim.mac,
+        parts.hub,
+        parts.protocols,
+        shards,
+    );
+    (engine, parts.shared, parts.plan)
+}
+
+/// Everything both engine builders assemble before handing the parts to an
+/// engine: topology, loss models, the shared sink state, the fault plan,
+/// and one [`DophyNode`] per node.
+struct SimParts {
+    topo: Arc<Topology>,
+    models: Vec<LossModel>,
+    hub: RngHub,
+    shared: Arc<Mutex<SinkState>>,
+    plan: Option<Arc<FaultPlan>>,
+    protocols: Vec<DophyNode>,
+}
+
+fn assemble_simulation(
+    sim: &SimConfig,
+    dophy: &DophyConfig,
+    faults: Option<&FaultConfig>,
+) -> SimParts {
     let hub = sim.hub();
     let topo = Arc::new(sim.topology());
     let models = sim.loss_models(&topo);
     let max_degree = (0..topo.node_count())
-        .map(|i| topo.neighbors(NodeId(i as u16)).len())
+        .map(|i| topo.neighbors(NodeId::from_index(i)).len())
         .max()
         .unwrap_or(1)
         .max(1);
@@ -1053,8 +1157,14 @@ pub fn build_simulation_with_faults(
             )
         })
         .collect();
-    let engine = Engine::new(topo, &models, sim.mac, hub, protocols);
-    (engine, shared, plan)
+    SimParts {
+        topo,
+        models,
+        hub,
+        shared,
+        plan,
+        protocols,
+    }
 }
 
 #[cfg(test)]
@@ -1106,6 +1216,48 @@ mod tests {
         );
         assert!(s.total_delivery_ratio().unwrap() > 0.9);
         assert!(s.estimator.covered_links() > 10);
+    }
+
+    #[test]
+    fn sharded_full_stack_is_shard_invariant() {
+        // The entire Dophy stack (routing, coding, sink decode, model
+        // refreshes) must produce byte-identical results regardless of how
+        // the sharded engine partitions the nodes or how many threads
+        // drive it.
+        let fingerprint = |shards: u16, threads: usize| -> String {
+            let (mut engine, shared, _) =
+                build_sharded_simulation_with_faults(&small_sim(), &fast_dophy(), None, shards);
+            engine.set_threads(threads);
+            engine.start();
+            engine.run_for(SimDuration::from_secs(300));
+            let s = shared.lock();
+            format!(
+                "now={:?} events={} overhead={:?} decode={:?} sent={:?} delivered={:?} \
+                 drops=({},{},{},{}) refreshes={} links={:?}",
+                engine.now(),
+                engine.events_processed(),
+                s.overhead,
+                s.decode,
+                s.sent_per_origin,
+                s.delivered_per_origin,
+                s.no_route_drops,
+                s.ttl_drops,
+                s.encode_disabled,
+                s.corrupt_frame_drops,
+                s.manager.refreshes,
+                engine.trace().snapshot_links(),
+            )
+        };
+        let baseline = fingerprint(1, 1);
+        for (shards, threads) in [(2, 1), (4, 2), (7, 3)] {
+            assert_eq!(
+                baseline,
+                fingerprint(shards, threads),
+                "shards={shards} threads={threads} diverged from shards=1"
+            );
+        }
+        // And the run did real work: the sink decoded packets.
+        assert!(baseline.contains("events="));
     }
 
     #[test]

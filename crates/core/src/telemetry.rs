@@ -1,17 +1,17 @@
 //! Metrics sampling for Dophy simulations.
 //!
-//! [`sample_metrics`] reads the cumulative state of a running
-//! [`Engine<DophyNode>`] plus the shared [`SinkState`] and writes it into
-//! a [`MetricsRegistry`]. Harnesses call it on a sim-time cadence and
-//! then [`MetricsRegistry::snapshot`] to grow the exported time series.
+//! [`sample_metrics`] reads the cumulative state of a running engine
+//! (single-loop or sharded, via [`SimDriver`]) plus the shared
+//! [`SinkState`] and writes it into a [`MetricsRegistry`]. Harnesses call
+//! it on a sim-time cadence and then [`MetricsRegistry::snapshot`] to
+//! grow the exported time series.
 //!
 //! Sampling only *reads* engine/sink state, so (like the event observers)
 //! it cannot perturb a run.
 
 use crate::protocol::{DophyNode, SinkState};
-use dophy_sim::engine::Engine;
 use dophy_sim::obs::MetricsRegistry;
-use dophy_sim::{NodeId, Subsystem};
+use dophy_sim::{NodeId, SimDriver, Subsystem};
 
 /// Samples MAC, routing, coding, decode, and estimator state into `reg`.
 ///
@@ -19,8 +19,12 @@ use dophy_sim::{NodeId, Subsystem};
 /// across snapshots); gauges carry instantaneous values; the
 /// `mac_queue_depth` histogram accumulates one observation per node per
 /// call, building a distribution of queue depths over the run.
-pub fn sample_metrics(reg: &mut MetricsRegistry, engine: &Engine<DophyNode>, sink: &SinkState) {
-    let trace = engine.trace();
+pub fn sample_metrics<E: SimDriver<DophyNode>>(
+    reg: &mut MetricsRegistry,
+    engine: &E,
+    sink: &SinkState,
+) {
+    let trace = engine.trace_snapshot();
     let topo = engine.topology();
     let n = topo.node_count();
 
@@ -54,7 +58,7 @@ pub fn sample_metrics(reg: &mut MetricsRegistry, engine: &Engine<DophyNode>, sin
         per_node_tx[link.src.index()] += truth.data_tx;
     }
     for (i, &node_tx) in per_node_tx.iter().enumerate() {
-        let node = NodeId(i as u16);
+        let node = NodeId::from_index(i);
         let label = i.to_string();
         let labels = [("node", label.as_str())];
         reg.set_counter("mac_data_tx", &labels, node_tx);
@@ -68,7 +72,7 @@ pub fn sample_metrics(reg: &mut MetricsRegistry, engine: &Engine<DophyNode>, sin
     let mut beacons_heard = 0u64;
     let mut parent_changes = 0u64;
     for i in 0..n {
-        let stats = engine.protocol(NodeId(i as u16)).router().stats();
+        let stats = engine.protocol(NodeId::from_index(i)).router().stats();
         beacons_sent += stats.beacons_sent;
         beacons_heard += stats.beacons_heard;
         parent_changes += stats.parent_changes;

@@ -73,7 +73,7 @@ impl LinkWindows {
 #[derive(Debug, Clone)]
 pub struct WindowedNetworkEstimator {
     cfg: WindowConfig,
-    links: HashMap<(u16, u16), LinkWindows>,
+    links: HashMap<(u32, u32), LinkWindows>,
 }
 
 impl WindowedNetworkEstimator {
@@ -95,7 +95,7 @@ impl WindowedNetworkEstimator {
     }
 
     /// Records one observation at time `now`.
-    pub fn observe(&mut self, now: SimTime, src: u16, dst: u16, obs: AttemptObservation) {
+    pub fn observe(&mut self, now: SimTime, src: u32, dst: u32, obs: AttemptObservation) {
         let widx = self.window_index(now);
         let keep = self.cfg.merge_windows;
         self.links
@@ -106,7 +106,7 @@ impl WindowedNetworkEstimator {
 
     /// Current estimate for one link: MLE over the last `merge_windows`
     /// buckets ending at `now`. `None` without observations in range.
-    pub fn estimate(&self, now: SimTime, src: u16, dst: u16, r: u16) -> Option<LossEstimate> {
+    pub fn estimate(&self, now: SimTime, src: u32, dst: u32, r: u16) -> Option<LossEstimate> {
         let newest = self.window_index(now);
         let merged = self
             .links
@@ -125,7 +125,7 @@ impl WindowedNetworkEstimator {
         now: SimTime,
         r: u16,
         min_samples: u64,
-    ) -> Vec<((u16, u16), LossEstimate)> {
+    ) -> Vec<((u32, u32), LossEstimate)> {
         let newest = self.window_index(now);
         let mut v: Vec<_> = self
             .links
@@ -276,7 +276,7 @@ impl CusumDetector {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LinkAlarm {
     /// The offending directed link.
-    pub link: (u16, u16),
+    pub link: (u32, u32),
     /// Its estimated loss ratio.
     pub loss: f64,
     /// One-sided z-score of the exceedance (how many standard errors the
@@ -290,7 +290,7 @@ pub struct LinkAlarm {
 /// confidence: `(loss - threshold) / stderr >= min_z`. Estimates without a
 /// standard error are flagged only on gross exceedance (2× threshold).
 pub fn detect_anomalies(
-    estimates: &[((u16, u16), LossEstimate)],
+    estimates: &[((u32, u32), LossEstimate)],
     loss_threshold: f64,
     min_z: f64,
 ) -> Vec<LinkAlarm> {

@@ -410,14 +410,14 @@ mod tests {
         let n = e.topology().node_count();
         // Every non-sink node must have a parent.
         for i in 1..n {
-            let r = e.protocol(NodeId(i as u16)).router();
+            let r = e.protocol(NodeId(i as u32)).router();
             assert!(r.next_hop().is_some(), "node {i} has no parent");
             assert!(r.own_etx().is_finite(), "node {i} has no route metric");
         }
         // Following parents from every node must reach the sink (no loops
         // in the converged state).
         for i in 1..n {
-            let mut cur = NodeId(i as u16);
+            let mut cur = NodeId(i as u32);
             let mut hops = 0;
             while cur != NodeId::SINK {
                 cur = e.protocol(cur).router().next_hop().expect("routed");
@@ -502,7 +502,7 @@ mod tests {
     fn volatile_links_cause_parent_churn() {
         let churn = |e: &Engine<RoutingOnlyNode>| -> u64 {
             (1..e.topology().node_count())
-                .map(|i| e.protocol(NodeId(i as u16)).router().stats().parent_changes)
+                .map(|i| e.protocol(NodeId(i as u32)).router().stats().parent_changes)
                 .sum()
         };
         // A single seed can land within noise of the static baseline, so
@@ -554,7 +554,7 @@ mod tests {
         let snapshot = |e: &Engine<RoutingOnlyNode>| -> Vec<(Option<NodeId>, u64)> {
             (0..e.topology().node_count())
                 .map(|i| {
-                    let r = e.protocol(NodeId(i as u16)).router();
+                    let r = e.protocol(NodeId(i as u32)).router();
                     (r.next_hop(), r.stats().beacons_sent)
                 })
                 .collect()

@@ -21,7 +21,7 @@ use dophy_sim::{
 use std::sync::Arc;
 
 /// Constant-density disk, same scaling rule as the fig8/fig14 sweeps.
-fn sim_config(n: u16, seed: u64) -> SimConfig {
+fn sim_config(n: u32, seed: u64) -> SimConfig {
     SimConfig {
         placement: Placement::UniformDisk {
             n,
@@ -136,7 +136,7 @@ fn bench_event_queue(c: &mut Criterion) {
                 q.push(
                     SimTime::ZERO + SimDuration::from_micros(t),
                     EventKind::Timer {
-                        node: NodeId((i % 1000) as u16),
+                        node: NodeId((i % 1000) as u32),
                         timer: TimerId(0),
                     },
                 );
@@ -196,7 +196,7 @@ fn bench_unicast_arq(c: &mut Criterion) {
 fn bench_full_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine-steps");
     g.sample_size(10);
-    for n in [100u16, 400, 1000] {
+    for n in [100u32, 400, 1000] {
         let cfg = sim_config(n, 3);
         let topo = Arc::new(cfg.topology());
         let models = cfg.loss_models(&topo);

@@ -193,7 +193,7 @@ mod tests {
         SimTime::ZERO + SimDuration::from_micros(us)
     }
 
-    fn span(id: u64, node: u16, phase: SpanPhase) -> SpanEvent {
+    fn span(id: u64, node: u32, phase: SpanPhase) -> SpanEvent {
         SpanEvent {
             trace_id: id,
             node,

@@ -1,0 +1,119 @@
+//! Engine-agnostic driving surface.
+//!
+//! The single-loop [`Engine`] and the multi-core [`ShardedEngine`] expose
+//! the same lifecycle (start, advance time, observe, read totals), but as
+//! distinct concrete types. [`SimDriver`] abstracts the part of that
+//! surface that harnesses — the scenario runner, metrics sampling, figure
+//! sweeps — actually need, so they can be written once and driven by
+//! either engine.
+//!
+//! The trait deliberately exposes *reads as snapshots*: `trace_snapshot`
+//! returns an owned [`Trace`] because the sharded engine has no single
+//! trace to borrow (each shard owns the counters for its outgoing links;
+//! the snapshot merges them). Harness-side sampling cadences are coarse,
+//! so the copy is irrelevant next to the simulation itself.
+
+use crate::engine::{Engine, Protocol};
+use crate::obs::Observer;
+use crate::profile::Profiler;
+use crate::shard::ShardedEngine;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, Topology};
+use crate::trace::Trace;
+use std::sync::Arc;
+
+/// What a simulation harness needs from an engine, independent of whether
+/// the engine is the single-loop or the sharded one.
+pub trait SimDriver<P: Protocol> {
+    /// Initialises every node (calls `on_init`). Must be called exactly
+    /// once, before the first [`run_for`](Self::run_for).
+    fn start(&mut self);
+    /// Advances simulated time by `span`, processing all events inside it.
+    fn run_for(&mut self, span: SimDuration);
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+    /// Total events dispatched so far.
+    fn events_processed(&self) -> u64;
+    /// The (shared, immutable) topology.
+    fn topology(&self) -> &Topology;
+    /// Read access to one node's protocol state.
+    fn protocol(&self, node: NodeId) -> &P;
+    /// Current MAC transmit-queue depth of `node`.
+    fn queue_depth(&self, node: NodeId) -> usize;
+    /// Owned snapshot of the ground-truth trace (merged across shards for
+    /// the sharded engine).
+    fn trace_snapshot(&self) -> Trace;
+    /// Installs the structured-event observer. Must be called before
+    /// [`start`](Self::start).
+    fn set_observer(&mut self, observer: Arc<dyn Observer>);
+    /// The hot-path profiler, when one is installed. The sharded engine
+    /// never carries one (wall-clock attribution is per-worker-thread),
+    /// so it always returns `None`.
+    fn profiler(&self) -> Option<&Profiler>;
+}
+
+impl<P: Protocol> SimDriver<P> for Engine<P> {
+    fn start(&mut self) {
+        Engine::start(self);
+    }
+    fn run_for(&mut self, span: SimDuration) {
+        Engine::run_for(self, span);
+    }
+    fn now(&self) -> SimTime {
+        Engine::now(self)
+    }
+    fn events_processed(&self) -> u64 {
+        Engine::events_processed(self)
+    }
+    fn topology(&self) -> &Topology {
+        Engine::topology(self)
+    }
+    fn protocol(&self, node: NodeId) -> &P {
+        Engine::protocol(self, node)
+    }
+    fn queue_depth(&self, node: NodeId) -> usize {
+        Engine::queue_depth(self, node)
+    }
+    fn trace_snapshot(&self) -> Trace {
+        Engine::trace(self).clone()
+    }
+    fn set_observer(&mut self, observer: Arc<dyn Observer>) {
+        Engine::set_observer(self, observer);
+    }
+    fn profiler(&self) -> Option<&Profiler> {
+        Engine::profiler(self)
+    }
+}
+
+impl<P: Protocol + Send> SimDriver<P> for ShardedEngine<P> {
+    fn start(&mut self) {
+        ShardedEngine::start(self);
+    }
+    fn run_for(&mut self, span: SimDuration) {
+        ShardedEngine::run_for(self, span);
+    }
+    fn now(&self) -> SimTime {
+        ShardedEngine::now(self)
+    }
+    fn events_processed(&self) -> u64 {
+        ShardedEngine::events_processed(self)
+    }
+    fn topology(&self) -> &Topology {
+        ShardedEngine::topology(self)
+    }
+    fn protocol(&self, node: NodeId) -> &P {
+        ShardedEngine::protocol(self, node)
+    }
+    fn queue_depth(&self, node: NodeId) -> usize {
+        ShardedEngine::queue_depth(self, node)
+    }
+    fn trace_snapshot(&self) -> Trace {
+        ShardedEngine::trace(self)
+    }
+    fn set_observer(&mut self, observer: Arc<dyn Observer>) {
+        ShardedEngine::set_observer(self, observer);
+    }
+    fn profiler(&self) -> Option<&Profiler> {
+        None
+    }
+}

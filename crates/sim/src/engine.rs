@@ -38,7 +38,7 @@ use std::sync::Arc;
 
 /// Wire size of a link-layer ACK (802.15.4 imm-ack is 11 bytes with
 /// preamble).
-const ACK_BYTES: usize = 11;
+pub(crate) const ACK_BYTES: usize = 11;
 
 /// Per-node protocol logic driven by engine callbacks.
 ///
@@ -57,7 +57,10 @@ pub trait Protocol: 'static {
 }
 
 /// Command buffer entry produced by protocol callbacks.
-enum Command {
+///
+/// Crate-visible so the sharded engine (`crate::shard`) can drain the same
+/// buffer with identical semantics.
+pub(crate) enum Command {
     Unicast {
         dst: NodeId,
         token: SendToken,
@@ -80,16 +83,19 @@ enum Command {
 }
 
 /// Protocol-side view of the node and its environment.
+///
+/// Fields are crate-visible so the sharded engine can construct the same
+/// callback context; protocols only ever see the public methods.
 pub struct Ctx<'a> {
-    now: SimTime,
-    node: NodeId,
-    topo: &'a Topology,
-    mac: &'a MacConfig,
-    rng: &'a mut SmallRng,
-    commands: &'a mut Vec<Command>,
-    next_token: &'a mut u64,
-    observer: Option<&'a dyn Observer>,
-    profiler: Option<&'a Profiler>,
+    pub(crate) now: SimTime,
+    pub(crate) node: NodeId,
+    pub(crate) topo: &'a Topology,
+    pub(crate) mac: &'a MacConfig,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) commands: &'a mut Vec<Command>,
+    pub(crate) next_token: &'a mut u64,
+    pub(crate) observer: Option<&'a dyn Observer>,
+    pub(crate) profiler: Option<&'a Profiler>,
 }
 
 impl Ctx<'_> {
@@ -214,18 +220,18 @@ impl<'a> Ctx<'a> {
     }
 }
 
-struct QueuedTx {
+pub(crate) struct QueuedTx {
     /// `None` = broadcast.
-    dst: Option<NodeId>,
-    token: SendToken,
-    payload: Payload,
-    bytes: usize,
-    trace: Option<u64>,
+    pub(crate) dst: Option<NodeId>,
+    pub(crate) token: SendToken,
+    pub(crate) payload: Payload,
+    pub(crate) bytes: usize,
+    pub(crate) trace: Option<u64>,
 }
 
-struct MacState {
-    busy: bool,
-    queue: VecDeque<QueuedTx>,
+pub(crate) struct MacState {
+    pub(crate) busy: bool,
+    pub(crate) queue: VecDeque<QueuedTx>,
 }
 
 /// The simulation engine. See the module docs for the execution model.
@@ -389,7 +395,13 @@ impl<P: Protocol> Engine<P> {
     }
 
     /// Emits a lifecycle span when the frame being handled is traced.
-    fn emit_span(obs: &dyn Observer, at: SimTime, trace: Option<u64>, node: u16, phase: SpanPhase) {
+    pub(crate) fn emit_span(
+        obs: &dyn Observer,
+        at: SimTime,
+        trace: Option<u64>,
+        node: u32,
+        phase: SpanPhase,
+    ) {
         if let Some(trace_id) = trace {
             obs.on_span(
                 at,
@@ -491,7 +503,7 @@ impl<P: Protocol> Engine<P> {
         assert!(!self.started, "engine already started");
         self.started = true;
         for i in 0..self.topo.node_count() {
-            self.with_protocol(NodeId(i as u16), |p, ctx| p.on_init(ctx));
+            self.with_protocol(NodeId::from_index(i), |p, ctx| p.on_init(ctx));
         }
     }
 
@@ -1337,7 +1349,7 @@ mod tests {
     /// ACK streams all get drawn on most links.
     struct Chatter {
         rounds: u32,
-        received: Vec<(u16, u16)>, // (src, attempt) of every copy seen
+        received: Vec<(u32, u16)>, // (src, attempt) of every copy seen
     }
 
     impl Protocol for Chatter {
@@ -1400,8 +1412,8 @@ mod tests {
                 .iter()
                 .map(|l| l.empirical_prr())
                 .collect();
-            let received: Vec<Vec<(u16, u16)>> = (0..e.topology().node_count())
-                .map(|i| e.protocol(NodeId(i as u16)).received.clone())
+            let received: Vec<Vec<(u32, u16)>> = (0..e.topology().node_count())
+                .map(|i| e.protocol(NodeId::from_index(i)).received.clone())
                 .collect();
             (
                 received,
@@ -1617,7 +1629,7 @@ mod tests {
         e.start();
         e.run_for(SimDuration::from_secs(1));
         let total: u32 = (0..e.topology().node_count())
-            .map(|i| e.protocol(NodeId(i as u16)).got)
+            .map(|i| e.protocol(NodeId::from_index(i)).got)
             .sum();
         assert_eq!(total as usize, n_neighbors);
         assert_eq!(e.trace().broadcast_tx, 1);

@@ -113,7 +113,12 @@ fn vbucket(at: SimTime) -> u64 {
 
 /// Time-ordered event queue with FIFO tie-breaking. See the module docs
 /// for the bucketed-ring design.
-pub struct EventQueue {
+///
+/// Generic over the event payload `K` (defaulting to the engine's
+/// [`EventKind`]) — the sharded engine reuses the same ring with its own
+/// event enum. The queue never inspects payloads; ordering lives entirely
+/// in the `(time, sequence)` keys.
+pub struct EventQueue<K = EventKind> {
     /// Ring bucket `vb % RING_BUCKETS` holds virtual bucket `vb` while
     /// `cursor <= vb < cursor + RING_BUCKETS`. Only the open bucket (at
     /// `cursor`) is sorted; the rest are unsorted append lists.
@@ -128,19 +133,19 @@ pub struct EventQueue {
     /// their ring bucket when it opens.
     far: Vec<Entry>,
     /// Event payloads addressed by `Entry::slot`.
-    slots: Vec<Option<EventKind>>,
+    slots: Vec<Option<K>>,
     /// Vacated slots awaiting reuse.
     free: Vec<u32>,
     next_seq: u64,
 }
 
-impl Default for EventQueue {
+impl<K> Default for EventQueue<K> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl EventQueue {
+impl<K> EventQueue<K> {
     /// Empty queue.
     pub fn new() -> Self {
         Self {
@@ -155,10 +160,29 @@ impl EventQueue {
         }
     }
 
-    /// Schedules `kind` to fire at `at`.
-    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+    /// Schedules `kind` to fire at `at`, tie-broken by insertion order.
+    pub fn push(&mut self, at: SimTime, kind: K) {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.push_entry(at, seq, kind);
+    }
+
+    /// Schedules `kind` to fire at `at` with a caller-supplied ordering
+    /// key: simultaneous events fire in ascending `key` order instead of
+    /// insertion order.
+    ///
+    /// Keys must be unique per `(at, key)` pair across the queue's
+    /// lifetime — the sharded engine derives them from (origin node,
+    /// per-origin sequence), which makes the pop order independent of
+    /// *when* an event was pushed (locally during a window, or merged in
+    /// at a shard barrier). Do not mix with [`push`](Self::push) on one
+    /// queue: plain sequence numbers and external keys share the
+    /// tie-break space.
+    pub fn push_keyed(&mut self, at: SimTime, key: u64, kind: K) {
+        self.push_entry(at, key, kind);
+    }
+
+    fn push_entry(&mut self, at: SimTime, seq: u64, kind: K) {
         let slot = match self.free.pop() {
             Some(s) => {
                 self.slots[s as usize] = Some(kind);
@@ -192,19 +216,19 @@ impl EventQueue {
     }
 
     /// Removes and returns the earliest event.
-    pub fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+    pub fn pop(&mut self) -> Option<(SimTime, K)> {
         self.pop_filtered(None)
     }
 
     /// Removes and returns the earliest event if it fires at or before
     /// `deadline`. One positioning pass instead of the peek-then-pop two —
     /// this is the engine's per-event path.
-    pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, EventKind)> {
+    pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, K)> {
         self.pop_filtered(Some(deadline))
     }
 
     #[inline]
-    fn pop_filtered(&mut self, deadline: Option<SimTime>) -> Option<(SimTime, EventKind)> {
+    fn pop_filtered(&mut self, deadline: Option<SimTime>) -> Option<(SimTime, K)> {
         loop {
             let b = &self.ring[(self.cursor % RING_BUCKETS) as usize];
             if let Some(&e) = b.get(self.drain) {
@@ -332,7 +356,7 @@ fn far_pop(heap: &mut Vec<Entry>) {
 mod tests {
     use super::*;
 
-    fn timer(node: u16, id: u32) -> EventKind {
+    fn timer(node: u32, id: u32) -> EventKind {
         EventKind::Timer {
             node: NodeId(node),
             timer: TimerId(id),
@@ -416,6 +440,22 @@ mod tests {
                 assert!(w[0].1 < w[1].1, "FIFO violated: {w:?}");
             }
         }
+    }
+
+    #[test]
+    fn keyed_pushes_order_by_key_not_insertion() {
+        // Same timestamp, keys pushed out of order: pop order follows the
+        // keys — the property the sharded engine's barrier merge relies on.
+        let mut q: EventQueue = EventQueue::new();
+        let t = SimTime::from_micros(100);
+        for (key, id) in [(30u64, 3u32), (10, 1), (20, 2)] {
+            q.push_keyed(t, key, timer(0, id));
+        }
+        q.push_keyed(SimTime::from_micros(50), 99, timer(0, 0));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| timer_id(&k))
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
     }
 
     #[test]

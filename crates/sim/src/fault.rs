@@ -295,7 +295,7 @@ impl FaultPlan {
 
     /// Whether node `node` is crash-prone under this plan. Deterministic
     /// in `(seed, node)`; the sink (node 0) is never crash-prone.
-    pub fn crash_prone(&self, node: u16) -> bool {
+    pub fn crash_prone(&self, node: u32) -> bool {
         let Some(crash) = self.cfg.crash else {
             return false;
         };
@@ -316,7 +316,7 @@ impl FaultPlan {
     ///
     /// Both durations are exponential around the configured means, with a
     /// one-tick floor so phases always advance simulated time.
-    pub fn crash_phase(&self, node: u16, k: u32) -> (SimDuration, SimDuration) {
+    pub fn crash_phase(&self, node: u32, k: u32) -> (SimDuration, SimDuration) {
         let crash = self
             .cfg
             .crash
@@ -336,7 +336,7 @@ impl FaultPlan {
     /// reaches the node, `Some(extra)` with the extra delay to add
     /// otherwise (zero without dissemination faults). Pure in
     /// `(seed, node, epoch)`.
-    pub fn dissemination_fault(&self, node: u16, epoch: u64) -> Option<SimDuration> {
+    pub fn dissemination_fault(&self, node: u32, epoch: u64) -> Option<SimDuration> {
         let Some(f) = self.cfg.dissemination else {
             return Some(SimDuration::ZERO);
         };
@@ -456,7 +456,7 @@ mod tests {
         let p = plan(cfg);
         let q = plan(cfg);
         assert!(!p.crash_prone(0), "sink never crashes");
-        let prone: Vec<u16> = (1..200).filter(|&n| p.crash_prone(n)).collect();
+        let prone: Vec<u32> = (1..200).filter(|&n| p.crash_prone(n)).collect();
         assert!(
             (60..140).contains(&prone.len()),
             "about half of 199 nodes: {}",
@@ -487,7 +487,7 @@ mod tests {
             ..FaultConfig::none()
         };
         let p = plan(cfg);
-        let fates: Vec<_> = (0..1000u16).map(|n| p.dissemination_fault(n, 1)).collect();
+        let fates: Vec<_> = (0..1000u32).map(|n| p.dissemination_fault(n, 1)).collect();
         let dropped = fates.iter().filter(|f| f.is_none()).count();
         assert!((200..400).contains(&dropped), "dropped {dropped}");
         assert!(fates.iter().flatten().any(|d| *d > SimDuration::ZERO));

@@ -38,6 +38,7 @@
 
 pub mod chrome;
 pub mod config;
+pub mod driver;
 pub mod energy;
 pub mod engine;
 pub mod event;
@@ -49,6 +50,7 @@ pub mod packet;
 pub mod profile;
 pub mod radio;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod topology;
@@ -57,6 +59,7 @@ pub mod traffic;
 
 pub use chrome::ChromeTracer;
 pub use config::{LinkDynamics, SimConfig};
+pub use driver::SimDriver;
 pub use energy::{EnergyModel, EnergyReport};
 pub use engine::{Ctx, Engine, Protocol};
 pub use fault::{
@@ -73,7 +76,8 @@ pub use packet::{Frame, Payload, SendDone, SendToken, TimerId};
 pub use profile::{ProfileReport, Profiler, Subsystem};
 pub use radio::RadioModel;
 pub use rng::{RngHub, StreamKind};
+pub use shard::ShardedEngine;
 pub use time::{SimDuration, SimTime};
-pub use topology::{NodeId, Placement, Position, Topology};
+pub use topology::{NodeId, Placement, Position, Topology, TopologyError};
 pub use trace::{LinkTruth, Trace};
 pub use traffic::TrafficPattern;

@@ -17,7 +17,7 @@
 
 use crate::time::SimTime;
 use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 /// Declarative description of a loss process (serializable configuration).
@@ -109,7 +109,30 @@ impl LossModel {
         LossProcess {
             model: *self,
             state,
+            bern_threshold: match *self {
+                LossModel::Bernoulli { prr } => Some(bernoulli_threshold(prr)),
+                _ => None,
+            },
         }
+    }
+}
+
+/// Integer threshold equivalent to `rng.gen::<f64>() < prr`.
+///
+/// The vendored `gen::<f64>()` is `(next_u64() >> 11) as f64 / 2^53`, so for
+/// the 53-bit integer `x` the comparison `x/2^53 < prr` is exactly
+/// `x < ceil(prr * 2^53)` (`prr * 2^53` is computed exactly up to rounding of
+/// `prr` itself; for integer `x`, `x < t ⟺ x < ceil(t)`). `prr >= 1` maps to
+/// `2^53`, above every possible draw; `prr <= 0` maps to `0`, below none.
+fn bernoulli_threshold(prr: f64) -> u64 {
+    const SCALE: f64 = (1u64 << 53) as f64;
+    let t = (prr * SCALE).ceil();
+    if t <= 0.0 {
+        0
+    } else if t >= SCALE {
+        1 << 53
+    } else {
+        t as u64
     }
 }
 
@@ -126,6 +149,9 @@ enum ProcessState {
 pub struct LossProcess {
     model: LossModel,
     state: ProcessState,
+    /// Precomputed integer threshold for the Bernoulli fast path; `None`
+    /// for every stateful/drifting model.
+    bern_threshold: Option<u64>,
 }
 
 impl LossProcess {
@@ -185,6 +211,14 @@ impl LossProcess {
 
     /// Draws one transmission outcome at `now` (true = frame received).
     pub fn sample(&mut self, now: SimTime, rng: &mut SmallRng) -> bool {
+        // Bernoulli fast path: one integer compare against the 53 mantissa
+        // bits `gen::<f64>()` would extract from the same `next_u64()` call,
+        // so both the outcome and the stream position are bit-identical to
+        // the general path. Broadcast fan-out hits this once per (link,
+        // event), which is the bulk of all RNG traffic at scale.
+        if let Some(threshold) = self.bern_threshold {
+            return (rng.next_u64() >> 11) < threshold;
+        }
         let prr = self.prr_at(now, rng);
         rng.gen::<f64>() < prr
     }
@@ -280,6 +314,25 @@ mod tests {
             empirical_prr(LossModel::Bernoulli { prr: 0.0 }, 1000, 1),
             0.0
         );
+    }
+
+    #[test]
+    fn bernoulli_fast_path_matches_f64_reference() {
+        // The integer-threshold path must reproduce `gen::<f64>() < prr`
+        // draw-for-draw from the same stream position, including edge PRRs.
+        for &prr in &[0.0, 1e-12, 0.1, 0.25, 0.5, 0.7237, 0.9, 1.0 - 1e-12, 1.0] {
+            let mut fast = LossModel::Bernoulli { prr }.build();
+            let mut r_fast = rng();
+            let mut r_ref = rng();
+            for i in 0..10_000u64 {
+                let t = SimTime::from_micros(i * 137);
+                let got = fast.sample(t, &mut r_fast);
+                let want = r_ref.gen::<f64>() < prr;
+                assert_eq!(got, want, "prr={prr} draw={i}");
+            }
+            // Streams stayed in lock-step.
+            assert_eq!(r_fast.next_u64(), r_ref.next_u64(), "prr={prr}");
+        }
     }
 
     #[test]

@@ -38,9 +38,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TxEvent {
     /// Sending node.
-    pub src: u16,
+    pub src: u32,
     /// Destination node; `None` for a link-layer broadcast.
-    pub dst: Option<u16>,
+    pub dst: Option<u32>,
     /// 1-based attempt number within the ARQ exchange (1 for broadcast).
     pub attempt: u16,
     /// On-air frame size in bytes.
@@ -54,9 +54,9 @@ pub struct TxEvent {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RxEvent {
     /// Sending node.
-    pub src: u16,
+    pub src: u32,
     /// Receiving node.
-    pub dst: u16,
+    pub dst: u32,
     /// Attempt number the delivered copy was sent on.
     pub attempt: u16,
     /// On-air frame size in bytes.
@@ -69,9 +69,9 @@ pub struct RxEvent {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AckEvent {
     /// Data sender (the ACK's destination).
-    pub src: u16,
+    pub src: u32,
     /// Data receiver (the ACK's sender).
-    pub dst: u16,
+    pub dst: u32,
     /// Attempt number being acknowledged.
     pub attempt: u16,
     /// Whether the ACK survived the reverse channel.
@@ -104,9 +104,9 @@ pub enum DropReason {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DropEvent {
     /// Node at which the drop happened.
-    pub node: u16,
+    pub node: u32,
     /// Intended destination, when known.
-    pub dst: Option<u16>,
+    pub dst: Option<u32>,
     /// Why the frame died.
     pub reason: DropReason,
 }
@@ -115,7 +115,7 @@ pub struct DropEvent {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TimerEvent {
     /// Node whose timer fired.
-    pub node: u16,
+    pub node: u32,
     /// Raw timer id (protocol-defined meaning).
     pub timer: u32,
 }
@@ -124,11 +124,11 @@ pub struct TimerEvent {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ParentChangeEvent {
     /// Node switching parents.
-    pub node: u16,
+    pub node: u32,
     /// Previous parent, `None` on first adoption.
-    pub old_parent: Option<u16>,
+    pub old_parent: Option<u32>,
     /// Newly adopted parent.
-    pub new_parent: u16,
+    pub new_parent: u32,
     /// Path ETX through the new parent at adoption time.
     pub etx: f64,
 }
@@ -166,7 +166,7 @@ pub enum DecodeOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DecodeEvent {
     /// Origin node of the packet.
-    pub origin: u16,
+    pub origin: u32,
     /// Origin sequence number.
     pub seq: u32,
     /// Hop count the packet claimed.
@@ -221,15 +221,22 @@ impl TraceKind {
 
 /// Trace id for a data (probe) packet: stable across every hop because
 /// it is derived from the origin header, not from per-hop state.
+///
+/// Layout: tag(2) | origin(30) | seq(32). Node ids are masked to 30 bits;
+/// ids past 2^30 would alias in traces only (identification, never
+/// simulation state), far above any supported topology.
 #[must_use]
-pub const fn data_trace_id(origin: u16, seq: u32) -> u64 {
-    (1u64 << 62) | ((origin as u64) << 32) | seq as u64
+pub const fn data_trace_id(origin: u32, seq: u32) -> u64 {
+    (1u64 << 62) | (((origin & 0x3FFF_FFFF) as u64) << 32) | seq as u64
 }
 
 /// Trace id for a routing beacon, from the sender's beacon counter.
+///
+/// Layout: tag(2) | node(30) | beacon_seq(32) — the sequence wraps at
+/// 2^32 beacons, several simulated years at any sane beacon interval.
 #[must_use]
-pub const fn beacon_trace_id(node: u16, beacon_seq: u64) -> u64 {
-    (2u64 << 62) | ((node as u64) << 40) | (beacon_seq & 0xFF_FFFF_FFFF)
+pub const fn beacon_trace_id(node: u32, beacon_seq: u64) -> u64 {
+    (2u64 << 62) | (((node & 0x3FFF_FFFF) as u64) << 32) | (beacon_seq & 0xFFFF_FFFF)
 }
 
 /// Trace id for a model-epoch publication.
@@ -247,7 +254,7 @@ pub enum SpanPhase {
     /// A physical transmission attempt of the traced frame.
     Tx {
         /// Destination; `None` for broadcast.
-        dst: Option<u16>,
+        dst: Option<u32>,
         /// 1-based ARQ attempt (1 for broadcast).
         attempt: u16,
         /// Whether the channel delivered this copy.
@@ -256,14 +263,14 @@ pub enum SpanPhase {
     /// A copy of the traced frame reached a node's protocol.
     Deliver {
         /// Sending node of the delivered copy.
-        src: u16,
+        src: u32,
         /// Attempt number the copy was sent on.
         attempt: u16,
     },
     /// An intermediate node re-enqueued the packet towards its parent.
     Forward {
         /// Next-hop destination.
-        to: u16,
+        to: u32,
     },
     /// The fault layer destroyed the frame (structural corruption).
     Corrupt,
@@ -290,7 +297,7 @@ pub struct SpanEvent {
     /// Deterministic id shared by every span of the same object.
     pub trace_id: u64,
     /// Node at which the phase happened.
-    pub node: u16,
+    pub node: u32,
     /// Which lifecycle step this is.
     pub phase: SpanPhase,
 }
@@ -612,7 +619,7 @@ pub struct CountingObserver {
     decodes: AtomicU64,
     spans: AtomicU64,
     /// Events per directed link `(src, dst)` (tx attempts + acks + drops).
-    link_events: Mutex<BTreeMap<(u16, u16), u64>>,
+    link_events: Mutex<BTreeMap<(u32, u32), u64>>,
 }
 
 impl CountingObserver {
@@ -638,7 +645,7 @@ impl CountingObserver {
     }
 
     /// Directed links ranked by event count, busiest first.
-    pub fn noisiest_links(&self, top: usize) -> Vec<((u16, u16), u64)> {
+    pub fn noisiest_links(&self, top: usize) -> Vec<((u32, u32), u64)> {
         let map = self.link_events.lock();
         let mut v: Vec<_> = map.iter().map(|(&k, &n)| (k, n)).collect();
         // Count descending, link id ascending for deterministic ties.
@@ -647,7 +654,7 @@ impl CountingObserver {
         v
     }
 
-    fn bump_link(&self, src: u16, dst: u16) {
+    fn bump_link(&self, src: u32, dst: u32) {
         *self.link_events.lock().entry((src, dst)).or_insert(0) += 1;
     }
 }

@@ -1,0 +1,1802 @@
+//! Spatially sharded multi-core engine.
+//!
+//! [`ShardedEngine`] partitions the node set into contiguous spatial
+//! stripes (sorted by x coordinate) and gives every shard its own calendar
+//! ring, MAC states, protocol instances, RNG streams, ground-truth trace,
+//! and payload arena. Shards advance in lock-step through **conservative
+//! time windows** of width `W = backoff_us/2 + frame_overhead_us`: the
+//! minimum latency of any cross-node event. Every frame delivery is
+//! scheduled at least one backoff-plus-airtime after its send, so an event
+//! executed inside the window `[T, T+W)` can only schedule cross-shard
+//! work at `≥ T+W` — past the window's end. Within a window each shard
+//! therefore runs completely independently (and in parallel); at each
+//! window boundary shards exchange cross-shard deliveries through mailbox
+//! queues and republish their radio states.
+//!
+//! ## Determinism contract
+//!
+//! A run is **byte-identical for every shard count and thread count** at
+//! the same seed:
+//!
+//! * Every event carries a key `(origin_node << 32) | per-origin-seq`,
+//!   and queues pop in global `(time, key)` order, so the interleaving of
+//!   same-instant events never depends on which shard produced them.
+//! * All RNG streams are owned by exactly one shard: protocol and backoff
+//!   streams by the node's shard, data/ACK link streams by the shard of
+//!   the link's *source* (all transmit-side draws happen there).
+//! * Transmit-side radio checks read a window-boundary snapshot of every
+//!   node's radio state (not the live value), so a sender observes remote
+//!   receivers exactly as it would observe local ones.
+//! * Observer hooks are buffered per shard with their dispatch `(time,
+//!   key, emission-index)` and replayed to the real observer in merged
+//!   order after each run call.
+//!
+//! The trade against the single-loop [`Engine`](crate::engine::Engine) is
+//! intentional: the sharded engine is *self*-consistent across shard and
+//! thread counts, but not bit-identical to the single-loop engine (token
+//! values and same-instant cross-node orderings differ). Experiments pick
+//! one engine per run spec.
+//!
+//! ## Payload arenas
+//!
+//! Broadcast fan-out and unicast ARQ deliver multiple copies of one
+//! payload. The single-loop engine clones the payload `Arc` per copy;
+//! here, copies delivered *within* the owning shard park the payload in a
+//! per-shard [`PayloadArena`] slot with a copy count, and each delivery
+//! takes one copy out — the last one moves the `Arc` instead of cloning
+//! it, so local delivery is refcount-churn-free. Only genuinely
+//! cross-shard copies clone the `Arc`.
+
+use crate::engine::{Command, Ctx, MacState, Protocol, QueuedTx, ACK_BYTES};
+use crate::event::EventQueue;
+use crate::link::{LossModel, LossProcess};
+use crate::mac::MacConfig;
+use crate::obs::{
+    AckEvent, DropEvent, DropReason, Event, Observer, RxEvent, SpanEvent, SpanPhase, TimerEvent,
+    TxEvent,
+};
+use crate::packet::{Frame, Payload, SendDone, SendToken, TimerId};
+use crate::rng::{RngHub, StreamKind};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{NodeId, Topology};
+use crate::trace::Trace;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One event in a shard's calendar, tagged with its global ordering key.
+enum ShardEvent {
+    /// A protocol timer fires at `node` (always shard-local).
+    Timer { node: NodeId, timer: TimerId },
+    /// A frame copy from another shard arrives (payload travels by `Arc`).
+    Deliver { frame: Frame },
+    /// A frame copy whose payload is parked in this shard's arena.
+    DeliverLocal {
+        slot: u32,
+        src: NodeId,
+        dst: NodeId,
+        is_broadcast: bool,
+        attempt: u16,
+        wire_bytes: usize,
+        trace_id: Option<u64>,
+    },
+    /// A MAC send completes at `node` (always shard-local).
+    SendDone { node: NodeId, done: SendDone },
+}
+
+/// Cross-shard mailbox entry: `(time, ordering key, event)`.
+type RemoteEvent = (SimTime, u64, ShardEvent);
+
+/// Slab of pending payloads shared by multiple in-flight local copies.
+///
+/// Replaces per-copy `Arc` clones for deliveries that stay inside one
+/// shard: `insert` parks the payload once with a copy count, `take`
+/// hands out one copy per call and moves (rather than clones) the `Arc`
+/// to the last taker.
+pub(crate) struct PayloadArena {
+    slots: Vec<Option<(Payload, u32)>>,
+    free: Vec<u32>,
+}
+
+impl PayloadArena {
+    fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Parks `payload` for `copies ≥ 1` future [`PayloadArena::take`]s.
+    fn insert(&mut self, payload: Payload, copies: u32) -> u32 {
+        debug_assert!(copies >= 1, "arena entries need at least one copy");
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some((payload, copies));
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("arena slot count fits u32");
+                self.slots.push(Some((payload, copies)));
+                slot
+            }
+        }
+    }
+
+    /// Takes one copy out of `slot`; the last take frees the slot and
+    /// moves the payload out without touching the refcount.
+    fn take(&mut self, slot: u32) -> Payload {
+        let cell = &mut self.slots[slot as usize];
+        let (payload, remaining) = cell.as_mut().expect("arena slot already freed");
+        *remaining -= 1;
+        if *remaining == 0 {
+            let (payload, _) = cell.take().expect("checked above");
+            self.free.push(slot);
+            payload
+        } else {
+            Arc::clone(payload)
+        }
+    }
+
+    #[cfg(test)]
+    fn live(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+/// One buffered observer emission, with enough context to merge streams
+/// from all shards into the order a single-loop run would produce.
+struct ObsRecord {
+    /// Dispatch time of the event whose handler emitted this.
+    at: SimTime,
+    /// Ordering key of that event.
+    key: u64,
+    /// Emission index within the handler (hooks can fire many times).
+    idx: u32,
+    /// The hook's own timestamp argument.
+    now: SimTime,
+    ev: Event,
+}
+
+#[derive(Default)]
+struct ObsBuf {
+    records: Vec<ObsRecord>,
+    at: SimTime,
+    key: u64,
+    idx: u32,
+}
+
+/// Per-shard buffering observer: records every hook with the dispatch
+/// context `(time, key, emission index)` so [`ShardedEngine`] can replay
+/// the merged stream deterministically.
+struct ShardObserver {
+    state: Mutex<ObsBuf>,
+}
+
+impl ShardObserver {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(ObsBuf::default()),
+        }
+    }
+
+    /// Arms the dispatch context before a handler runs.
+    fn set_ctx(&self, at: SimTime, key: u64) {
+        let mut s = self.state.lock();
+        s.at = at;
+        s.key = key;
+        s.idx = 0;
+    }
+
+    fn push(&self, now: SimTime, ev: Event) {
+        let mut s = self.state.lock();
+        let (at, key, idx) = (s.at, s.key, s.idx);
+        s.idx += 1;
+        s.records.push(ObsRecord {
+            at,
+            key,
+            idx,
+            now,
+            ev,
+        });
+    }
+
+    fn drain(&self) -> Vec<ObsRecord> {
+        std::mem::take(&mut self.state.lock().records)
+    }
+}
+
+impl Observer for ShardObserver {
+    fn on_tx(&self, now: SimTime, ev: &TxEvent) {
+        self.push(now, Event::Tx(*ev));
+    }
+    fn on_rx(&self, now: SimTime, ev: &RxEvent) {
+        self.push(now, Event::Rx(*ev));
+    }
+    fn on_ack(&self, now: SimTime, ev: &AckEvent) {
+        self.push(now, Event::Ack(*ev));
+    }
+    fn on_drop(&self, now: SimTime, ev: &DropEvent) {
+        self.push(now, Event::Drop(*ev));
+    }
+    fn on_timer(&self, now: SimTime, ev: &TimerEvent) {
+        self.push(now, Event::Timer(*ev));
+    }
+    fn on_parent_change(&self, now: SimTime, ev: &crate::obs::ParentChangeEvent) {
+        self.push(now, Event::ParentChange(*ev));
+    }
+    fn on_epoch_switch(&self, now: SimTime, ev: &crate::obs::EpochSwitchEvent) {
+        self.push(now, Event::EpochSwitch(*ev));
+    }
+    fn on_decode(&self, now: SimTime, ev: &crate::obs::DecodeEvent) {
+        self.push(now, Event::Decode(*ev));
+    }
+    fn on_span(&self, now: SimTime, ev: &SpanEvent) {
+        self.push(now, Event::Span(*ev));
+    }
+}
+
+/// Emits a lifecycle span when the frame being handled is traced.
+fn emit_span(obs: &dyn Observer, at: SimTime, trace: Option<u64>, node: u32, phase: SpanPhase) {
+    if let Some(trace_id) = trace {
+        obs.on_span(
+            at,
+            &SpanEvent {
+                trace_id,
+                node,
+                phase,
+            },
+        );
+    }
+}
+
+/// Immutable per-run context shared by every shard (and every worker
+/// thread): the topology, global index maps, the mailboxes, and the
+/// window-boundary radio snapshot.
+struct SharedCtx<'a> {
+    topo: &'a Topology,
+    mac: &'a MacConfig,
+    hub: RngHub,
+    /// Node id → owning shard.
+    shard_of: &'a [u32],
+    /// Node id → index within its shard.
+    local_of: &'a [u32],
+    /// Global link id → index within the owning (source) shard.
+    link_local: &'a [u32],
+    inboxes: &'a [Mutex<Vec<RemoteEvent>>],
+    /// Window-boundary radio states, indexed by node id. All
+    /// transmit-side receiver checks read this (never the live value) so
+    /// the outcome cannot depend on where the receiver lives.
+    radio_snapshot: &'a [AtomicBool],
+}
+
+/// One shard: a self-contained slice of the simulation.
+struct Shard<P> {
+    id: usize,
+    /// Global ids of the nodes owned by this shard, ascending.
+    nodes: Vec<NodeId>,
+    queue: EventQueue<(u64, ShardEvent)>,
+    time: SimTime,
+    // Node-indexed state (by local index).
+    protocols: Vec<Option<P>>,
+    proto_rngs: Vec<SmallRng>,
+    backoff_rngs: Vec<SmallRng>,
+    macs: Vec<MacState>,
+    /// Live radio state of owned nodes (authoritative; snapshotted at
+    /// window boundaries).
+    radio_live: Vec<bool>,
+    /// Per-node send-token counters, prefixed with the node id so tokens
+    /// are unique network-wide without global coordination.
+    token_ctrs: Vec<u64>,
+    /// Per-node event-key counters, same prefixing scheme.
+    key_ctrs: Vec<u64>,
+    // Link-indexed state (by owner-local link index; this shard owns the
+    // links whose source node it owns).
+    link_procs: Vec<LossProcess>,
+    link_rngs: Vec<Option<SmallRng>>,
+    ack_procs: Vec<Option<LossProcess>>,
+    ack_rngs: Vec<Option<SmallRng>>,
+    trace: Trace,
+    arena: PayloadArena,
+    obs: Option<ShardObserver>,
+    cmd_buf: Vec<Command>,
+    bcast_scratch: Vec<NodeId>,
+    delivered_scratch: Vec<(SimTime, u16)>,
+    inbound_scratch: Vec<RemoteEvent>,
+    events_processed: u64,
+}
+
+impl<P: Protocol> Shard<P> {
+    /// Next globally-unique ordering key for an event originated by
+    /// `node` (which must be owned by this shard).
+    fn next_key(&mut self, sx: &SharedCtx<'_>, node: NodeId) -> u64 {
+        let l = sx.local_of[node.index()] as usize;
+        let key = self.key_ctrs[l];
+        self.key_ctrs[l] += 1;
+        key
+    }
+
+    fn push_local(&mut self, at: SimTime, key: u64, ev: ShardEvent) {
+        self.queue.push_keyed(at, key, (key, ev));
+    }
+
+    fn push_remote(&self, sx: &SharedCtx<'_>, shard: usize, at: SimTime, key: u64, ev: ShardEvent) {
+        debug_assert_ne!(shard, self.id);
+        sx.inboxes[shard].lock().push((at, key, ev));
+    }
+
+    /// Window-boundary phase A: drain this shard's mailbox into the
+    /// calendar and republish the owned nodes' radio states.
+    fn exchange(&mut self, sx: &SharedCtx<'_>) {
+        let mut inbound = std::mem::take(&mut self.inbound_scratch);
+        inbound.append(&mut sx.inboxes[self.id].lock());
+        for (at, key, ev) in inbound.drain(..) {
+            // The conservative window guarantees cross-shard events land
+            // at or after the receiving shard's clock.
+            debug_assert!(at >= self.time, "cross-shard event from the past");
+            self.queue.push_keyed(at, key, (key, ev));
+        }
+        self.inbound_scratch = inbound;
+        for (l, &n) in self.nodes.iter().enumerate() {
+            sx.radio_snapshot[n.index()].store(self.radio_live[l], Ordering::Relaxed);
+        }
+    }
+
+    /// Time of this shard's next pending event, in µs (`u64::MAX` if idle).
+    fn next_event_us(&mut self) -> u64 {
+        self.queue.peek_time().map_or(u64::MAX, SimTime::as_micros)
+    }
+
+    /// Window-boundary phase B: run every event with `time ≤ limit`.
+    fn process_until(&mut self, sx: &SharedCtx<'_>, limit: SimTime) {
+        while let Some((t, (key, ev))) = self.queue.pop_at_or_before(limit) {
+            self.dispatch(sx, t, key, ev);
+        }
+    }
+
+    fn dispatch(&mut self, sx: &SharedCtx<'_>, t: SimTime, key: u64, ev: ShardEvent) {
+        debug_assert!(t >= self.time, "event from the past");
+        self.time = t;
+        self.events_processed += 1;
+        if let Some(o) = &self.obs {
+            o.set_ctx(t, key);
+        }
+        match ev {
+            ShardEvent::Timer { node, timer } => {
+                if let Some(o) = &self.obs {
+                    o.on_timer(
+                        t,
+                        &TimerEvent {
+                            node: node.0,
+                            timer: timer.0,
+                        },
+                    );
+                }
+                self.with_protocol(sx, node, |p, ctx| p.on_timer(ctx, timer));
+            }
+            ShardEvent::Deliver { frame } => self.deliver(sx, t, frame),
+            ShardEvent::DeliverLocal {
+                slot,
+                src,
+                dst,
+                is_broadcast,
+                attempt,
+                wire_bytes,
+                trace_id,
+            } => {
+                let payload = self.arena.take(slot);
+                let frame = Frame {
+                    src,
+                    dst,
+                    is_broadcast,
+                    attempt,
+                    wire_bytes,
+                    rx_time: t,
+                    trace_id,
+                    payload,
+                };
+                self.deliver(sx, t, frame);
+            }
+            ShardEvent::SendDone { node, done } => {
+                let l = sx.local_of[node.index()] as usize;
+                self.macs[l].busy = false;
+                self.with_protocol(sx, node, |p, ctx| p.on_send_done(ctx, &done));
+                self.try_dequeue(sx, node);
+            }
+        }
+    }
+
+    /// Hands a frame copy to its destination protocol — or drops it if the
+    /// destination radio went down while it was in flight. Same semantics
+    /// as the single-loop engine's `Deliver` arm.
+    fn deliver(&mut self, sx: &SharedCtx<'_>, t: SimTime, frame: Frame) {
+        let dst = frame.dst;
+        let l = sx.local_of[dst.index()] as usize;
+        if self.radio_live[l] {
+            if let Some(o) = &self.obs {
+                o.on_rx(
+                    t,
+                    &RxEvent {
+                        src: frame.src.0,
+                        dst: dst.0,
+                        attempt: frame.attempt,
+                        bytes: frame.wire_bytes as u32,
+                        broadcast: frame.is_broadcast,
+                    },
+                );
+                emit_span(
+                    o,
+                    t,
+                    frame.trace_id,
+                    dst.0,
+                    SpanPhase::Deliver {
+                        src: frame.src.0,
+                        attempt: frame.attempt,
+                    },
+                );
+            }
+            self.with_protocol(sx, dst, |p, ctx| p.on_frame(ctx, &frame));
+        } else if let Some(o) = &self.obs {
+            o.on_drop(
+                t,
+                &DropEvent {
+                    node: dst.0,
+                    dst: None,
+                    reason: DropReason::ReceiverOff,
+                },
+            );
+            emit_span(
+                o,
+                t,
+                frame.trace_id,
+                dst.0,
+                SpanPhase::Drop {
+                    reason: DropReason::ReceiverOff,
+                },
+            );
+        }
+    }
+
+    /// Checks a protocol out, builds a `Ctx`, runs `f`, then drains the
+    /// command buffer. Mirrors `Engine::with_protocol`.
+    fn with_protocol<F>(&mut self, sx: &SharedCtx<'_>, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut P, &mut Ctx<'_>),
+    {
+        let l = sx.local_of[node.index()] as usize;
+        let mut cmds = std::mem::take(&mut self.cmd_buf);
+        {
+            let proto = self.protocols[l].as_mut().expect("protocol checked out");
+            let mut ctx = Ctx {
+                now: self.time,
+                node,
+                topo: sx.topo,
+                mac: sx.mac,
+                rng: &mut self.proto_rngs[l],
+                commands: &mut cmds,
+                next_token: &mut self.token_ctrs[l],
+                observer: self.obs.as_ref().map(|o| o as &dyn Observer),
+                profiler: None,
+            };
+            f(proto, &mut ctx);
+        }
+        self.drain_commands(sx, node, &mut cmds);
+        cmds.clear();
+        self.cmd_buf = cmds;
+    }
+
+    fn drain_commands(&mut self, sx: &SharedCtx<'_>, node: NodeId, cmds: &mut Vec<Command>) {
+        for cmd in cmds.drain(..) {
+            match cmd {
+                Command::Timer { delay, timer } => {
+                    let key = self.next_key(sx, node);
+                    self.push_local(self.time + delay, key, ShardEvent::Timer { node, timer });
+                }
+                Command::Unicast {
+                    dst,
+                    token,
+                    payload,
+                    bytes,
+                    trace,
+                } => {
+                    self.enqueue_tx(
+                        sx,
+                        node,
+                        QueuedTx {
+                            dst: Some(dst),
+                            token,
+                            payload,
+                            bytes,
+                            trace,
+                        },
+                    );
+                }
+                Command::Broadcast {
+                    payload,
+                    bytes,
+                    trace,
+                } => {
+                    self.enqueue_tx(
+                        sx,
+                        node,
+                        QueuedTx {
+                            dst: None,
+                            token: SendToken(u64::MAX),
+                            payload,
+                            bytes,
+                            trace,
+                        },
+                    );
+                }
+                Command::SetRadio { on } => {
+                    self.radio_live[sx.local_of[node.index()] as usize] = on;
+                }
+            }
+        }
+    }
+
+    fn enqueue_tx(&mut self, sx: &SharedCtx<'_>, node: NodeId, tx: QueuedTx) {
+        let l = sx.local_of[node.index()] as usize;
+        if !self.radio_live[l] {
+            // Radio off: the frame silently dies in the driver.
+            self.trace.queue_drops += 1;
+            if let Some(o) = &self.obs {
+                o.on_drop(
+                    self.time,
+                    &DropEvent {
+                        node: node.0,
+                        dst: tx.dst.map(|d| d.0),
+                        reason: DropReason::RadioOff,
+                    },
+                );
+                emit_span(
+                    o,
+                    self.time,
+                    tx.trace,
+                    node.0,
+                    SpanPhase::Drop {
+                        reason: DropReason::RadioOff,
+                    },
+                );
+            }
+            if let Some(dst) = tx.dst {
+                let key = self.next_key(sx, node);
+                self.push_local(
+                    self.time,
+                    key,
+                    ShardEvent::SendDone {
+                        node,
+                        done: SendDone {
+                            token: tx.token,
+                            dst,
+                            acked: false,
+                            attempts: 0,
+                        },
+                    },
+                );
+            }
+            return;
+        }
+        if self.macs[l].queue.len() >= sx.mac.queue_capacity {
+            self.trace.queue_drops += 1;
+            if let Some(o) = &self.obs {
+                o.on_drop(
+                    self.time,
+                    &DropEvent {
+                        node: node.0,
+                        dst: tx.dst.map(|d| d.0),
+                        reason: DropReason::QueueFull,
+                    },
+                );
+                emit_span(
+                    o,
+                    self.time,
+                    tx.trace,
+                    node.0,
+                    SpanPhase::Drop {
+                        reason: DropReason::QueueFull,
+                    },
+                );
+            }
+            if let Some(dst) = tx.dst {
+                let key = self.next_key(sx, node);
+                self.push_local(
+                    self.time,
+                    key,
+                    ShardEvent::SendDone {
+                        node,
+                        done: SendDone {
+                            token: tx.token,
+                            dst,
+                            acked: false,
+                            attempts: 0,
+                        },
+                    },
+                );
+            }
+            return;
+        }
+        self.macs[l].queue.push_back(tx);
+        self.try_dequeue(sx, node);
+    }
+
+    fn try_dequeue(&mut self, sx: &SharedCtx<'_>, node: NodeId) {
+        let l = sx.local_of[node.index()] as usize;
+        let mac = &mut self.macs[l];
+        if mac.busy {
+            return;
+        }
+        let Some(tx) = mac.queue.pop_front() else {
+            return;
+        };
+        mac.busy = true;
+        match tx.dst {
+            None => self.transmit_broadcast(sx, node, tx),
+            Some(dst) => self.transmit_unicast(sx, node, dst, tx),
+        }
+    }
+
+    fn backoff(&mut self, sx: &SharedCtx<'_>, node: NodeId) -> SimDuration {
+        let l = sx.local_of[node.index()] as usize;
+        let base = sx.mac.backoff_us;
+        let jitter = self.backoff_rngs[l].gen_range(base / 2..base + base / 2 + 1);
+        SimDuration::from_micros(jitter)
+    }
+
+    fn transmit_broadcast(&mut self, sx: &SharedCtx<'_>, node: NodeId, tx: QueuedTx) {
+        let t_done = self.time + self.backoff(sx, node) + sx.mac.tx_time(tx.bytes);
+        self.trace.broadcast_tx += 1;
+        self.trace.bytes_on_air += tx.bytes as u64;
+        if let Some(o) = &self.obs {
+            o.on_tx(
+                t_done,
+                &TxEvent {
+                    src: node.0,
+                    dst: None,
+                    attempt: 1,
+                    bytes: tx.bytes as u32,
+                    ok: true,
+                },
+            );
+            emit_span(
+                o,
+                t_done,
+                tx.trace,
+                node.0,
+                SpanPhase::Tx {
+                    dst: None,
+                    attempt: 1,
+                    ok: true,
+                },
+            );
+        }
+        let hub = sx.hub;
+        let mut survivors = std::mem::take(&mut self.bcast_scratch);
+        for (v, link_id) in sx.topo.neighbor_links(node) {
+            // Receiver check against the window-boundary snapshot: the
+            // same rule for local and remote receivers, so the outcome is
+            // shard-count invariant.
+            if !sx.radio_snapshot[v.index()].load(Ordering::Relaxed) {
+                continue;
+            }
+            let ll = sx.link_local[link_id] as usize;
+            let rng = self.link_rngs[ll].get_or_insert_with(|| {
+                hub.stream(StreamKind::LinkLoss, u64::from(node.0), u64::from(v.0))
+            });
+            let ok = self.link_procs[ll].sample(t_done, rng);
+            self.trace.record_broadcast_attempt(link_id, ok);
+            if ok {
+                self.trace.broadcast_rx += 1;
+                survivors.push(v);
+            }
+        }
+        // Each surviving copy gets its own keyed event, keys consumed in
+        // fan-out order so the merged delivery order matches any shard
+        // count. Local copies share one arena slot; remote copies clone
+        // the payload `Arc` into the destination mailbox.
+        let local_copies = survivors
+            .iter()
+            .filter(|v| sx.shard_of[v.index()] as usize == self.id)
+            .count() as u32;
+        let slot =
+            (local_copies > 0).then(|| self.arena.insert(Arc::clone(&tx.payload), local_copies));
+        for &v in &survivors {
+            let key = self.next_key(sx, node);
+            let dest = sx.shard_of[v.index()] as usize;
+            if dest == self.id {
+                self.push_local(
+                    t_done,
+                    key,
+                    ShardEvent::DeliverLocal {
+                        slot: slot.expect("local survivor implies arena slot"),
+                        src: node,
+                        dst: v,
+                        is_broadcast: true,
+                        attempt: 1,
+                        wire_bytes: tx.bytes,
+                        trace_id: tx.trace,
+                    },
+                );
+            } else {
+                self.push_remote(
+                    sx,
+                    dest,
+                    t_done,
+                    key,
+                    ShardEvent::Deliver {
+                        frame: Frame {
+                            src: node,
+                            dst: v,
+                            is_broadcast: true,
+                            attempt: 1,
+                            wire_bytes: tx.bytes,
+                            rx_time: t_done,
+                            trace_id: tx.trace,
+                            payload: Arc::clone(&tx.payload),
+                        },
+                    },
+                );
+            }
+        }
+        survivors.clear();
+        self.bcast_scratch = survivors;
+        // Broadcast completion frees the MAC (sentinel SendDone, as in the
+        // single-loop engine).
+        let key = self.next_key(sx, node);
+        self.push_local(
+            t_done,
+            key,
+            ShardEvent::SendDone {
+                node,
+                done: SendDone {
+                    token: tx.token,
+                    dst: node,
+                    acked: true,
+                    attempts: 1,
+                },
+            },
+        );
+    }
+
+    fn transmit_unicast(&mut self, sx: &SharedCtx<'_>, node: NodeId, dst: NodeId, tx: QueuedTx) {
+        let Some(link_id) = sx.topo.link_id(node, dst) else {
+            // No usable link: the MAC burns one attempt cycle and gives up.
+            let t_done = self.time + self.backoff(sx, node) + sx.mac.attempt_floor(tx.bytes);
+            self.trace.unicast_started += 1;
+            self.trace.unicast_failed += 1;
+            if let Some(o) = &self.obs {
+                o.on_drop(
+                    t_done,
+                    &DropEvent {
+                        node: node.0,
+                        dst: Some(dst.0),
+                        reason: DropReason::NoLink,
+                    },
+                );
+                emit_span(
+                    o,
+                    t_done,
+                    tx.trace,
+                    node.0,
+                    SpanPhase::Drop {
+                        reason: DropReason::NoLink,
+                    },
+                );
+            }
+            let key = self.next_key(sx, node);
+            self.push_local(
+                t_done,
+                key,
+                ShardEvent::SendDone {
+                    node,
+                    done: SendDone {
+                        token: tx.token,
+                        dst,
+                        acked: false,
+                        attempts: 1,
+                    },
+                },
+            );
+            return;
+        };
+
+        // A powered-down receiver answers nothing: the sender burns its
+        // whole budget without sampling the channel. The check reads the
+        // window-boundary snapshot (see `transmit_broadcast`).
+        if !sx.radio_snapshot[dst.index()].load(Ordering::Relaxed) {
+            let mut t = self.time;
+            for _ in 0..sx.mac.max_attempts {
+                t = t + self.backoff(sx, node) + sx.mac.attempt_floor(tx.bytes);
+                self.trace.bytes_on_air += tx.bytes as u64;
+            }
+            self.trace.unicast_started += 1;
+            self.trace.unicast_failed += 1;
+            if let Some(o) = &self.obs {
+                o.on_drop(
+                    t,
+                    &DropEvent {
+                        node: node.0,
+                        dst: Some(dst.0),
+                        reason: DropReason::ReceiverOff,
+                    },
+                );
+                emit_span(
+                    o,
+                    t,
+                    tx.trace,
+                    node.0,
+                    SpanPhase::Drop {
+                        reason: DropReason::ReceiverOff,
+                    },
+                );
+            }
+            let key = self.next_key(sx, node);
+            self.push_local(
+                t,
+                key,
+                ShardEvent::SendDone {
+                    node,
+                    done: SendDone {
+                        token: tx.token,
+                        dst,
+                        acked: false,
+                        attempts: sx.mac.max_attempts,
+                    },
+                },
+            );
+            return;
+        }
+
+        self.trace.unicast_started += 1;
+        let hub = sx.hub;
+        let ll = sx.link_local[link_id] as usize;
+        let mut t = self.time;
+        let mut acked_at_attempt: Option<u16> = None;
+        let mut delivered = std::mem::take(&mut self.delivered_scratch);
+        for attempt in 1..=sx.mac.max_attempts {
+            t = t + self.backoff(sx, node) + sx.mac.tx_time(tx.bytes);
+            let rng = self.link_rngs[ll].get_or_insert_with(|| {
+                hub.stream(StreamKind::LinkLoss, u64::from(node.0), u64::from(dst.0))
+            });
+            let data_ok = self.link_procs[ll].sample(t, rng);
+            self.trace.record_data_attempt(link_id, data_ok, tx.bytes);
+            if let Some(o) = &self.obs {
+                o.on_tx(
+                    t,
+                    &TxEvent {
+                        src: node.0,
+                        dst: Some(dst.0),
+                        attempt,
+                        bytes: tx.bytes as u32,
+                        ok: data_ok,
+                    },
+                );
+                emit_span(
+                    o,
+                    t,
+                    tx.trace,
+                    node.0,
+                    SpanPhase::Tx {
+                        dst: Some(dst.0),
+                        attempt,
+                        ok: data_ok,
+                    },
+                );
+            }
+            if data_ok {
+                // This copy arrives (duplicates possible across attempts).
+                delivered.push((t, attempt));
+                let t_ack = t + SimDuration::from_micros(sx.mac.ack_us);
+                let ack_ok = match self.ack_procs[ll].as_mut() {
+                    Some(proc_) => {
+                        let ack_rng = self.ack_rngs[ll].get_or_insert_with(|| {
+                            hub.stream(StreamKind::AckLoss, u64::from(node.0), u64::from(dst.0))
+                        });
+                        proc_.sample(t_ack, ack_rng)
+                    }
+                    None => false, // asymmetric link: ACK direction unusable
+                };
+                self.trace.record_ack_attempt(link_id, ack_ok, ACK_BYTES);
+                if let Some(o) = &self.obs {
+                    o.on_ack(
+                        t_ack,
+                        &AckEvent {
+                            src: node.0,
+                            dst: dst.0,
+                            attempt,
+                            ok: ack_ok,
+                        },
+                    );
+                }
+                t = t_ack;
+                if ack_ok {
+                    acked_at_attempt = Some(attempt);
+                    break;
+                }
+            } else {
+                // Sender times out waiting for the ACK.
+                t += SimDuration::from_micros(sx.mac.ack_us);
+            }
+        }
+        // Schedule the delivered copies: one arena slot if the receiver is
+        // local, `Arc` clones into its mailbox otherwise. Keys consume in
+        // delivery-time order, matching the single shard=1 interleaving.
+        let dest = sx.shard_of[dst.index()] as usize;
+        if dest == self.id {
+            if !delivered.is_empty() {
+                let slot = self
+                    .arena
+                    .insert(Arc::clone(&tx.payload), delivered.len() as u32);
+                for &(td, attempt) in &delivered {
+                    let key = self.next_key(sx, node);
+                    self.push_local(
+                        td,
+                        key,
+                        ShardEvent::DeliverLocal {
+                            slot,
+                            src: node,
+                            dst,
+                            is_broadcast: false,
+                            attempt,
+                            wire_bytes: tx.bytes,
+                            trace_id: tx.trace,
+                        },
+                    );
+                }
+            }
+        } else {
+            for &(td, attempt) in &delivered {
+                let key = self.next_key(sx, node);
+                self.push_remote(
+                    sx,
+                    dest,
+                    td,
+                    key,
+                    ShardEvent::Deliver {
+                        frame: Frame {
+                            src: node,
+                            dst,
+                            is_broadcast: false,
+                            attempt,
+                            wire_bytes: tx.bytes,
+                            rx_time: td,
+                            trace_id: tx.trace,
+                            payload: Arc::clone(&tx.payload),
+                        },
+                    },
+                );
+            }
+        }
+        delivered.clear();
+        self.delivered_scratch = delivered;
+        let done = match acked_at_attempt {
+            Some(attempts) => {
+                self.trace.unicast_acked += 1;
+                self.trace.attempts_hist.record(usize::from(attempts));
+                SendDone {
+                    token: tx.token,
+                    dst,
+                    acked: true,
+                    attempts,
+                }
+            }
+            None => {
+                self.trace.unicast_failed += 1;
+                if let Some(o) = &self.obs {
+                    o.on_drop(
+                        t,
+                        &DropEvent {
+                            node: node.0,
+                            dst: Some(dst.0),
+                            reason: DropReason::LinkExhausted,
+                        },
+                    );
+                    emit_span(
+                        o,
+                        t,
+                        tx.trace,
+                        node.0,
+                        SpanPhase::Drop {
+                            reason: DropReason::LinkExhausted,
+                        },
+                    );
+                }
+                SendDone {
+                    token: tx.token,
+                    dst,
+                    acked: false,
+                    attempts: sx.mac.max_attempts,
+                }
+            }
+        };
+        let key = self.next_key(sx, node);
+        self.push_local(t, key, ShardEvent::SendDone { node, done });
+    }
+}
+
+/// The spatially sharded engine. See the module docs for the execution
+/// model and determinism contract.
+pub struct ShardedEngine<P: Protocol + Send> {
+    shards: Vec<Shard<P>>,
+    inboxes: Vec<Mutex<Vec<RemoteEvent>>>,
+    radio_snapshot: Vec<AtomicBool>,
+    shard_of: Vec<u32>,
+    local_of: Vec<u32>,
+    link_local: Vec<u32>,
+    topo: Arc<Topology>,
+    mac_cfg: MacConfig,
+    hub: RngHub,
+    /// Conservative window width: the minimum latency of any cross-node
+    /// event under `mac_cfg`.
+    window: SimDuration,
+    time: SimTime,
+    /// Worker threads to use (0 = one per available core, capped at the
+    /// shard count). Thread count never affects results.
+    threads: usize,
+    started: bool,
+    observer: Option<Arc<dyn Observer>>,
+}
+
+impl<P: Protocol + Send> ShardedEngine<P> {
+    /// Assembles a sharded engine with `shard_count` shards (clamped to
+    /// `1..=node_count`) and one worker thread per available core.
+    ///
+    /// Arguments mirror [`Engine::new`](crate::engine::Engine::new);
+    /// results depend on `shard_count` only through *performance*, never
+    /// through simulation outcomes.
+    ///
+    /// # Panics
+    /// Panics if the vector lengths do not match the topology, or if the
+    /// MAC timing gives a zero-width conservative window
+    /// (`backoff_us/2 + frame_overhead_us == 0`).
+    pub fn new(
+        topo: Arc<Topology>,
+        loss_models: &[LossModel],
+        mac_cfg: MacConfig,
+        hub: RngHub,
+        protocols: Vec<P>,
+        shard_count: u16,
+    ) -> Self {
+        Self::with_threads(topo, loss_models, mac_cfg, hub, protocols, shard_count, 0)
+    }
+
+    /// Like [`ShardedEngine::new`] with an explicit worker-thread count
+    /// (0 = auto). Exists so tests can pin both sides of a
+    /// threads-don't-matter comparison.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_threads(
+        topo: Arc<Topology>,
+        loss_models: &[LossModel],
+        mac_cfg: MacConfig,
+        hub: RngHub,
+        protocols: Vec<P>,
+        shard_count: u16,
+        threads: usize,
+    ) -> Self {
+        let n = topo.node_count();
+        assert_eq!(protocols.len(), n, "one protocol per node");
+        assert_eq!(
+            loss_models.len(),
+            topo.links().len(),
+            "one loss model per link"
+        );
+        let window = SimDuration::from_micros(mac_cfg.backoff_us / 2 + mac_cfg.frame_overhead_us);
+        assert!(
+            window.as_micros() >= 1,
+            "sharded engine needs a positive conservative window \
+             (backoff_us/2 + frame_overhead_us >= 1µs)"
+        );
+        let shard_count = usize::from(shard_count.max(1)).min(n.max(1));
+
+        // Spatial stripe partition: nodes sorted by x coordinate (node id
+        // breaking ties) cut into balanced contiguous stripes, so most
+        // links on geometric topologies stay shard-internal.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let positions = topo.positions();
+        order.sort_by(|&a, &b| {
+            positions[a as usize]
+                .x
+                .total_cmp(&positions[b as usize].x)
+                .then(a.cmp(&b))
+        });
+        let mut shard_of = vec![0u32; n];
+        let (base, extra) = (n / shard_count, n % shard_count);
+        let mut cursor = 0usize;
+        for s in 0..shard_count {
+            let size = base + usize::from(s < extra);
+            for _ in 0..size {
+                shard_of[order[cursor] as usize] = s as u32;
+                cursor += 1;
+            }
+        }
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); shard_count];
+        for i in 0..n {
+            members[shard_of[i] as usize].push(NodeId::from_index(i));
+        }
+        let mut local_of = vec![0u32; n];
+        for m in &members {
+            for (l, nd) in m.iter().enumerate() {
+                local_of[nd.index()] = l as u32;
+            }
+        }
+        // Links are owned by the shard of their source: every transmit-
+        // side draw (data, ACK) happens where the sender lives.
+        let mut link_local = vec![0u32; topo.links().len()];
+        let mut shard_links: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        for (g, l) in topo.links().iter().enumerate() {
+            let s = shard_of[l.src.index()] as usize;
+            link_local[g] = shard_links[s].len() as u32;
+            shard_links[s].push(g);
+        }
+
+        let mut proto_slots: Vec<Option<P>> = protocols.into_iter().map(Some).collect();
+        let shards = members
+            .iter()
+            .enumerate()
+            .map(|(sid, nodes)| {
+                let link_procs: Vec<LossProcess> = shard_links[sid]
+                    .iter()
+                    .map(|&g| loss_models[g].build())
+                    .collect();
+                let ack_procs: Vec<Option<LossProcess>> = shard_links[sid]
+                    .iter()
+                    .map(|&g| {
+                        let l = &topo.links()[g];
+                        topo.link_id(l.dst, l.src)
+                            .map(|rid| loss_models[rid].build())
+                    })
+                    .collect();
+                Shard {
+                    id: sid,
+                    nodes: nodes.clone(),
+                    queue: EventQueue::new(),
+                    time: SimTime::ZERO,
+                    protocols: nodes
+                        .iter()
+                        .map(|nd| proto_slots[nd.index()].take())
+                        .collect(),
+                    proto_rngs: nodes
+                        .iter()
+                        .map(|nd| hub.stream(StreamKind::Protocol, nd.index() as u64, 0))
+                        .collect(),
+                    backoff_rngs: nodes
+                        .iter()
+                        .map(|nd| hub.stream(StreamKind::Backoff, nd.index() as u64, 0))
+                        .collect(),
+                    macs: nodes
+                        .iter()
+                        .map(|_| MacState {
+                            busy: false,
+                            queue: VecDeque::new(),
+                        })
+                        .collect(),
+                    radio_live: vec![true; nodes.len()],
+                    token_ctrs: nodes.iter().map(|nd| u64::from(nd.0) << 32).collect(),
+                    key_ctrs: nodes.iter().map(|nd| u64::from(nd.0) << 32).collect(),
+                    link_rngs: vec![None; link_procs.len()],
+                    ack_rngs: vec![None; link_procs.len()],
+                    link_procs,
+                    ack_procs,
+                    trace: Trace::for_topology(&topo),
+                    arena: PayloadArena::new(),
+                    obs: None,
+                    cmd_buf: Vec::new(),
+                    bcast_scratch: Vec::new(),
+                    delivered_scratch: Vec::new(),
+                    inbound_scratch: Vec::new(),
+                    events_processed: 0,
+                }
+            })
+            .collect();
+        Self {
+            shards,
+            inboxes: (0..shard_count).map(|_| Mutex::new(Vec::new())).collect(),
+            radio_snapshot: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            shard_of,
+            local_of,
+            link_local,
+            topo,
+            mac_cfg,
+            hub,
+            window,
+            time: SimTime::ZERO,
+            threads,
+            started: false,
+            observer: None,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Worker threads a run call will actually use.
+    pub fn thread_count(&self) -> usize {
+        let auto = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
+        };
+        auto.min(self.shards.len()).max(1)
+    }
+
+    /// Overrides the worker-thread count (`0` = auto-detect). Safe to call
+    /// at any point between windows; results never depend on it.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// The conservative window width derived from the MAC timing.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Shard owning node `n` (for tests and diagnostics).
+    pub fn shard_of(&self, n: NodeId) -> usize {
+        self.shard_of[n.index()] as usize
+    }
+
+    /// Installs a structured-event observer. Hooks are buffered per shard
+    /// during a run call and replayed in deterministic merged order when
+    /// it returns. Install before [`ShardedEngine::start`].
+    pub fn set_observer(&mut self, observer: Arc<dyn Observer>) {
+        self.observer = Some(observer);
+        for s in &mut self.shards {
+            if s.obs.is_none() {
+                s.obs = Some(ShardObserver::new());
+            }
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Events executed across all shards.
+    pub fn events_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_processed).sum()
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Merged ground-truth trace (each shard records only the traffic it
+    /// simulated; this folds the per-shard traces together).
+    pub fn trace(&self) -> Trace {
+        let mut merged = Trace::for_topology(&self.topo);
+        for s in &self.shards {
+            merged.merge(&s.trace);
+        }
+        merged
+    }
+
+    /// Immutable access to node `n`'s protocol.
+    pub fn protocol(&self, n: NodeId) -> &P {
+        let s = &self.shards[self.shard_of[n.index()] as usize];
+        s.protocols[self.local_of[n.index()] as usize]
+            .as_ref()
+            .expect("protocol checked out")
+    }
+
+    /// Mutable access to node `n`'s protocol (between runs).
+    pub fn protocol_mut(&mut self, n: NodeId) -> &mut P {
+        let s = &mut self.shards[self.shard_of[n.index()] as usize];
+        s.protocols[self.local_of[n.index()] as usize]
+            .as_mut()
+            .expect("protocol checked out")
+    }
+
+    /// Current MAC transmit-queue depth of node `n`.
+    pub fn queue_depth(&self, n: NodeId) -> usize {
+        let s = &self.shards[self.shard_of[n.index()] as usize];
+        s.macs[self.local_of[n.index()] as usize].queue.len()
+    }
+
+    /// Whether node `n`'s radio is currently on (live value).
+    pub fn radio_on(&self, n: NodeId) -> bool {
+        let s = &self.shards[self.shard_of[n.index()] as usize];
+        s.radio_live[self.local_of[n.index()] as usize]
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn shared<'a>(
+        topo: &'a Topology,
+        mac: &'a MacConfig,
+        hub: RngHub,
+        shard_of: &'a [u32],
+        local_of: &'a [u32],
+        link_local: &'a [u32],
+        inboxes: &'a [Mutex<Vec<RemoteEvent>>],
+        radio_snapshot: &'a [AtomicBool],
+    ) -> SharedCtx<'a> {
+        SharedCtx {
+            topo,
+            mac,
+            hub,
+            shard_of,
+            local_of,
+            link_local,
+            inboxes,
+            radio_snapshot,
+        }
+    }
+
+    /// Calls `on_init` for every node. Must be called exactly once,
+    /// before running.
+    ///
+    /// # Panics
+    /// Panics on a second call.
+    pub fn start(&mut self) {
+        assert!(!self.started, "engine already started");
+        self.started = true;
+        let Self {
+            shards,
+            inboxes,
+            radio_snapshot,
+            shard_of,
+            local_of,
+            link_local,
+            topo,
+            mac_cfg,
+            hub,
+            ..
+        } = self;
+        let sx = Self::shared(
+            topo,
+            mac_cfg,
+            *hub,
+            shard_of,
+            local_of,
+            link_local,
+            inboxes,
+            radio_snapshot,
+        );
+        for s in shards.iter_mut() {
+            for i in 0..s.nodes.len() {
+                let node = s.nodes[i];
+                let key = s.next_key(&sx, node);
+                if let Some(o) = &s.obs {
+                    o.set_ctx(SimTime::ZERO, key);
+                }
+                s.with_protocol(&sx, node, |p, ctx| p.on_init(ctx));
+            }
+        }
+        self.flush_observers();
+    }
+
+    /// Runs until simulated time `deadline` (events at exactly `deadline`
+    /// are executed). Sets the clock to `deadline` on return.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        assert!(self.started, "call start() first");
+        // Treating the horizon as exclusive at `deadline + 1µs` folds the
+        // events-at-deadline pass into the regular window loop.
+        let horizon = deadline + SimDuration::from_micros(1);
+        let window = self.window;
+        let threads = self.thread_count();
+        {
+            let Self {
+                shards,
+                inboxes,
+                radio_snapshot,
+                shard_of,
+                local_of,
+                link_local,
+                topo,
+                mac_cfg,
+                hub,
+                ..
+            } = self;
+            let sx = Self::shared(
+                topo,
+                mac_cfg,
+                *hub,
+                shard_of,
+                local_of,
+                link_local,
+                inboxes,
+                radio_snapshot,
+            );
+            if threads <= 1 || shards.len() <= 1 {
+                Self::run_sequential(shards, &sx, horizon, window);
+            } else {
+                Self::run_threaded(shards, &sx, horizon, window, threads);
+            }
+        }
+        if deadline > self.time {
+            self.time = deadline;
+        }
+        self.flush_observers();
+    }
+
+    /// Runs for `span` of simulated time from the current clock.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.time + span;
+        self.run_until(deadline);
+    }
+
+    /// Single-threaded window loop: exchange all mailboxes, jump to the
+    /// global minimum pending time, process one conservative window in
+    /// every shard, repeat.
+    fn run_sequential(
+        shards: &mut [Shard<P>],
+        sx: &SharedCtx<'_>,
+        horizon: SimTime,
+        window: SimDuration,
+    ) {
+        loop {
+            let mut min_us = u64::MAX;
+            for s in shards.iter_mut() {
+                s.exchange(sx);
+                min_us = min_us.min(s.next_event_us());
+            }
+            if min_us >= horizon.as_micros() {
+                break;
+            }
+            let w_end = (min_us + window.as_micros()).min(horizon.as_micros());
+            let limit = SimTime::from_micros(w_end - 1);
+            for s in shards.iter_mut() {
+                s.process_until(sx, limit);
+            }
+        }
+    }
+
+    /// Multi-threaded window loop: same schedule as
+    /// [`ShardedEngine::run_sequential`] — the window sequence is a pure
+    /// function of the global minimum pending time, so thread count never
+    /// affects results. Three barriers per window: after the exchange
+    /// phase, after the leader picks the window end, and after
+    /// processing.
+    fn run_threaded(
+        shards: &mut [Shard<P>],
+        sx: &SharedCtx<'_>,
+        horizon: SimTime,
+        window: SimDuration,
+        threads: usize,
+    ) {
+        let nshards = shards.len();
+        let chunk_size = nshards.div_ceil(threads);
+        let nworkers = nshards.div_ceil(chunk_size);
+        let mins: Vec<AtomicU64> = (0..nshards).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let w_end_us = AtomicU64::new(0);
+        let stop = AtomicBool::new(false);
+        let barrier = std::sync::Barrier::new(nworkers);
+        std::thread::scope(|scope| {
+            for chunk in shards.chunks_mut(chunk_size) {
+                let (mins, w_end_us, stop, barrier) = (&mins, &w_end_us, &stop, &barrier);
+                scope.spawn(move || loop {
+                    for s in chunk.iter_mut() {
+                        s.exchange(sx);
+                        mins[s.id].store(s.next_event_us(), Ordering::SeqCst);
+                    }
+                    if barrier.wait().is_leader() {
+                        let min_us = mins
+                            .iter()
+                            .map(|m| m.load(Ordering::SeqCst))
+                            .min()
+                            .unwrap_or(u64::MAX);
+                        if min_us >= horizon.as_micros() {
+                            stop.store(true, Ordering::SeqCst);
+                        } else {
+                            stop.store(false, Ordering::SeqCst);
+                            w_end_us.store(
+                                (min_us + window.as_micros()).min(horizon.as_micros()),
+                                Ordering::SeqCst,
+                            );
+                        }
+                    }
+                    barrier.wait();
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let limit = SimTime::from_micros(w_end_us.load(Ordering::SeqCst) - 1);
+                    for s in chunk.iter_mut() {
+                        s.process_until(sx, limit);
+                    }
+                    barrier.wait();
+                });
+            }
+        });
+    }
+
+    /// Merges every shard's buffered observer records into global
+    /// `(time, key, emission)` order and replays them to the installed
+    /// observer.
+    fn flush_observers(&mut self) {
+        let Some(target) = self.observer.clone() else {
+            return;
+        };
+        let mut records: Vec<ObsRecord> = Vec::new();
+        for s in &self.shards {
+            if let Some(o) = &s.obs {
+                records.append(&mut o.drain());
+            }
+        }
+        records.sort_by_key(|r| (r.at, r.key, r.idx));
+        for r in &records {
+            match &r.ev {
+                Event::Tx(e) => target.on_tx(r.now, e),
+                Event::Rx(e) => target.on_rx(r.now, e),
+                Event::Ack(e) => target.on_ack(r.now, e),
+                Event::Drop(e) => target.on_drop(r.now, e),
+                Event::Timer(e) => target.on_timer(r.now, e),
+                Event::ParentChange(e) => target.on_parent_change(r.now, e),
+                Event::EpochSwitch(e) => target.on_epoch_switch(r.now, e),
+                Event::Decode(e) => target.on_decode(r.now, e),
+                Event::Span(e) => target.on_span(r.now, e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LinkDynamics, SimConfig};
+    use crate::radio::RadioModel;
+    use crate::topology::Placement;
+
+    /// Chattering test protocol: every node fires a timer on a shared
+    /// schedule (maximally stressing same-instant cross-node ordering),
+    /// alternates broadcasts with unicasts to rotating neighbors, and
+    /// records everything it receives.
+    struct Chatter {
+        period: SimDuration,
+        sent: u32,
+        to_send: u32,
+        toggles: bool,
+        received: Vec<(u32, u16, bool, u32)>,
+        acked: u32,
+        failed: u32,
+    }
+
+    impl Chatter {
+        fn new(to_send: u32, toggles: bool) -> Self {
+            Self {
+                period: SimDuration::from_millis(200),
+                sent: 0,
+                to_send,
+                toggles,
+                received: Vec::new(),
+                acked: 0,
+                failed: 0,
+            }
+        }
+    }
+
+    impl Protocol for Chatter {
+        fn on_init(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(self.period, TimerId(0));
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId) {
+            if self.sent >= self.to_send {
+                return;
+            }
+            let seq = self.sent;
+            self.sent += 1;
+            if self.toggles && ctx.node_id().0 % 3 == 1 {
+                // Odd-ish nodes nap between sends 3 and 5, exercising the
+                // radio snapshot paths.
+                if seq == 3 {
+                    ctx.set_radio(false);
+                } else if seq == 5 {
+                    ctx.set_radio(true);
+                }
+            }
+            if seq.is_multiple_of(2) {
+                ctx.send_broadcast(Arc::new(seq), 30);
+            } else if !ctx.neighbors().is_empty() {
+                let dst = ctx.neighbors()[seq as usize % ctx.neighbors().len()];
+                ctx.send_unicast(dst, Arc::new(seq), 40);
+            }
+            ctx.set_timer(self.period, TimerId(0));
+        }
+
+        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, frame: &Frame) {
+            let seq = *frame.payload_as::<u32>().expect("u32 payload");
+            self.received
+                .push((frame.src.0, frame.attempt, frame.is_broadcast, seq));
+        }
+
+        fn on_send_done(&mut self, _ctx: &mut Ctx<'_>, done: &SendDone) {
+            if done.dst.0 != u32::MAX && done.token.0 != u64::MAX {
+                if done.acked {
+                    self.acked += 1;
+                } else {
+                    self.failed += 1;
+                }
+            }
+        }
+    }
+
+    fn build(shards: u16, threads: usize, seed: u64, toggles: bool) -> ShardedEngine<Chatter> {
+        let cfg = SimConfig {
+            placement: Placement::Grid {
+                side: 4,
+                spacing: 15.0,
+            },
+            radio: RadioModel::default(),
+            mac: MacConfig::default(),
+            dynamics: LinkDynamics::Static,
+            seed,
+        };
+        let topo = Arc::new(cfg.topology());
+        let models = cfg.loss_models(&topo);
+        let protos = (0..topo.node_count())
+            .map(|_| Chatter::new(24, toggles))
+            .collect();
+        ShardedEngine::with_threads(topo, &models, cfg.mac, cfg.hub(), protos, shards, threads)
+    }
+
+    /// Everything a run can observe, serialized for equality checks.
+    fn fingerprint(e: &ShardedEngine<Chatter>) -> String {
+        let tr = e.trace();
+        let mut out = format!(
+            "now={} events={} btx={} brx={} us={} ua={} uf={} qd={} bytes={}\n",
+            e.now().as_micros(),
+            e.events_processed(),
+            tr.broadcast_tx,
+            tr.broadcast_rx,
+            tr.unicast_started,
+            tr.unicast_acked,
+            tr.unicast_failed,
+            tr.queue_drops,
+            tr.bytes_on_air,
+        );
+        for l in tr.links() {
+            out.push_str(&format!(
+                "{} {} {} {} {} {}\n",
+                l.data_tx, l.data_rx, l.ack_tx, l.ack_rx, l.bcast_tx, l.bcast_rx
+            ));
+        }
+        for i in 0..e.topology().node_count() {
+            let p = e.protocol(NodeId::from_index(i));
+            out.push_str(&format!(
+                "n{i}: sent={} acked={} failed={} rx={:?}\n",
+                p.sent, p.acked, p.failed, p.received
+            ));
+        }
+        out
+    }
+
+    fn run(mut e: ShardedEngine<Chatter>) -> String {
+        e.start();
+        // Two run calls so mid-run mailbox state is exercised.
+        e.run_for(SimDuration::from_secs(3));
+        e.run_for(SimDuration::from_secs(3));
+        fingerprint(&e)
+    }
+
+    #[test]
+    fn shard_count_never_changes_results() {
+        let base = run(build(1, 1, 7, false));
+        for shards in [2u16, 3, 5, 16] {
+            let other = run(build(shards, 1, 7, false));
+            assert_eq!(base, other, "shards={shards} diverged from shards=1");
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_results() {
+        let base = run(build(4, 1, 11, false));
+        for threads in [2usize, 4] {
+            let other = run(build(4, threads, 11, false));
+            assert_eq!(base, other, "threads={threads} diverged from threads=1");
+        }
+    }
+
+    #[test]
+    fn radio_toggles_stay_shard_invariant() {
+        let base = run(build(1, 1, 13, true));
+        let sharded = run(build(4, 2, 13, true));
+        assert_eq!(base, sharded);
+    }
+
+    /// Observer that renders every hook into a string log.
+    struct RecObs(Mutex<Vec<String>>);
+
+    impl Observer for RecObs {
+        fn on_tx(&self, now: SimTime, ev: &TxEvent) {
+            self.0.lock().push(format!("{now} tx {ev:?}"));
+        }
+        fn on_rx(&self, now: SimTime, ev: &RxEvent) {
+            self.0.lock().push(format!("{now} rx {ev:?}"));
+        }
+        fn on_ack(&self, now: SimTime, ev: &AckEvent) {
+            self.0.lock().push(format!("{now} ack {ev:?}"));
+        }
+        fn on_drop(&self, now: SimTime, ev: &DropEvent) {
+            self.0.lock().push(format!("{now} drop {ev:?}"));
+        }
+        fn on_timer(&self, now: SimTime, ev: &TimerEvent) {
+            self.0.lock().push(format!("{now} timer {ev:?}"));
+        }
+    }
+
+    #[test]
+    fn observer_stream_is_shard_invariant() {
+        let mut logs = Vec::new();
+        for shards in [1u16, 4] {
+            let mut e = build(shards, 1, 17, false);
+            let obs = Arc::new(RecObs(Mutex::new(Vec::new())));
+            e.set_observer(obs.clone());
+            e.start();
+            e.run_for(SimDuration::from_secs(2));
+            logs.push(obs.0.lock().join("\n"));
+        }
+        assert!(!logs[0].is_empty(), "observer saw nothing");
+        assert_eq!(logs[0], logs[1]);
+    }
+
+    #[test]
+    fn arena_last_take_moves_payload() {
+        let mut arena = PayloadArena::new();
+        let payload: Payload = Arc::new(42u32);
+        let slot = arena.insert(Arc::clone(&payload), 3);
+        assert_eq!(arena.live(), 1);
+        // Two intermediate takes clone; the refcount peaks at 3 (ours,
+        // the arena's, and the outstanding copy).
+        let a = arena.take(slot);
+        let b = arena.take(slot);
+        assert_eq!(arena.live(), 1);
+        let c = arena.take(slot);
+        assert_eq!(arena.live(), 0, "last take frees the slot");
+        drop((a, b, c));
+        assert_eq!(Arc::strong_count(&payload), 1);
+        // Freed slots are recycled.
+        let again = arena.insert(Arc::clone(&payload), 1);
+        assert_eq!(again, slot);
+    }
+
+    #[test]
+    fn idle_run_jumps_to_deadline() {
+        struct Idle;
+        impl Protocol for Idle {
+            fn on_init(&mut self, _ctx: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerId) {}
+            fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _f: &Frame) {}
+        }
+        let cfg = SimConfig {
+            placement: Placement::Grid {
+                side: 3,
+                spacing: 12.0,
+            },
+            radio: RadioModel::default(),
+            mac: MacConfig::default(),
+            dynamics: LinkDynamics::Static,
+            seed: 1,
+        };
+        let topo = Arc::new(cfg.topology());
+        let models = cfg.loss_models(&topo);
+        let protos = (0..topo.node_count()).map(|_| Idle).collect();
+        let mut e = ShardedEngine::new(topo, &models, cfg.mac, cfg.hub(), protos, 3);
+        e.start();
+        // An hour of dead air must not grind through empty windows.
+        let t0 = std::time::Instant::now();
+        e.run_for(SimDuration::from_secs(3600));
+        assert!(
+            t0.elapsed().as_secs() < 5,
+            "idle run crawled through windows"
+        );
+        assert_eq!(e.now(), SimTime::from_micros(3_600_000_000));
+        assert_eq!(e.events_processed(), 0);
+    }
+
+    #[test]
+    fn stripes_are_balanced() {
+        let e = build(5, 1, 3, false);
+        let mut sizes = vec![0usize; e.shard_count()];
+        for i in 0..e.topology().node_count() {
+            sizes[e.shard_of(NodeId::from_index(i))] += 1;
+        }
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "unbalanced stripes: {sizes:?}");
+    }
+}

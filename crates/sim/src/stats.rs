@@ -211,6 +211,17 @@ impl CountHistogram {
         self.counts.iter().rposition(|&c| c > 0)
     }
 
+    /// Folds another histogram into this one (element-wise count sum).
+    pub fn merge(&mut self, other: &CountHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.total += other.total;
+    }
+
     /// Iterates `(value, count)` pairs with non-zero counts.
     pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
         self.counts

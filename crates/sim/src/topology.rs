@@ -11,13 +11,19 @@ use crate::radio::RadioModel;
 use crate::rng::{RngHub, StreamKind};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Node identifier. The sink is always [`NodeId::SINK`] (id 0).
+///
+/// Ids are `u32`: dense per-node arrays stay cheap while 10k–100k-node
+/// topologies fit without aliasing. Construct from container indices with
+/// [`NodeId::from_index`] / [`NodeId::try_from_index`] — never with a raw
+/// `as` cast, which would silently wrap past the representable range.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
 )]
-pub struct NodeId(pub u16);
+pub struct NodeId(pub u32);
 
 impl NodeId {
     /// The data sink / collection root.
@@ -25,7 +31,21 @@ impl NodeId {
 
     /// Index into dense per-node arrays.
     pub fn index(self) -> usize {
-        usize::from(self.0)
+        self.0 as usize
+    }
+
+    /// Checked construction from a container index; `None` past `u32`.
+    pub fn try_from_index(i: usize) -> Option<NodeId> {
+        u32::try_from(i).ok().map(NodeId)
+    }
+
+    /// Construction from a container index known to be in range (loops
+    /// bounded by an existing topology's `node_count`).
+    ///
+    /// # Panics
+    /// Panics if `i` exceeds `u32::MAX` instead of wrapping.
+    pub fn from_index(i: usize) -> NodeId {
+        Self::try_from_index(i).unwrap_or_else(|| panic!("node index {i} exceeds NodeId range"))
     }
 }
 
@@ -34,6 +54,32 @@ impl fmt::Display for NodeId {
         write!(f, "n{}", self.0)
     }
 }
+
+/// Typed topology-construction failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The placement asks for more nodes than [`NodeId`] can address.
+    /// Detected before any per-node allocation happens.
+    TooManyNodes {
+        /// Nodes the placement would produce.
+        requested: u64,
+        /// Largest representable node count.
+        max: u64,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TopologyError::TooManyNodes { requested, max } => write!(
+                f,
+                "placement produces {requested} nodes but NodeId addresses at most {max}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 /// 2-D position in metres.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -73,14 +119,14 @@ pub enum Placement {
     /// `side × side` grid with the given spacing (m); sink at a corner.
     Grid {
         /// Nodes per side.
-        side: u16,
+        side: u32,
         /// Grid spacing in metres.
         spacing: f64,
     },
     /// `n` nodes uniform in a disk of the given radius; sink at the centre.
     UniformDisk {
         /// Total number of nodes (including the sink).
-        n: u16,
+        n: u32,
         /// Disk radius in metres.
         radius: f64,
     },
@@ -88,7 +134,7 @@ pub enum Placement {
     /// Produces maximal path lengths — used for encoding-overhead sweeps.
     Line {
         /// Total number of nodes (including the sink).
-        n: u16,
+        n: u32,
         /// Inter-node spacing in metres.
         spacing: f64,
     },
@@ -98,9 +144,9 @@ pub enum Placement {
     /// intra-cluster and sparse inter-cluster links.
     Clustered {
         /// Number of clusters.
-        clusters: u16,
+        clusters: u32,
         /// Nodes per cluster.
-        per_cluster: u16,
+        per_cluster: u32,
         /// Radius of the deployment area (cluster centres).
         area_radius: f64,
         /// Radius of each cluster.
@@ -113,17 +159,17 @@ impl std::hash::Hash for Placement {
         match *self {
             Placement::Grid { side, spacing } => {
                 state.write_u8(0);
-                state.write_u16(side);
+                state.write_u32(side);
                 state.write_u64(spacing.to_bits());
             }
             Placement::UniformDisk { n, radius } => {
                 state.write_u8(1);
-                state.write_u16(n);
+                state.write_u32(n);
                 state.write_u64(radius.to_bits());
             }
             Placement::Line { n, spacing } => {
                 state.write_u8(2);
-                state.write_u16(n);
+                state.write_u32(n);
                 state.write_u64(spacing.to_bits());
             }
             Placement::Clustered {
@@ -133,8 +179,8 @@ impl std::hash::Hash for Placement {
                 cluster_radius,
             } => {
                 state.write_u8(3);
-                state.write_u16(clusters);
-                state.write_u16(per_cluster);
+                state.write_u32(clusters);
+                state.write_u32(per_cluster);
                 state.write_u64(area_radius.to_bits());
                 state.write_u64(cluster_radius.to_bits());
             }
@@ -143,24 +189,30 @@ impl std::hash::Hash for Placement {
 }
 
 impl Placement {
-    /// Number of nodes this placement produces.
-    pub fn node_count(&self) -> usize {
+    /// Number of nodes this placement produces (before any capacity
+    /// check — see [`Topology::try_generate`]).
+    pub fn node_count_u64(&self) -> u64 {
         match *self {
-            Placement::Grid { side, .. } => usize::from(side) * usize::from(side),
-            Placement::UniformDisk { n, .. } | Placement::Line { n, .. } => usize::from(n),
+            Placement::Grid { side, .. } => u64::from(side) * u64::from(side),
+            Placement::UniformDisk { n, .. } | Placement::Line { n, .. } => u64::from(n),
             Placement::Clustered {
                 clusters,
                 per_cluster,
                 ..
-            } => 1 + usize::from(clusters) * usize::from(per_cluster),
+            } => 1 + u64::from(clusters) * u64::from(per_cluster),
         }
+    }
+
+    /// Number of nodes this placement produces.
+    pub fn node_count(&self) -> usize {
+        usize::try_from(self.node_count_u64()).expect("node count fits usize")
     }
 
     /// Generates node positions; index 0 is the sink.
     pub fn positions(&self, hub: &RngHub) -> Vec<Position> {
         match *self {
             Placement::Grid { side, spacing } => {
-                let mut pos = Vec::with_capacity(usize::from(side) * usize::from(side));
+                let mut pos = Vec::with_capacity(self.node_count());
                 for r in 0..side {
                     for c in 0..side {
                         pos.push(Position {
@@ -173,7 +225,7 @@ impl Placement {
             }
             Placement::UniformDisk { n, radius } => {
                 let mut rng = hub.stream(StreamKind::Topology, 0xD15C, 0);
-                let mut pos = Vec::with_capacity(usize::from(n));
+                let mut pos = Vec::with_capacity(n as usize);
                 pos.push(Position { x: 0.0, y: 0.0 }); // sink at centre
                 for _ in 1..n {
                     // Uniform in the disk via sqrt radius transform.
@@ -220,33 +272,34 @@ impl Placement {
     }
 }
 
-/// Sentinel in the dense dst→link index: no usable link.
-const NO_LINK: u32 = u32::MAX;
-
 /// Immutable network structure: positions plus usable directed links.
 ///
 /// Adjacency is stored CSR-style: one flat neighbor array (and a parallel
-/// link-id array) with per-node offsets, plus a dense per-node dst→link
-/// row so [`link_id`](Self::link_id) is a single indexed load — it sits on
-/// the engine's per-frame path. All of it is derived from `positions` +
-/// `links`, so only those two travel on the wire (the manual serde impls
-/// below rebuild the rest through [`TopologyWire`]).
+/// link-id array) with per-node offsets, kept in descending base-PRR order
+/// for routing's candidate scans, plus a second dst-sorted pair of flat
+/// arrays so [`link_id`](Self::link_id) is a binary search within one
+/// node's out-degree. (A dense n² dst→link matrix bought O(1) lookup up to
+/// the 1000-node scale target, but costs 400 MB at 10k nodes.) All of it
+/// is derived from `positions` + `links`, so only those two travel on the
+/// wire (the manual serde impls below rebuild the rest through
+/// [`TopologyWire`]).
 #[derive(Debug, Clone)]
 pub struct Topology {
     positions: Vec<Position>,
     links: Vec<LinkSpec>,
     /// CSR offsets: node `u`'s out-edges occupy `adj_offsets[u] ..
-    /// adj_offsets[u+1]` of the two flat arrays below.
+    /// adj_offsets[u+1]` of the flat arrays below.
     adj_offsets: Vec<u32>,
     /// Flat out-neighbor array, per node sorted by descending base PRR
     /// (so the first entry of a node's range is its best candidate).
     adj_targets: Vec<NodeId>,
     /// Parallel to `adj_targets`: index into `links`.
     adj_links: Vec<u32>,
-    /// Dense dst→link index: `link_of[u * n + v]` is the link id of
-    /// `u → v`, or [`NO_LINK`]. O(n²) u32s buys O(1) lookup; at the
-    /// 1000-node scale target that is 4 MB per topology.
-    link_of: Vec<u32>,
+    /// Flat out-neighbor array, per node sorted by ascending dst id — the
+    /// binary-search index behind [`link_id`](Self::link_id).
+    adj_dst_sorted: Vec<NodeId>,
+    /// Parallel to `adj_dst_sorted`: index into `links`.
+    adj_dst_links: Vec<u32>,
 }
 
 /// Serialized form of [`Topology`]: the generated data only, with every
@@ -277,13 +330,56 @@ impl Deserialize for Topology {
 impl Topology {
     /// Generates a topology: place nodes, then draw per-directed-link PRRs
     /// from `radio`, pruning unusable pairs.
-    pub fn generate(placement: Placement, radio: &RadioModel, hub: &RngHub) -> Self {
+    ///
+    /// Fails with [`TopologyError::TooManyNodes`] — before allocating
+    /// anything per-node — if the placement exceeds the [`NodeId`] range.
+    pub fn try_generate(
+        placement: Placement,
+        radio: &RadioModel,
+        hub: &RngHub,
+    ) -> Result<Self, TopologyError> {
+        let requested = placement.node_count_u64();
+        // One more than u32::MAX ids would alias; the practical per-node
+        // allocations cap far lower, but this is the type-level bound.
+        let max = u64::from(u32::MAX) + 1;
+        if requested > max {
+            return Err(TopologyError::TooManyNodes { requested, max });
+        }
         let positions = placement.positions(hub);
         let n = positions.len();
         let dmax = radio.max_usable_distance();
+
+        // Spatial binning: cells of side `dmax`, so every pair within
+        // usable range shares a cell or sits in adjacent cells. Candidate
+        // lists are visited in ascending node order, which makes the link
+        // list byte-identical to the historical all-pairs scan (same
+        // per-pair RNG streams, same order) at O(n · density) instead of
+        // O(n²).
+        let cell = |p: &Position| -> (i64, i64) {
+            ((p.x / dmax).floor() as i64, (p.y / dmax).floor() as i64)
+        };
+        let mut bins: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (i, p) in positions.iter().enumerate() {
+            bins.entry(cell(p))
+                .or_default()
+                .push(u32::try_from(i).expect("checked above"));
+        }
+
         let mut links = Vec::new();
+        let mut candidates: Vec<u32> = Vec::new();
         for u in 0..n {
-            for v in 0..n {
+            candidates.clear();
+            let (cx, cy) = cell(&positions[u]);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    if let Some(ids) = bins.get(&(cx + dx, cy + dy)) {
+                        candidates.extend_from_slice(ids);
+                    }
+                }
+            }
+            candidates.sort_unstable();
+            for &v32 in &candidates {
+                let v = v32 as usize;
                 if u == v {
                     continue;
                 }
@@ -296,14 +392,21 @@ impl Topology {
                 let mut rng = hub.stream(StreamKind::Topology, u as u64 + 1, v as u64 + 1);
                 if let Some(prr) = radio.link_prr(d, &mut rng) {
                     links.push(LinkSpec {
-                        src: NodeId(u as u16),
-                        dst: NodeId(v as u16),
+                        src: NodeId::from_index(u),
+                        dst: NodeId::from_index(v),
                         base_prr: prr,
                     });
                 }
             }
         }
-        Self::from_parts(positions, links)
+        Ok(Self::from_parts(positions, links))
+    }
+
+    /// Generates a topology, panicking on an over-capacity placement.
+    /// Prefer [`try_generate`](Self::try_generate) when the placement is
+    /// not statically known to fit.
+    pub fn generate(placement: Placement, radio: &RadioModel, hub: &RngHub) -> Self {
+        Self::try_generate(placement, radio, hub).expect("placement within NodeId range")
     }
 
     /// Builds the derived adjacency structures from generated (or
@@ -320,6 +423,26 @@ impl Topology {
         for (i, l) in links.iter().enumerate() {
             per_node[l.src.index()].push(u32::try_from(i).expect("< 2^32 links"));
         }
+        // Insertion order within a node is ascending dst (the documented
+        // input contract) — capture it for the binary-search index before
+        // the PRR sort rearranges `per_node`.
+        let mut adj_offsets = Vec::with_capacity(n + 1);
+        let mut adj_dst_sorted = Vec::with_capacity(links.len());
+        let mut adj_dst_links = Vec::with_capacity(links.len());
+        adj_offsets.push(0);
+        for ids in &per_node {
+            for &i in ids {
+                adj_dst_sorted.push(links[i as usize].dst);
+                adj_dst_links.push(i);
+            }
+            adj_offsets.push(u32::try_from(adj_dst_sorted.len()).expect("< 2^32 links"));
+            debug_assert!(
+                adj_dst_sorted[adj_offsets[adj_offsets.len() - 2] as usize..]
+                    .windows(2)
+                    .all(|w| w[0] < w[1]),
+                "links must arrive with ascending dst per src"
+            );
+        }
         for ids in &mut per_node {
             // Stable: equal PRRs keep insertion (ascending dst) order.
             ids.sort_by(|&a, &b| {
@@ -329,19 +452,13 @@ impl Topology {
                     .expect("PRRs are finite")
             });
         }
-        let mut adj_offsets = Vec::with_capacity(n + 1);
         let mut adj_targets = Vec::with_capacity(links.len());
         let mut adj_links = Vec::with_capacity(links.len());
-        let mut link_of = vec![NO_LINK; n * n];
-        adj_offsets.push(0);
-        for (u, ids) in per_node.iter().enumerate() {
+        for ids in &per_node {
             for &i in ids {
-                let l = &links[i as usize];
-                adj_targets.push(l.dst);
+                adj_targets.push(links[i as usize].dst);
                 adj_links.push(i);
-                link_of[u * n + l.dst.index()] = i;
             }
-            adj_offsets.push(u32::try_from(adj_targets.len()).expect("< 2^32 links"));
         }
         Self {
             positions,
@@ -349,7 +466,8 @@ impl Topology {
             adj_offsets,
             adj_targets,
             adj_links,
-            link_of,
+            adj_dst_sorted,
+            adj_dst_links,
         }
     }
 
@@ -391,10 +509,13 @@ impl Topology {
     }
 
     /// Link index (into [`links`](Self::links)) for `u → v`, if usable.
-    /// One dense-array load — called per delivered frame by the engine.
+    /// Binary search within `u`'s out-degree — called per delivered frame
+    /// by the engine, O(log degree) at constant density.
     pub fn link_id(&self, u: NodeId, v: NodeId) -> Option<usize> {
-        let id = self.link_of[u.index() * self.positions.len() + v.index()];
-        (id != NO_LINK).then_some(id as usize)
+        let r = self.adj_range(u);
+        let row = &self.adj_dst_sorted[r.clone()];
+        let i = row.partition_point(|&d| d < v);
+        (i < row.len() && row[i] == v).then(|| self.adj_dst_links[r.start + i] as usize)
     }
 
     /// Base PRR of `u → v`, if usable.
@@ -515,6 +636,92 @@ mod tests {
         }
     }
 
+    /// The spatial-binned generator must reproduce the all-pairs reference
+    /// scan byte for byte: same links, same order, same PRR draws.
+    #[test]
+    fn binned_generation_matches_all_pairs_reference() {
+        let radio = RadioModel::default();
+        let hub = hub();
+        for place in [
+            Placement::UniformDisk {
+                n: 120,
+                radius: 150.0,
+            },
+            Placement::Grid {
+                side: 9,
+                spacing: 18.0,
+            },
+            Placement::Clustered {
+                clusters: 6,
+                per_cluster: 12,
+                area_radius: 120.0,
+                cluster_radius: 15.0,
+            },
+        ] {
+            let topo = Topology::generate(place, &radio, &hub);
+            // Reference: the historical O(n²) scan.
+            let positions = place.positions(&hub);
+            let dmax = radio.max_usable_distance();
+            let mut reference = Vec::new();
+            for u in 0..positions.len() {
+                for v in 0..positions.len() {
+                    if u == v || positions[u].distance(&positions[v]) > dmax {
+                        continue;
+                    }
+                    let mut rng = hub.stream(StreamKind::Topology, u as u64 + 1, v as u64 + 1);
+                    if let Some(prr) =
+                        radio.link_prr(positions[u].distance(&positions[v]), &mut rng)
+                    {
+                        reference.push((u as u32, v as u32, prr));
+                    }
+                }
+            }
+            assert_eq!(topo.links().len(), reference.len());
+            for (l, &(src, dst, prr)) in topo.links().iter().zip(&reference) {
+                assert_eq!((l.src.0, l.dst.0), (src, dst));
+                assert_eq!(l.base_prr, prr);
+            }
+        }
+    }
+
+    #[test]
+    fn over_capacity_placement_is_a_typed_error() {
+        // 4.29e9 × 2 + 1 nodes: far past the NodeId range. Must return the
+        // typed error without trying to allocate positions first.
+        let place = Placement::Clustered {
+            clusters: u32::MAX,
+            per_cluster: 2,
+            area_radius: 1000.0,
+            cluster_radius: 10.0,
+        };
+        let err = Topology::try_generate(place, &RadioModel::default(), &hub())
+            .expect_err("over-capacity build must fail");
+        match err {
+            TopologyError::TooManyNodes { requested, max } => {
+                assert_eq!(requested, 1 + u64::from(u32::MAX) * 2);
+                assert_eq!(max, u64::from(u32::MAX) + 1);
+            }
+        }
+        assert!(err.to_string().contains("NodeId"));
+    }
+
+    #[test]
+    fn node_id_checked_construction() {
+        assert_eq!(NodeId::try_from_index(7), Some(NodeId(7)));
+        assert_eq!(
+            NodeId::try_from_index(u32::MAX as usize),
+            Some(NodeId(u32::MAX))
+        );
+        assert_eq!(NodeId::try_from_index(u32::MAX as usize + 1), None);
+        assert_eq!(NodeId::from_index(9).0, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds NodeId range")]
+    fn node_id_from_index_panics_past_range() {
+        let _ = NodeId::from_index(u32::MAX as usize + 1);
+    }
+
     #[test]
     fn neighbors_sorted_by_prr() {
         let radio = RadioModel::default();
@@ -527,7 +734,7 @@ mod tests {
             &hub(),
         );
         for u in 0..topo.node_count() {
-            let u = NodeId(u as u16);
+            let u = NodeId::from_index(u);
             let prrs: Vec<f64> = topo
                 .neighbors(u)
                 .iter()
@@ -655,7 +862,7 @@ mod tests {
         };
         let topo = Topology::generate(place, &RadioModel::default(), &hub());
         let cluster_of =
-            |id: NodeId| -> Option<usize> { (id.0 > 0).then(|| (usize::from(id.0) - 1) / 10) };
+            |id: NodeId| -> Option<usize> { (id.0 > 0).then(|| (id.index() - 1) / 10) };
         let (mut intra, mut inter) = (0usize, 0usize);
         for l in topo.links() {
             match (cluster_of(l.src), cluster_of(l.dst)) {

@@ -136,6 +136,37 @@ impl Trace {
         &self.links
     }
 
+    /// Folds another trace for the *same topology* into this one: link
+    /// counters add element-wise, scalar totals sum, attempt histograms
+    /// merge. Used by the sharded engine, where each shard records only
+    /// the traffic it simulated.
+    ///
+    /// # Panics
+    /// Panics if the traces were sized for different topologies.
+    pub fn merge(&mut self, other: &Trace) {
+        assert_eq!(
+            self.links.len(),
+            other.links.len(),
+            "merging traces from different topologies"
+        );
+        for (dst, src) in self.links.iter_mut().zip(&other.links) {
+            dst.data_tx += src.data_tx;
+            dst.data_rx += src.data_rx;
+            dst.ack_tx += src.ack_tx;
+            dst.ack_rx += src.ack_rx;
+            dst.bcast_tx += src.bcast_tx;
+            dst.bcast_rx += src.bcast_rx;
+        }
+        self.broadcast_tx += other.broadcast_tx;
+        self.broadcast_rx += other.broadcast_rx;
+        self.unicast_started += other.unicast_started;
+        self.unicast_acked += other.unicast_acked;
+        self.unicast_failed += other.unicast_failed;
+        self.queue_drops += other.queue_drops;
+        self.attempts_hist.merge(&other.attempts_hist);
+        self.bytes_on_air += other.bytes_on_air;
+    }
+
     /// Copy of the per-link counters (epoch snapshot).
     pub fn snapshot_links(&self) -> Vec<LinkTruth> {
         self.links.clone()

@@ -34,7 +34,7 @@ fn run(dynamics: LinkDynamics, label: &str) -> (f64, f64, usize) {
         }
     }
     let s = shared.lock();
-    let est: HashMap<(u16, u16), f64> = s
+    let est: HashMap<(u32, u32), f64> = s
         .estimator
         .estimates(sim.mac.max_attempts, 10)
         .into_iter()

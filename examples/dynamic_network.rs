@@ -43,9 +43,9 @@ fn main() {
     let mut prev_sent = vec![0u64; n];
     let mut prev_delivered = vec![0u64; n];
     for _ in 0..30 {
-        let paths: Vec<Option<Vec<(u16, u16)>>> = (0..n)
+        let paths: Vec<Option<Vec<(u32, u32)>>> = (0..n)
             .map(|i| {
-                let mut cur = NodeId(i as u16);
+                let mut cur = NodeId(i as u32);
                 let mut path = Vec::new();
                 for _ in 0..n {
                     if cur == NodeId::SINK {
@@ -91,13 +91,13 @@ fn main() {
 
     let r = sim.mac.max_attempts;
     let s = shared.lock();
-    let dophy_est: HashMap<(u16, u16), f64> = s
+    let dophy_est: HashMap<(u32, u32), f64> = s
         .estimator
         .estimates(r, 10)
         .into_iter()
         .map(|(k, e)| (k, e.loss))
         .collect();
-    let trad: HashMap<(u16, u16), f64> = tomo
+    let trad: HashMap<(u32, u32), f64> = tomo
         .estimate_em(&TraditionalConfig::default())
         .into_iter()
         .map(|(k, sigma)| (k, survival_to_transmission_loss(sigma, r)))
@@ -110,7 +110,7 @@ fn main() {
     let changes: u64 = (1..n)
         .map(|i| {
             engine
-                .protocol(NodeId(i as u16))
+                .protocol(NodeId(i as u32))
                 .router()
                 .stats()
                 .parent_changes

@@ -32,7 +32,7 @@ fn main() {
         &RngHub::new(5),
     );
     let max_degree = (0..topo.node_count())
-        .map(|i| topo.neighbors(NodeId(i as u16)).len())
+        .map(|i| topo.neighbors(NodeId(i as u32)).len())
         .max()
         .unwrap();
     let spaces = SymbolSpaces::new(max_degree, 7, AggregationPolicy::Cap { cap: 4 }, false);

@@ -210,7 +210,7 @@ fn node_churn_degrades_gracefully() {
     // Some nodes are down right now (statistically certain with 24 nodes
     // cycling 180s/30s).
     let down = (1..engine.topology().node_count())
-        .filter(|&i| !engine.radio_on(dophy_sim::NodeId(i as u16)))
+        .filter(|&i| !engine.radio_on(dophy_sim::NodeId(i as u32)))
         .count();
     assert!(down > 0, "expected some nodes down at snapshot time");
 }

@@ -48,7 +48,7 @@ fn estimates_converge_to_empirical_truth() {
     assert!(truth.len() >= 10, "need traffic on many links");
 
     let s = shared.lock();
-    let est: HashMap<(u16, u16), f64> = s
+    let est: HashMap<(u32, u32), f64> = s
         .estimator
         .estimates(sim.mac.max_attempts, 50)
         .into_iter()
@@ -150,7 +150,7 @@ fn aggregation_reduces_overhead_without_wrecking_accuracy() {
             }
         }
         let s = shared.lock();
-        let est: HashMap<(u16, u16), f64> = s
+        let est: HashMap<(u32, u32), f64> = s
             .estimator
             .estimates(sim.mac.max_attempts, 30)
             .into_iter()
@@ -209,7 +209,7 @@ fn offline_encode_decode_agrees_with_simulation_spaces() {
     let sim = base_sim(29);
     let topo = sim.topology();
     let max_degree = (0..topo.node_count())
-        .map(|i| topo.neighbors(NodeId(i as u16)).len())
+        .map(|i| topo.neighbors(NodeId(i as u32)).len())
         .max()
         .unwrap();
     let spaces = SymbolSpaces::new(

@@ -109,9 +109,9 @@ proptest! {
         // solver enough leverage to separate links.
         let sent = 1_000_000u64;
         for start in 1..=sigmas.len() {
-            let path: Vec<(u16, u16)> = (1..=start)
+            let path: Vec<(u32, u32)> = (1..=start)
                 .rev()
-                .map(|i| (i as u16, (i - 1) as u16))
+                .map(|i| (i as u32, (i - 1) as u32))
                 .collect();
             let dr: f64 = sigmas[..start].iter().product();
             tomo.add(PathMeasurement {
@@ -129,7 +129,7 @@ proptest! {
         };
         let est = tomo.estimate_em(&cfg);
         for (i, &sig) in sigmas.iter().enumerate() {
-            let link = ((i + 1) as u16, i as u16);
+            let link = ((i + 1) as u32, i as u32);
             let got = est[&link];
             prop_assert!(
                 (got - sig).abs() < 0.02,
@@ -143,7 +143,7 @@ proptest! {
     #[test]
     fn solvers_emit_probabilities(
         raw in proptest::collection::vec(
-            (proptest::collection::vec((0u16..20, 0u16..20), 1..5), 1u64..500, 0u64..600),
+            (proptest::collection::vec((0u32..20, 0u32..20), 1..5), 1u64..500, 0u64..600),
             1..10,
         ),
     ) {

@@ -26,9 +26,9 @@ fn dynamics_strategy() -> impl Strategy<Value = LinkDynamics> {
 
 fn placement_strategy() -> impl Strategy<Value = Placement> {
     prop_oneof![
-        (2u16..5, (8.0f64..20.0)).prop_map(|(side, spacing)| Placement::Grid { side, spacing }),
-        (2u16..25, (30.0f64..80.0)).prop_map(|(n, radius)| Placement::UniformDisk { n, radius }),
-        (2u16..10, (5.0f64..30.0)).prop_map(|(n, spacing)| Placement::Line { n, spacing }),
+        (2u32..5, (8.0f64..20.0)).prop_map(|(side, spacing)| Placement::Grid { side, spacing }),
+        (2u32..25, (30.0f64..80.0)).prop_map(|(n, radius)| Placement::UniformDisk { n, radius }),
+        (2u32..10, (5.0f64..30.0)).prop_map(|(n, spacing)| Placement::Line { n, spacing }),
     ]
 }
 
@@ -102,8 +102,8 @@ proptest! {
         };
         let topo = cfg.topology();
         let n = topo.node_count();
-        for u in 0..n as u16 {
-            for v in 0..n as u16 {
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
                 let (u, v) = (dophy_sim::NodeId(u), dophy_sim::NodeId(v));
                 let scanned = topo
                     .links()
@@ -124,7 +124,7 @@ proptest! {
             }
         }
         // Fan-out pairs mirror the neighbor list exactly.
-        for u in 0..n as u16 {
+        for u in 0..n as u32 {
             let u = dophy_sim::NodeId(u);
             let pairs: Vec<_> = topo.neighbor_links(u).collect();
             prop_assert_eq!(pairs.len(), topo.neighbors(u).len());

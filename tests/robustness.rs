@@ -54,9 +54,9 @@ proptest! {
     /// result must be structurally valid.
     #[test]
     fn packet_decoder_survives_corruption(
-        origin in 0u16..16,
+        origin in 0u32..16,
         hops in 0u8..20,
-        final_sender in 0u16..16,
+        final_sender in 0u32..16,
         final_attempt in 1u16..=7,
         stream in proptest::collection::vec(any::<u8>(), 0..40),
         low in 0u64..(1u64 << 33),
@@ -67,7 +67,7 @@ proptest! {
         let t = topo();
         let spaces = SymbolSpaces::new(
             (0..t.node_count())
-                .map(|i| t.neighbors(NodeId(i as u16)).len())
+                .map(|i| t.neighbors(NodeId(i as u32)).len())
                 .max()
                 .unwrap(),
             7,
@@ -145,14 +145,14 @@ proptest! {
         seq in any::<u32>(),
         attempt in 1u16..=7,
         mutations in proptest::collection::vec((any::<usize>(), any::<u8>()), 1..8),
-        final_sender in 0u16..16,
+        final_sender in 0u32..16,
         final_attempt in 1u16..=7,
     ) {
         use dophy::decoder::DecodeError;
         let t = topo();
         let spaces = SymbolSpaces::new(
             (0..t.node_count())
-                .map(|i| t.neighbors(NodeId(i as u16)).len())
+                .map(|i| t.neighbors(NodeId(i as u32)).len())
                 .max()
                 .unwrap(),
             7,
@@ -215,7 +215,7 @@ use std::collections::BTreeMap;
 /// could perturb (estimates sorted so HashMap iteration order cannot
 /// produce false mismatches).
 fn fingerprint(out: &RunOutput) -> String {
-    let estimates: BTreeMap<(u16, u16), String> = out
+    let estimates: BTreeMap<(u32, u32), String> = out
         .dophy
         .iter()
         .map(|(&k, &v)| (k, format!("{v:.12e}")))
