@@ -18,6 +18,11 @@
 //! identical for any `N` at the same seed), `0` forces the single-loop
 //! engine. Large topologies (10k+ nodes) should shard.
 //!
+//! `--estimator in-band|minc|sparse-l1` selects which inference backend's
+//! snapshot fills the `links` table and `estimator_mae` (default
+//! `in-band`). Every backend runs inside the same (cached) simulation —
+//! the flag is a read-side choice and never re-runs anything.
+//!
 //! Observability flags (all optional, none change the results):
 //!
 //! * `--trace-out <path>` — stream structured engine/protocol events;
@@ -41,6 +46,7 @@
 //! `target/BENCH_telemetry.json` so perf changes leave a trail.
 
 use dophy::diagnosis::{DiagnosisConfig, NetworkHealthReport};
+use dophy::infer::EstimatorKind;
 use dophy::protocol::{build_sharded_simulation, build_simulation};
 use dophy_bench::{execute_cell, resolve_jobs, telemetry, FaultSummary, Instruments, RunSpec};
 use dophy_sim::obs::{FlightRecorder, JsonlTracer, FLIGHT_RECORDER_DEFAULT_CAPACITY};
@@ -75,6 +81,11 @@ struct Results {
     parent_changes_per_node_hour: f64,
     dophy_mae: f64,
     traditional_em_mae: f64,
+    /// Which inference backend populated `links`/`estimator_mae`
+    /// (`--estimator`; the in-band default reproduces the historical
+    /// output fields).
+    estimator: String,
+    estimator_mae: f64,
     /// Present only when the scenario enabled fault injection.
     faults: Option<FaultSummary>,
     links: Vec<LinkRow>,
@@ -108,10 +119,12 @@ struct Cli {
     metrics_every_s: f64,
     jobs: Option<usize>,
     shards: Option<u16>,
+    estimator: EstimatorKind,
 }
 
 const USAGE: &str = "usage: dophy-run <scenario.json> [--text] [--progress] [--jobs N] \
-[--shards N] [--trace-out <path>] [--trace-format jsonl|chrome] [--trace-sample N] \
+[--shards N] [--estimator in-band|minc|sparse-l1] \
+[--trace-out <path>] [--trace-format jsonl|chrome] [--trace-sample N] \
 [--profile <path>] [--flight-recorder <path>] \
 [--metrics-out <path>] [--metrics-every <secs>] | --print-default";
 
@@ -130,6 +143,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         metrics_every_s: 60.0,
         jobs: None,
         shards: None,
+        estimator: EstimatorKind::InBand,
     };
     let mut i = 0;
     while i < args.len() {
@@ -145,6 +159,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--print-default" => cli.print_default = true,
             "--progress" => cli.progress = true,
             "--trace-out" => cli.trace_out = Some(PathBuf::from(value(&mut i)?)),
+            "--estimator" => cli.estimator = value(&mut i)?.parse()?,
             "--trace-format" => {
                 cli.trace_format = match value(&mut i)?.as_str() {
                     "jsonl" => TraceFormat::Jsonl,
@@ -343,8 +358,15 @@ fn run(cli: Cli) -> Result<(), String> {
         eprintln!("warning: could not write target/BENCH_telemetry.json: {e}");
     }
 
-    let mut links: Vec<LinkRow> = out
-        .dophy
+    // `--estimator` picks which backend's snapshot is reported; all
+    // backends ran inside the (cached) simulation, so switching backends
+    // never re-runs or invalidates anything.
+    let selected = match cli.estimator {
+        EstimatorKind::InBand => &out.dophy,
+        EstimatorKind::Minc => &out.minc,
+        EstimatorKind::SparseL1 => &out.sparse_l1,
+    };
+    let mut links: Vec<LinkRow> = selected
         .iter()
         .map(|(&(src, dst), &loss)| LinkRow {
             src,
@@ -367,6 +389,8 @@ fn run(cli: Cli) -> Result<(), String> {
         parent_changes_per_node_hour: out.churn.changes_per_node_hour,
         dophy_mae: out.score_scheme(&out.dophy).mae,
         traditional_em_mae: out.score_scheme(&out.em).mae,
+        estimator: cli.estimator.to_string(),
+        estimator_mae: out.score_scheme(selected).mae,
         faults: out.faults,
         links,
     };
@@ -431,6 +455,10 @@ fn run(cli: Cli) -> Result<(), String> {
         println!(
             "traditional EM MAE       : {:.4}",
             results.traditional_em_mae
+        );
+        println!(
+            "estimator ({})      : MAE {:.4}",
+            results.estimator, results.estimator_mae
         );
         // Worst links table.
         let mut by_loss: BTreeMap<u64, &LinkRow> = BTreeMap::new();

@@ -13,6 +13,7 @@ use crate::telemetry::{record_run, ProgressMeter, RunTelemetry};
 use dophy::baseline::{
     survival_to_transmission_loss, PathMeasurement, TraditionalConfig, TraditionalTomography,
 };
+use dophy::infer::{Estimator, Evidence, SnapshotQuery};
 use dophy::metrics::{score, AccuracyReport};
 use dophy::protocol::{
     build_sharded_simulation_with_faults, build_simulation_with_faults, DecodeStats, DophyConfig,
@@ -164,6 +165,12 @@ pub struct RunOutput {
     pub naive: HashMap<LinkKey, f64>,
     /// Conjugate Bayesian loss estimates from the same observations.
     pub bayes: HashMap<LinkKey, f64>,
+    /// MINC-dual backend estimates (end-to-end evidence; see
+    /// `dophy::infer::minc`).
+    pub minc: HashMap<LinkKey, f64>,
+    /// Sparse-L1 backend estimates (end-to-end evidence; see
+    /// `dophy::infer::sparse`).
+    pub sparse_l1: HashMap<LinkKey, f64>,
     /// Traditional EM estimates (converted to per-transmission loss).
     pub em: HashMap<LinkKey, f64>,
     /// Traditional log-LS estimates (converted).
@@ -218,7 +225,10 @@ fn current_path<E: SimDriver<DophyNode>>(engine: &E, origin: NodeId) -> Option<V
         if cur == NodeId::SINK {
             return Some(path);
         }
-        let next = engine.protocol(cur).router().next_hop()?;
+        // Snapshot through the routing layer's time-indexed parent view —
+        // at `t = now` this is exactly `next_hop()`, and the same call can
+        // reconstruct any past window's tree.
+        let next = engine.protocol(cur).router().parent_as_of(engine.now())?;
         path.push((cur.0, next.0));
         cur = next;
     }
@@ -376,7 +386,7 @@ fn drive<E: SimDriver<DophyNode>>(
         }
 
         {
-            let s = shared.lock();
+            let mut s = shared.lock();
             for origin in 1..n {
                 let sent = s.sent_per_origin[origin] - prev_sent[origin];
                 let delivered = s.delivered_per_origin[origin] - prev_delivered[origin];
@@ -397,6 +407,18 @@ fn drive<E: SimDriver<DophyNode>>(
                             sent,
                             delivered: used,
                         });
+                        // The same carry-corrected window tally, as typed
+                        // evidence for the end-to-end inference backends
+                        // (MINC, sparse-L1). The in-band backends ignore
+                        // path outcomes, so feeding the stack here cannot
+                        // perturb any in-band estimate.
+                        s.infer.observe(&Evidence::PathOutcome {
+                            at: SimTime::ZERO + elapsed,
+                            origin: origin as u32,
+                            path: path.clone(),
+                            sent,
+                            delivered: used,
+                        });
                     }
                 }
             }
@@ -409,8 +431,9 @@ fn drive<E: SimDriver<DophyNode>>(
                 spec.min_truth_tx,
             );
             let s = shared.lock();
-            let dophy_est = estimates_to_loss(s.estimator.estimates(r, spec.min_est_samples));
-            let naive_est = estimates_to_loss(s.estimator.naive_estimates(spec.min_est_samples));
+            let dophy_est = estimates_to_loss(s.infer.in_band.estimates(r, spec.min_est_samples));
+            let naive_est =
+                estimates_to_loss(s.infer.in_band.naive_estimates(spec.min_est_samples));
             let delivered: u64 = s.delivered_per_origin.iter().sum();
             drop(s);
             let em = convert_survival(tomo.estimate_em(&tomo_cfg), r);
@@ -462,17 +485,29 @@ fn drive<E: SimDriver<DophyNode>>(
         .unwrap_or(1);
 
     let s = shared.lock();
-    let dophy_est = estimates_to_loss(s.estimator.estimates(r, spec.min_est_samples));
-    let naive_est = estimates_to_loss(s.estimator.naive_estimates(spec.min_est_samples));
-    let bayes_est = estimates_to_loss(s.bayes.estimates(spec.min_est_samples));
+    let dophy_est = estimates_to_loss(s.infer.in_band.estimates(r, spec.min_est_samples));
+    let naive_est = estimates_to_loss(s.infer.in_band.naive_estimates(spec.min_est_samples));
+    let bayes_est = estimates_to_loss(s.infer.bayes.estimates(spec.min_est_samples));
     let em = convert_survival(tomo.estimate_em(&tomo_cfg), r);
     let ls = convert_survival(tomo.estimate_logls(&tomo_cfg), r);
+    // Bake-off backends solve at snapshot time from their accumulated
+    // evidence; extracting them here is a pure read, so every pre-existing
+    // output stays byte-identical.
+    let q = SnapshotQuery {
+        now: duration_t,
+        r,
+        min_samples: spec.min_est_samples,
+    };
+    let minc_est = estimates_to_loss(s.infer.minc.snapshot(&q));
+    let sparse_est = estimates_to_loss(s.infer.sparse.snapshot(&q));
 
     RunOutput {
         truth,
         dophy: dophy_est,
         naive: naive_est,
         bayes: bayes_est,
+        minc: minc_est,
+        sparse_l1: sparse_est,
         em,
         ls,
         decode: s.decode,

@@ -3,13 +3,14 @@
 //! yield byte-identical figure JSON — and must keep delivering the full
 //! Dophy stack at the 10k-node scale it exists for.
 
+use dophy::infer::{Estimator, EstimatorKind, EvidenceLog, Inference, SnapshotQuery};
 use dophy::protocol::DophyConfig;
 use dophy_bench::{
     cache_key, execute_cell, run_scenario, run_scenario_with, FigureResult, Instruments, RunOutput,
     RunSpec, Series,
 };
 use dophy_sim::obs::FlightRecorder;
-use dophy_sim::{LinkDynamics, MacConfig, Placement, RadioModel, SimConfig, SimDuration};
+use dophy_sim::{LinkDynamics, MacConfig, Placement, RadioModel, SimConfig, SimDuration, SimTime};
 use std::sync::Arc;
 
 fn spec(seed: u64) -> RunSpec {
@@ -53,6 +54,8 @@ fn figure(out: &RunOutput) -> FigureResult {
     fig.push_series(Series::new("dophy", sorted(&out.dophy)));
     fig.push_series(Series::new("naive", sorted(&out.naive)));
     fig.push_series(Series::new("em", sorted(&out.em)));
+    fig.push_series(Series::new("minc", sorted(&out.minc)));
+    fig.push_series(Series::new("sparse-l1", sorted(&out.sparse_l1)));
     fig.push_series(Series::new(
         "totals",
         vec![
@@ -135,6 +138,104 @@ fn instruments_do_not_perturb_a_sharded_run() {
         .counters
         .iter()
         .any(|(k, v)| k == "engine_events_processed" && *v > 0));
+}
+
+/// The inference layer's engine-blindness contract, in two halves.
+///
+/// 1. The serialized evidence-event stream reaching the backends is
+///    byte-identical at every shard count (the sharded engine's existing
+///    byte-identity guarantee extends through evidence derivation), and
+/// 2. for *both* engines, replaying a run's captured stream into a fresh
+///    [`Inference`] reproduces every backend's snapshot bit for bit — the
+///    backends are pure functions of the evidence stream, so they cannot
+///    observe which engine produced it.
+///
+/// Single-loop and sharded engines are deliberately *different sample
+/// paths* (established when sharding landed: `RunSpec.shards` is part of
+/// the cache identity), so cross-engine stream equality is not a thing
+/// that can be asserted; engine-blindness of the backends is the
+/// guarantee that matters, and (2) is exactly that.
+#[test]
+fn evidence_stream_is_shard_invariant_and_backends_are_engine_blind() {
+    let run = |shards: Option<u16>| {
+        let spec = spec(17);
+        let (engine_shared, log_handle);
+        let mut single_engine = None;
+        let mut sharded_engine = None;
+        if let Some(sh) = shards {
+            let (engine, shared) =
+                dophy::protocol::build_sharded_simulation(&spec.sim, &spec.dophy, sh);
+            sharded_engine = Some(engine);
+            engine_shared = shared;
+        } else {
+            let (engine, shared) = dophy::protocol::build_simulation(&spec.sim, &spec.dophy);
+            single_engine = Some(engine);
+            engine_shared = shared;
+        }
+        let (log, handle) = EvidenceLog::new();
+        engine_shared.lock().infer.attach(Box::new(log));
+        log_handle = handle;
+        let dur = SimDuration::from_secs(420);
+        if let Some(e) = sharded_engine.as_mut() {
+            e.start();
+            e.run_for(dur);
+        }
+        if let Some(e) = single_engine.as_mut() {
+            e.start();
+            e.run_for(dur);
+        }
+        (engine_shared, log_handle, spec.dophy)
+    };
+
+    // (1) Shard invariance of the stream itself.
+    let (shared1, log1, dophy_cfg) = run(Some(1));
+    let (_shared4, log4, _) = run(Some(4));
+    let to_json = |log: &Arc<parking_lot::Mutex<Vec<dophy::infer::Evidence>>>| -> String {
+        serde_json::to_string(&*log.lock()).expect("evidence serializes")
+    };
+    assert!(
+        !log1.lock().is_empty(),
+        "run produced no evidence — nothing was tested"
+    );
+    assert_eq!(
+        to_json(&log1),
+        to_json(&log4),
+        "evidence stream diverged between shards=1 and shards=4"
+    );
+
+    // (2) Replay equality, sharded engine.
+    let q = SnapshotQuery {
+        now: SimTime::ZERO + SimDuration::from_secs(420),
+        r: 7,
+        min_samples: 1,
+    };
+    let replay_matches =
+        |shared: &Arc<parking_lot::Mutex<dophy::protocol::SinkState>>,
+         log: &Arc<parking_lot::Mutex<Vec<dophy::infer::Evidence>>>| {
+            let mut fresh = Inference::new(dophy_cfg.tracking);
+            for ev in log.lock().iter() {
+                fresh.observe(ev);
+            }
+            let live = shared.lock();
+            for kind in EstimatorKind::ALL {
+                assert_eq!(
+                    live.infer.backend(kind).snapshot(&q),
+                    fresh.backend(kind).snapshot(&q),
+                    "{kind} snapshot diverged under replay"
+                );
+            }
+            assert_eq!(
+                Estimator::snapshot(&live.infer.windowed, &q),
+                Estimator::snapshot(&fresh.windowed, &q),
+                "windowed snapshot diverged under replay"
+            );
+        };
+    replay_matches(&shared1, &log1);
+
+    // (2') Replay equality, single-loop engine — same property, other
+    // engine, proving the backends cannot tell which engine ran.
+    let (shared_single, log_single, _) = run(None);
+    replay_matches(&shared_single, &log_single);
 }
 
 /// 10k-node sharded smoke: the scale target of the sharded engine. Run

@@ -19,7 +19,7 @@
 use crate::estimator::LossEstimate;
 use dophy_coding::aggregate::AttemptObservation;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Beta prior over the per-transmission reception probability `p`.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -152,7 +152,10 @@ fn conditional_mean_attempts(p: f64, lo: u16, hi: u16) -> f64 {
 #[derive(Debug, Clone, Default)]
 pub struct BayesNetworkEstimator {
     prior: Option<BetaPrior>,
-    links: HashMap<(u32, u32), BayesLinkEstimator>,
+    /// Ordered so iteration (and with it any summary float work) runs in
+    /// a fixed link order — the crate-wide determinism convention; see
+    /// `estimator.rs`.
+    links: BTreeMap<(u32, u32), BayesLinkEstimator>,
 }
 
 impl BayesNetworkEstimator {
@@ -160,7 +163,7 @@ impl BayesNetworkEstimator {
     pub fn new(prior: BetaPrior) -> Self {
         Self {
             prior: Some(prior),
-            links: HashMap::new(),
+            links: BTreeMap::new(),
         }
     }
 
@@ -183,6 +186,28 @@ impl BayesNetworkEstimator {
             .collect();
         v.sort_by_key(|&(k, _)| k);
         v
+    }
+}
+
+impl crate::infer::Estimator for BayesNetworkEstimator {
+    fn name(&self) -> &'static str {
+        "bayes"
+    }
+
+    fn observe(&mut self, ev: &crate::infer::Evidence) {
+        if let crate::infer::Evidence::Hop {
+            sender,
+            receiver,
+            observation,
+            ..
+        } = ev
+        {
+            self.observe(*sender, *receiver, *observation);
+        }
+    }
+
+    fn snapshot(&self, q: &crate::infer::SnapshotQuery) -> Vec<((u32, u32), LossEstimate)> {
+        self.estimates(q.min_samples)
     }
 }
 
@@ -279,5 +304,29 @@ mod tests {
         n.observe(2, 0, AttemptObservation::Exact(2));
         assert_eq!(n.estimates(5).len(), 1);
         assert_eq!(n.estimates(1).len(), 2);
+    }
+
+    #[test]
+    fn snapshot_order_is_fixed_and_insertion_invariant() {
+        // Regression for the old `HashMap` link store: the snapshot must
+        // come back in link-key order, and the exact same bytes must come
+        // back regardless of the order links were first seen.
+        let feed = |pairs: &[(u32, u32)]| {
+            let mut n = BayesNetworkEstimator::new(BetaPrior::default());
+            for &(s, d) in pairs {
+                for a in [1u16, 1, 2, 1, 3] {
+                    n.observe(s, d, AttemptObservation::Exact(a));
+                }
+            }
+            n.estimates(1)
+        };
+        let fwd = feed(&[(1, 0), (5, 2), (3, 0), (2, 1), (4, 4)]);
+        let rev = feed(&[(4, 4), (2, 1), (3, 0), (5, 2), (1, 0)]);
+        assert_eq!(fwd, rev);
+        assert!(
+            fwd.windows(2).all(|w| w[0].0 < w[1].0),
+            "snapshot not in link order: {:?}",
+            fwd.iter().map(|e| e.0).collect::<Vec<_>>()
+        );
     }
 }

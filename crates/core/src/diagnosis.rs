@@ -84,16 +84,21 @@ impl NetworkHealthReport {
     pub fn generate(sink: &SinkState, now: SimTime, cfg: &DiagnosisConfig) -> Self {
         let r = cfg.max_attempts;
         let mut links: Vec<LinkHealth> = sink
-            .estimator
+            .infer
+            .in_band
             .estimates(r, cfg.min_samples)
             .into_iter()
             .map(|((src, dst), est)| {
-                let le = sink.estimator.link(src, dst);
+                let le = sink.infer.in_band.link(src, dst);
                 LinkHealth {
                     link: (src, dst),
                     loss: est.loss,
                     stderr: est.stderr,
-                    recent_loss: sink.windowed.estimate(now, src, dst, r).map(|e| e.loss),
+                    recent_loss: sink
+                        .infer
+                        .windowed
+                        .estimate(now, src, dst, r)
+                        .map(|e| e.loss),
                     expected_tx: le.and_then(|l| l.expected_transmissions(r)),
                     n_samples: est.n_samples,
                 }
@@ -101,7 +106,7 @@ impl NetworkHealthReport {
             .collect();
         links.sort_by(|a, b| b.loss.partial_cmp(&a.loss).expect("finite loss"));
 
-        let windowed = sink.windowed.estimates(now, r, cfg.min_samples);
+        let windowed = sink.infer.windowed.estimates(now, r, cfg.min_samples);
         let alarms = detect_anomalies(&windowed, cfg.loss_threshold, cfg.min_z);
 
         Self {

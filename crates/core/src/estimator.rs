@@ -307,6 +307,31 @@ impl NetworkEstimator {
     }
 }
 
+/// The in-band bake-off backend: Dophy's retransmission-count MLE, fed
+/// from [`crate::infer::Evidence::Hop`] events and adapted otherwise
+/// unchanged.
+impl crate::infer::Estimator for NetworkEstimator {
+    fn name(&self) -> &'static str {
+        "in-band"
+    }
+
+    fn observe(&mut self, ev: &crate::infer::Evidence) {
+        if let crate::infer::Evidence::Hop {
+            sender,
+            receiver,
+            observation,
+            ..
+        } = ev
+        {
+            self.observe(*sender, *receiver, *observation);
+        }
+    }
+
+    fn snapshot(&self, q: &crate::infer::SnapshotQuery) -> Vec<((u32, u32), LossEstimate)> {
+        self.estimates(q.r, q.min_samples)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,337 @@
+//! MINC-style multicast MLE, generalized to Dophy's dynamic-parent DAG.
+//!
+//! Cáceres, Duffield, Horowitz & Towsley ("Multicast-based inference of
+//! network-internal loss characteristics", IEEE Trans. IT 1999) infer
+//! per-link loss on a multicast tree from end-to-end probe outcomes: for
+//! each node `k` they maintain `γ_k` — the empirical probability that a
+//! probe is seen somewhere in `k`'s subtree — updated incrementally per
+//! probe (`γ += (y − γ)/n`), and recover `A_k` — the root→`k` path
+//! survival — by a recursion over the tree; the per-link survival is then
+//! `σ_k = A_k / A_parent(k)`.
+//!
+//! A collection network is the *dual* picture: traffic flows leaf→sink
+//! instead of root→leaves, and — crucially — **every node originates its
+//! own traffic**, so every interior node is a measurement point. Under the
+//! dual the MINC quantities become:
+//!
+//! * `γ_k` — the end-to-end delivery ratio of packets originated at `k`
+//!   (directly observed, no subtree OR needed);
+//! * `A_p` — the survival of `p`'s path to the sink (`A_sink = 1`);
+//! * link survival `σ_{k,p} = γ_{k,p} / A_p` where `γ_{k,p}` is `k`'s
+//!   delivery ratio *restricted to windows in which `p` was `k`'s parent*.
+//!
+//! The dynamic-parent generalization lives in that restriction: Dophy's
+//! CTP tree re-parents continuously, so there is no static tree to recurse
+//! over. Instead each [`Evidence::PathOutcome`] carries the parent path
+//! snapshotted from CTP routing state at the start of its attribution
+//! window, and outcomes accumulate per *(child, parent)* edge of the
+//! observed DAG — per-edge γ — while `A_p` is taken from `p`'s own
+//! cumulative γ (its packets measure its path directly). For a parent that
+//! never originated traffic, `A_p` falls back to the MINC-style
+//! evidence-from-below aggregate `Σ sent·γ_{k,p} / Σ sent` over its
+//! observed children — a lower bound on `A_p` (it still contains the
+//! child-to-`p` hop), used only when nothing better exists.
+//!
+//! The remaining approximation, documented rather than hidden: `γ_{k,p}`
+//! conditions on the window's parent snapshot, but `A_p` is `p`'s
+//! *run-cumulative* path survival, so windows where `p`'s own route
+//! differed are mixed. With per-window γ on both sides the estimator
+//! would be exact per window but far noisier; the cumulative form is the
+//! standard bias/variance trade.
+//!
+//! Everything is deterministic: `BTreeMap` state, closed-form batched
+//! gamma updates, no iteration-order dependence.
+
+use super::{Estimator, Evidence, SnapshotQuery};
+use crate::baseline::survival_to_transmission_loss;
+use crate::estimator::LossEstimate;
+use std::collections::BTreeMap;
+
+/// Survival estimates are clamped into `[EPS, 1]` before ratios — a parent
+/// with an apparently dead path must not blow up the division.
+const EPS: f64 = 1e-6;
+
+/// Incrementally maintained outcome aggregate: MINC's `γ` plus the raw
+/// tallies behind it.
+#[derive(Debug, Clone, Copy, Default)]
+struct OutcomeAgg {
+    /// Packets sent (probe count `n` in MINC terms).
+    sent: u64,
+    /// Packets delivered end-to-end.
+    delivered: u64,
+    /// Incremental delivery-ratio estimate.
+    gamma: f64,
+}
+
+impl OutcomeAgg {
+    /// Folds one window's outcomes in. This is the batched form of MINC's
+    /// per-probe `γ += (y − γ)/n`: a window of `sent` Bernoulli outcomes
+    /// with mean `m` advances `γ += (m − γ)·sent/n_total`, which is
+    /// algebraically the same running mean and independent of any
+    /// within-window ordering.
+    fn push(&mut self, sent: u64, delivered: u64) {
+        if sent == 0 {
+            return;
+        }
+        let delivered = delivered.min(sent);
+        self.sent += sent;
+        self.delivered += delivered;
+        let m = delivered as f64 / sent as f64;
+        self.gamma += (m - self.gamma) * (sent as f64 / self.sent as f64);
+    }
+}
+
+/// The MINC backend. Consumes [`Evidence::PathOutcome`] only; hop
+/// evidence (Dophy's in-band channel) is deliberately invisible to it —
+/// that is the whole point of the bake-off.
+#[derive(Debug, Clone, Default)]
+pub struct MincEstimator {
+    /// Per-(child, parent) aggregates: `γ_{k,p}`, conditioned on the
+    /// window parent snapshot.
+    links: BTreeMap<(u32, u32), OutcomeAgg>,
+    /// Per-origin aggregates: `γ_k`, the node's cumulative delivery ratio.
+    nodes: BTreeMap<u32, OutcomeAgg>,
+    /// The sink (root of the dual tree), learned from path tails.
+    sink: Option<u32>,
+}
+
+impl MincEstimator {
+    /// Creates an empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Path-survival estimates `A_p` for every node that can serve as a
+    /// parent, resolved as described in the module docs.
+    fn path_survival(&self) -> BTreeMap<u32, f64> {
+        let mut a = BTreeMap::new();
+        if let Some(sink) = self.sink {
+            a.insert(sink, 1.0);
+        }
+        // Direct estimates: every node that originated traffic measures
+        // its own path.
+        for (&k, agg) in &self.nodes {
+            if agg.sent > 0 {
+                a.entry(k).or_insert_with(|| agg.gamma.clamp(EPS, 1.0));
+            }
+        }
+        // Evidence-from-below fallback for silent parents.
+        let silent: Vec<u32> = self
+            .links
+            .keys()
+            .map(|&(_, p)| p)
+            .filter(|p| !a.contains_key(p))
+            .collect();
+        for p in silent {
+            let (mut w, mut wg) = (0.0, 0.0);
+            for (&(_, q), agg) in &self.links {
+                if q == p && agg.sent > 0 {
+                    w += agg.sent as f64;
+                    wg += agg.sent as f64 * agg.gamma;
+                }
+            }
+            if w > 0.0 {
+                a.insert(p, (wg / w).clamp(EPS, 1.0));
+            }
+        }
+        a
+    }
+}
+
+impl Estimator for MincEstimator {
+    fn name(&self) -> &'static str {
+        "minc"
+    }
+
+    fn observe(&mut self, ev: &Evidence) {
+        let Evidence::PathOutcome {
+            origin,
+            path,
+            sent,
+            delivered,
+            ..
+        } = ev
+        else {
+            return;
+        };
+        let Some(&(child, parent)) = path.first() else {
+            return;
+        };
+        // The first link of the snapshot must be the origin's own hop;
+        // anything else is a malformed outcome and is ignored.
+        if child != *origin {
+            return;
+        }
+        self.sink = path.last().map(|&(_, dst)| dst).or(self.sink);
+        self.links
+            .entry((child, parent))
+            .or_default()
+            .push(*sent, *delivered);
+        self.nodes
+            .entry(*origin)
+            .or_default()
+            .push(*sent, *delivered);
+    }
+
+    fn snapshot(&self, q: &SnapshotQuery) -> Vec<((u32, u32), LossEstimate)> {
+        let a = self.path_survival();
+        let mut out = Vec::new();
+        for (&(k, p), agg) in &self.links {
+            if agg.sent < q.min_samples {
+                continue;
+            }
+            let Some(&a_p) = a.get(&p) else { continue };
+            let sigma = (agg.gamma / a_p).clamp(EPS, 1.0);
+            let loss = survival_to_transmission_loss(sigma, q.r);
+            out.push((
+                (k, p),
+                LossEstimate {
+                    p_success: 1.0 - loss,
+                    loss,
+                    n_samples: agg.sent,
+                    stderr: None,
+                },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dophy_sim::SimTime;
+
+    fn outcome(origin: u32, path: &[(u32, u32)], sent: u64, delivered: u64) -> Evidence {
+        Evidence::PathOutcome {
+            at: SimTime::from_micros(0),
+            origin,
+            path: path.to_vec(),
+            sent,
+            delivered,
+        }
+    }
+
+    /// End-to-end survival of a chain with the given per-hop survivals.
+    fn chain_delivery(hops: &[f64], sent: u64) -> u64 {
+        let surv: f64 = hops.iter().product();
+        (sent as f64 * surv).round() as u64
+    }
+
+    #[test]
+    fn recovers_per_link_survival_on_a_static_chain() {
+        // 3 → 2 → 1 → 0 with per-hop *end-to-end* survival (post-ARQ)
+        // 0.9, 0.95, 1.0. Every node originates traffic, so the dual MINC
+        // recursion has direct A estimates everywhere.
+        let mut est = MincEstimator::new();
+        let hops = [0.9, 0.95, 1.0];
+        for _ in 0..50 {
+            est.observe(&outcome(
+                3,
+                &[(3, 2), (2, 1), (1, 0)],
+                20,
+                chain_delivery(&hops, 20),
+            ));
+            est.observe(&outcome(
+                2,
+                &[(2, 1), (1, 0)],
+                20,
+                chain_delivery(&hops[1..], 20),
+            ));
+            est.observe(&outcome(1, &[(1, 0)], 20, chain_delivery(&hops[2..], 20)));
+        }
+        // r=1: per-transmission loss == 1 - link survival.
+        let q = SnapshotQuery {
+            now: SimTime::from_micros(0),
+            r: 1,
+            min_samples: 10,
+        };
+        let snap: BTreeMap<_, _> = est.snapshot(&q).into_iter().collect();
+        assert!(
+            (snap[&(3, 2)].loss - 0.1).abs() < 0.02,
+            "{:?}",
+            snap[&(3, 2)]
+        );
+        assert!(
+            (snap[&(2, 1)].loss - 0.05).abs() < 0.02,
+            "{:?}",
+            snap[&(2, 1)]
+        );
+        assert!(snap[&(1, 0)].loss < 0.02, "{:?}", snap[&(1, 0)]);
+    }
+
+    #[test]
+    fn attributes_across_a_parent_change() {
+        // Node 3 re-parents from 2 to 1 halfway through; each edge's γ is
+        // conditioned on its own windows, so both estimates are clean.
+        let mut est = MincEstimator::new();
+        for _ in 0..40 {
+            est.observe(&outcome(
+                3,
+                &[(3, 2), (2, 0)],
+                10,
+                chain_delivery(&[0.8, 1.0], 10),
+            ));
+            est.observe(&outcome(2, &[(2, 0)], 10, 10));
+            est.observe(&outcome(1, &[(1, 0)], 10, 10));
+        }
+        for _ in 0..40 {
+            est.observe(&outcome(
+                3,
+                &[(3, 1), (1, 0)],
+                10,
+                chain_delivery(&[0.6, 1.0], 10),
+            ));
+            est.observe(&outcome(2, &[(2, 0)], 10, 10));
+            est.observe(&outcome(1, &[(1, 0)], 10, 10));
+        }
+        let q = SnapshotQuery {
+            now: SimTime::from_micros(0),
+            r: 1,
+            min_samples: 10,
+        };
+        let snap: BTreeMap<_, _> = est.snapshot(&q).into_iter().collect();
+        assert!(
+            (snap[&(3, 2)].loss - 0.2).abs() < 0.03,
+            "{:?}",
+            snap[&(3, 2)]
+        );
+        assert!(
+            (snap[&(3, 1)].loss - 0.4).abs() < 0.03,
+            "{:?}",
+            snap[&(3, 1)]
+        );
+    }
+
+    #[test]
+    fn silent_parent_uses_evidence_from_below() {
+        // Node 2 never originates traffic: A_2 must come from its
+        // children's outcomes, and the estimate stays finite and sane.
+        let mut est = MincEstimator::new();
+        for _ in 0..30 {
+            est.observe(&outcome(3, &[(3, 2), (2, 0)], 10, 9));
+        }
+        let q = SnapshotQuery {
+            now: SimTime::from_micros(0),
+            r: 1,
+            min_samples: 10,
+        };
+        let snap = est.snapshot(&q);
+        assert_eq!(snap.len(), 1);
+        let (link, e) = snap[0];
+        assert_eq!(link, (3, 2));
+        assert!(e.loss >= 0.0 && e.loss < 0.2, "{e:?}");
+    }
+
+    #[test]
+    fn min_samples_filters_thin_edges() {
+        let mut est = MincEstimator::new();
+        est.observe(&outcome(1, &[(1, 0)], 3, 3));
+        let thin = SnapshotQuery {
+            now: SimTime::from_micros(0),
+            r: 1,
+            min_samples: 10,
+        };
+        assert!(est.snapshot(&thin).is_empty());
+    }
+}

@@ -29,6 +29,7 @@
 //! | [`decoder`] | sink-side path + retx-count recovery |
 //! | [`model_mgr`] | epoch-versioned models, learning, dissemination |
 //! | [`estimator`] | truncation/censoring-aware per-link loss MLE |
+//! | [`infer`] | pluggable inference backends (in-band / MINC / sparse-L1) behind one trait |
 //! | [`bayes`] | conjugate Beta-posterior estimator (small-sample shrinkage) |
 //! | [`tracking`] | windowed (time-resolved) estimation + link watchdog |
 //! | [`diagnosis`] | operator-facing network-health reports |
@@ -55,7 +56,7 @@
 //! let sink = shared.lock();
 //! println!("delivered {} packets, decode ratio {:.3}",
 //!          sink.overhead.packets, sink.decode.success_ratio());
-//! for ((src, dst), est) in sink.estimator.estimates(7, 20) {
+//! for ((src, dst), est) in sink.infer.in_band.estimates(7, 20) {
 //!     println!("link {src}->{dst}: loss {:.3} ({} samples)", est.loss, est.n_samples);
 //! }
 //! ```
@@ -70,6 +71,7 @@ pub mod diagnosis;
 pub mod encoder;
 pub mod estimator;
 pub mod header;
+pub mod infer;
 pub mod metrics;
 pub mod model_mgr;
 pub mod protocol;
@@ -84,6 +86,9 @@ pub use diagnosis::{DiagnosisConfig, LinkHealth, NetworkHealthReport};
 pub use encoder::{encode_hop, EncodeError};
 pub use estimator::{LinkEstimator, LossEstimate, NetworkEstimator};
 pub use header::{DophyHeader, Epoch};
+pub use infer::{
+    Estimator, EstimatorKind, Evidence, Inference, MincEstimator, SnapshotQuery, SparseL1Estimator,
+};
 pub use metrics::{score, AccuracyReport};
 pub use model_mgr::{ModelManager, ModelSet, ModelUpdateConfig};
 pub use protocol::{

@@ -252,13 +252,11 @@ pub type TrueHops = Vec<(u32, u32, u16)>;
 pub struct SinkState {
     /// Model learning, epochs, dissemination.
     pub manager: ModelManager,
-    /// Dophy's per-link estimator, fed by decoded packets.
-    pub estimator: crate::estimator::NetworkEstimator,
-    /// Time-resolved estimator (tracks drifting links).
-    pub windowed: crate::tracking::WindowedNetworkEstimator,
-    /// Conjugate Bayesian estimator (small-sample shrinkage), fed the same
-    /// observations as the MLE for the prior ablation.
-    pub bayes: crate::bayes::BayesNetworkEstimator,
+    /// The inference stack (in-band MLE, windowed, Bayes, MINC, sparse-L1),
+    /// fed typed evidence from decoded packets. Constructed and owned by
+    /// [`crate::infer`] — the protocol layer never builds a concrete
+    /// estimator and only talks to the stack through its fan-out.
+    pub infer: crate::infer::Inference,
     /// Decode outcome counters.
     pub decode: DecodeStats,
     /// Per-packet overhead accounting.
@@ -584,10 +582,14 @@ impl DophyNode {
         ctx.send_unicast_traced(parent, Arc::new(DataMsg { header }), wire, trace);
     }
 
-    /// Feeds one successfully decoded packet into the estimators and the
-    /// model learners. This is the *only* estimator ingestion point, and
-    /// it is reached exclusively from the `Ok` decode arms in
+    /// Feeds one successfully decoded packet into the inference stack and
+    /// the model learners. This is the *only* estimator ingestion point,
+    /// and it is reached exclusively from the `Ok` decode arms in
     /// [`Self::sink_deliver`] — quarantined packets can never touch it.
+    /// Each observation becomes one typed [`crate::infer::Evidence::Hop`]
+    /// event fanned out to every backend; the stack preserves the
+    /// historical per-observation backend order, so estimator state stays
+    /// bit-identical to the pre-trait sink.
     fn ingest_decoded(
         shared: &mut SinkState,
         now: SimTime,
@@ -596,15 +598,12 @@ impl DophyNode {
     ) {
         let t0 = profile::start(prof);
         for obs in &decoded.observations {
-            shared
-                .estimator
-                .observe(obs.sender.0, obs.receiver.0, obs.observation);
-            shared
-                .windowed
-                .observe(now, obs.sender.0, obs.receiver.0, obs.observation);
-            shared
-                .bayes
-                .observe(obs.sender.0, obs.receiver.0, obs.observation);
+            shared.infer.observe(&crate::infer::Evidence::Hop {
+                at: now,
+                sender: obs.sender.0,
+                receiver: obs.receiver.0,
+                observation: obs.observation,
+            });
             if let (Some(h), Some(a)) = (obs.hop_sym, obs.attempt_sym) {
                 shared.manager.observe(h, a);
             }
@@ -1132,9 +1131,7 @@ fn assemble_simulation(
     }
     let shared = Arc::new(Mutex::new(SinkState {
         manager,
-        estimator: crate::estimator::NetworkEstimator::new(),
-        windowed: crate::tracking::WindowedNetworkEstimator::new(dophy.tracking),
-        bayes: crate::bayes::BayesNetworkEstimator::new(crate::bayes::BetaPrior::default()),
+        infer: crate::infer::Inference::new(dophy.tracking),
         decode: DecodeStats::default(),
         overhead: OverheadStats::default(),
         sent_per_origin: vec![0; n],
@@ -1215,7 +1212,7 @@ mod tests {
             s.decode
         );
         assert!(s.total_delivery_ratio().unwrap() > 0.9);
-        assert!(s.estimator.covered_links() > 10);
+        assert!(s.infer.in_band.covered_links() > 10);
     }
 
     #[test]
@@ -1301,7 +1298,7 @@ mod tests {
         engine.run_for(SimDuration::from_secs(1200));
         let s = shared.lock();
         let r = engine.topology().links().to_vec();
-        let estimates = s.estimator.estimates(7, 30);
+        let estimates = s.infer.in_band.estimates(7, 30);
         assert!(!estimates.is_empty());
         let mut errs = Vec::new();
         for ((src, dst), est) in &estimates {

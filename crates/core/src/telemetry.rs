@@ -123,7 +123,7 @@ pub fn sample_metrics<E: SimDriver<DophyNode>>(
     );
 
     // Estimator sample coverage.
-    let covered = sink.estimator.covered_links();
+    let covered = sink.infer.in_band.covered_links();
     reg.set_gauge("estimator_covered_links", &[], covered as f64);
     let total_links = topo.links().len();
     if total_links > 0 {

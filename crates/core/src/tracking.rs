@@ -143,6 +143,33 @@ impl WindowedNetworkEstimator {
     }
 }
 
+/// Trait adapter: the windowed estimator ages its buckets against the
+/// snapshot query's `now`, which is exactly why [`SnapshotQuery`] carries
+/// a time.
+///
+/// [`SnapshotQuery`]: crate::infer::SnapshotQuery
+impl crate::infer::Estimator for WindowedNetworkEstimator {
+    fn name(&self) -> &'static str {
+        "windowed"
+    }
+
+    fn observe(&mut self, ev: &crate::infer::Evidence) {
+        if let crate::infer::Evidence::Hop {
+            at,
+            sender,
+            receiver,
+            observation,
+        } = ev
+        {
+            self.observe(*at, *sender, *receiver, *observation);
+        }
+    }
+
+    fn snapshot(&self, q: &crate::infer::SnapshotQuery) -> Vec<((u32, u32), LossEstimate)> {
+        self.estimates(q.now, q.r, q.min_samples)
+    }
+}
+
 /// CUSUM change-point detector configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CusumConfig {

@@ -160,6 +160,16 @@ impl Router {
         &self.parent_log
     }
 
+    /// Parent snapshot: the parent in effect at `t` (the last adoption at
+    /// or before `t`), `None` before the first route formed. Binary search
+    /// over the append-only change log, so window-based tomography can
+    /// attribute any past window against the routing state that actually
+    /// carried it. At `t = now` this equals [`Self::next_hop`].
+    pub fn parent_as_of(&self, t: SimTime) -> Option<NodeId> {
+        let idx = self.parent_log.partition_point(|&(at, _)| at <= t);
+        idx.checked_sub(1).map(|i| self.parent_log[i].1)
+    }
+
     /// The neighbor table (read access for diagnostics and Dophy's
     /// forwarding-index lookups).
     pub fn table(&self) -> &NeighborTable {
@@ -562,5 +572,57 @@ mod tests {
         let a = run_routing(cfg, 200);
         let b = run_routing(cfg, 200);
         assert_eq!(snapshot(&a), snapshot(&b));
+    }
+
+    #[test]
+    fn parent_as_of_replays_the_change_log() {
+        let cfg = SimConfig {
+            placement: Placement::Grid {
+                side: 4,
+                spacing: 14.0,
+            },
+            radio: RadioModel::default(),
+            mac: MacConfig::default(),
+            dynamics: LinkDynamics::Drift {
+                amp: 0.3,
+                period_s: 40.0,
+            },
+            seed: 99,
+        };
+        let e = run_routing(cfg, 300);
+        let mut changes = 0usize;
+        for i in 0..e.topology().node_count() {
+            let r = e.protocol(NodeId(i as u32)).router();
+            let log = r.parent_log();
+            // The live view and the snapshot at `now` must agree.
+            assert_eq!(r.parent_as_of(e.now()), r.next_hop(), "node {i}");
+            if log.is_empty() {
+                continue;
+            }
+            // Before the first adoption there was no route.
+            let first = log[0].0;
+            assert_eq!(
+                r.parent_as_of(SimTime::from_micros(first.as_micros() - 1)),
+                None
+            );
+            // At (and just after) each adoption instant the snapshot is
+            // that entry's parent.
+            for w in log.windows(2) {
+                let (at, parent) = w[0];
+                let next_at = w[1].0;
+                if next_at == at {
+                    // Two adoptions in the same microsecond: the later
+                    // one wins every query at that instant.
+                    continue;
+                }
+                assert_eq!(r.parent_as_of(at), Some(parent));
+                assert_eq!(
+                    r.parent_as_of(SimTime::from_micros(next_at.as_micros() - 1)),
+                    Some(parent)
+                );
+                changes += 1;
+            }
+        }
+        assert!(changes > 0, "drift regime produced no parent changes");
     }
 }

@@ -35,7 +35,8 @@ fn run(dynamics: LinkDynamics, label: &str) -> (f64, f64, usize) {
     }
     let s = shared.lock();
     let est: HashMap<(u32, u32), f64> = s
-        .estimator
+        .infer
+        .in_band
         .estimates(sim.mac.max_attempts, 10)
         .into_iter()
         .map(|(k, e)| (k, e.loss))

@@ -92,7 +92,8 @@ fn main() {
     let r = sim.mac.max_attempts;
     let s = shared.lock();
     let dophy_est: HashMap<(u32, u32), f64> = s
-        .estimator
+        .infer
+        .in_band
         .estimates(r, 10)
         .into_iter()
         .map(|(k, e)| (k, e.loss))

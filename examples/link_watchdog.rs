@@ -49,7 +49,7 @@ fn main() {
     for minute in (2..=30).step_by(2) {
         engine.run_for(SimDuration::from_secs(120));
         let s = shared.lock();
-        let estimates = s.windowed.estimates(engine.now(), r, 20);
+        let estimates = s.infer.windowed.estimates(engine.now(), r, 20);
         let alarms = detect_anomalies(&estimates, LOSS_THRESHOLD, MIN_Z);
         print!("t={minute:>2}min  links-watched={:<3} ", estimates.len());
         if alarms.is_empty() {

@@ -48,7 +48,7 @@ fn main() {
 
     let r = sim.mac.max_attempts;
     let mut rows = 0;
-    for ((src, dst), est) in sink.estimator.estimates(r, 30) {
+    for ((src, dst), est) in sink.infer.in_band.estimates(r, 30) {
         let (s, d) = (NodeId(src), NodeId(dst));
         let truth = engine
             .topology()
@@ -67,7 +67,7 @@ fn main() {
             if rows >= 20 {
                 println!(
                     "  ... ({} more links)",
-                    sink.estimator.covered_links() - rows
+                    sink.infer.in_band.covered_links() - rows
                 );
                 break;
             }

@@ -41,7 +41,7 @@ fn two_node_network_works() {
     // All 1-hop: streams are empty, decode always succeeds.
     assert_eq!(s.decode.success_ratio(), 1.0);
     assert_eq!(s.overhead.mean_stream_bytes(), 0.0);
-    assert!(s.estimator.covered_links() >= 1);
+    assert!(s.infer.in_band.covered_links() >= 1);
 }
 
 #[test]
@@ -163,7 +163,7 @@ fn tiny_retry_budget_still_estimates() {
     engine.run_for(SimDuration::from_secs(300));
     let s = shared.lock();
     assert!(s.overhead.packets > 50);
-    for (_, est) in s.estimator.estimates(1, 10) {
+    for (_, est) in s.infer.in_band.estimates(1, 10) {
         assert!(est.loss >= 0.0 && est.loss <= 1.0);
     }
 }

@@ -49,7 +49,8 @@ fn estimates_converge_to_empirical_truth() {
 
     let s = shared.lock();
     let est: HashMap<(u32, u32), f64> = s
-        .estimator
+        .infer
+        .in_band
         .estimates(sim.mac.max_attempts, 50)
         .into_iter()
         .map(|(k, e)| (k, e.loss))
@@ -151,7 +152,8 @@ fn aggregation_reduces_overhead_without_wrecking_accuracy() {
         }
         let s = shared.lock();
         let est: HashMap<(u32, u32), f64> = s
-            .estimator
+            .infer
+            .in_band
             .estimates(sim.mac.max_attempts, 30)
             .into_iter()
             .map(|(k, e)| (k, e.loss))
