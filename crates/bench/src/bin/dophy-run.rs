@@ -32,7 +32,8 @@
 //!   <https://ui.perfetto.dev>); `--trace-sample N` keeps 1-in-N trace
 //!   ids (chrome format only, whole lifecycles);
 //! * `--profile <path>` — enable hot-path self-profiling and write the
-//!   per-subsystem wall-time report as JSON;
+//!   per-subsystem wall-time report as JSON (works on both engines; with
+//!   `--shards N` wall time aggregates across worker threads);
 //! * `--flight-recorder <path>` — keep a fixed-size ring of the last
 //!   observer events and dump them to `<path>` as postmortem JSONL if the
 //!   run panics (nothing is written on success);
@@ -231,12 +232,6 @@ fn run(cli: Cli) -> Result<(), String> {
     if let Some(shards) = cli.shards {
         spec.shards = Some(shards);
     }
-    if cli.profile_out.is_some() && spec.shards.unwrap_or(0) > 0 {
-        return Err(
-            "--profile needs the single-loop engine; drop it or pass --shards 0".to_string(),
-        );
-    }
-
     if cli.trace_sample > 1 && cli.trace_format != TraceFormat::Chrome {
         return Err("--trace-sample only applies to --trace-format chrome".to_string());
     }
@@ -277,6 +272,7 @@ fn run(cli: Cli) -> Result<(), String> {
         progress: cli.progress,
         profile: cli.profile_out.is_some(),
         flight_recorder: recorder,
+        ..Instruments::default()
     };
 
     eprintln!(

@@ -242,6 +242,7 @@ fn cacheable(inst: &Instruments) -> bool {
         && !inst.progress
         && !inst.profile
         && inst.flight_recorder.is_none()
+        && inst.evidence.is_none()
 }
 
 impl Shared {

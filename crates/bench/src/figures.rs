@@ -1567,19 +1567,24 @@ pub fn fig14_scale(quick: bool) -> Plan {
         dynamics: LinkDynamics::Static,
         seed: 211,
     };
+    // Scale cells never read the per-packet hop log (only fig3 does),
+    // and at 10k nodes it dominates peak RSS — drop it so peak-rss-mib
+    // measures the engine, not the harness recorder.
     let mut cells: Vec<Cell> = sizes
         .iter()
         .map(|&n| {
             Cell::run(
                 format!("n={n}"),
-                RunSpec::new(disk(n), canonical_dophy(), duration(quick) / 2),
+                RunSpec::new(disk(n), canonical_dophy(), duration(quick) / 2).without_true_hops(),
             )
         })
         .collect();
     cells.extend(sharded.iter().map(|&(n, shards)| {
         Cell::run(
             format!("n={n}-sharded{shards}"),
-            RunSpec::new(disk(n), canonical_dophy(), duration(quick) / 2).with_shards(shards),
+            RunSpec::new(disk(n), canonical_dophy(), duration(quick) / 2)
+                .with_shards(shards)
+                .without_true_hops(),
         )
     }));
 

@@ -13,7 +13,7 @@ use crate::telemetry::{record_run, ProgressMeter, RunTelemetry};
 use dophy::baseline::{
     survival_to_transmission_loss, PathMeasurement, TraditionalConfig, TraditionalTomography,
 };
-use dophy::infer::{Estimator, Evidence, SnapshotQuery};
+use dophy::infer::{Estimator, Evidence, EvidenceLog, SnapshotQuery};
 use dophy::metrics::{score, AccuracyReport};
 use dophy::protocol::{
     build_sharded_simulation_with_faults, build_simulation_with_faults, DecodeStats, DophyConfig,
@@ -73,6 +73,13 @@ pub struct RunSpec {
     /// counts, but are a different (equally valid) sample path than the
     /// single-loop engine's — so the value participates in the spec hash.
     pub shards: Option<u16>,
+    /// Whether to keep the per-packet ground-truth hop log
+    /// ([`RunOutput::true_hops`]). `None` (and a missing key in legacy
+    /// JSON) means keep it — bit-identical simulation either way, it is
+    /// a pure recorder — but the log grows with every delivered packet
+    /// and dominates peak RSS at 10k-node scale, so large-scale cells
+    /// set `Some(false)`. Only the fig3 re-encoding figure reads it.
+    pub keep_true_hops: Option<bool>,
 }
 
 impl RunSpec {
@@ -88,6 +95,7 @@ impl RunSpec {
             checkpoints: false,
             faults: None,
             shards: None,
+            keep_true_hops: None,
         }
     }
 
@@ -95,6 +103,17 @@ impl RunSpec {
     pub fn with_shards(self, shards: u16) -> Self {
         Self {
             shards: Some(shards),
+            ..self
+        }
+    }
+
+    /// The same spec without the per-packet ground-truth hop log (see
+    /// [`RunSpec::keep_true_hops`]). For scale cells whose folds never
+    /// read [`RunOutput::true_hops`]; the simulation itself is
+    /// bit-identical.
+    pub fn without_true_hops(self) -> Self {
+        Self {
+            keep_true_hops: Some(false),
             ..self
         }
     }
@@ -152,6 +171,12 @@ pub struct Instruments {
     /// `observer` in the fan-out, so the ring always holds the freshest
     /// events even if a downstream observer is the thing that panics.
     pub flight_recorder: Option<Arc<FlightRecorder>>,
+    /// Evidence capture: attach an [`dophy::infer::EvidenceLog`] writing
+    /// into this buffer to the sink's inference fan-out. The log is a pure
+    /// recorder (estimates nothing, never snapshotted), so capture does not
+    /// perturb the run; `dophy-serve`'s firehose uses it to stream a run's
+    /// typed evidence into the tomography service.
+    pub evidence: Option<Arc<Mutex<Vec<Evidence>>>>,
 }
 
 /// Everything a finished run yields.
@@ -281,36 +306,32 @@ pub fn run_scenario(spec: &RunSpec) -> RunOutput {
 ///
 /// With [`RunSpec::shards`] non-zero the run is driven by the sharded
 /// multi-core engine; everything downstream (baseline attribution,
-/// checkpoints, metrics, outputs) is engine-agnostic.
-///
-/// # Panics
-///
-/// Panics when `inst.profile` is combined with a sharded spec: the
-/// hot-path self-profiler attributes wall time to one event loop and has
-/// no meaningful reading across worker threads. Profile on `shards: 0`.
+/// checkpoints, metrics, outputs) is engine-agnostic. Profiling works on
+/// both engines: on the sharded one each worker thread records into a
+/// shard-local profiler and the report aggregates wall time across
+/// threads (so subsystem totals can exceed the run's wall clock — they
+/// are CPU-time-like, not elapsed-time-like).
 pub fn run_scenario_with(spec: &RunSpec, inst: Instruments) -> RunOutput {
     let shards = spec.shards.unwrap_or(0);
+    let profiler = inst.profile.then(|| Arc::new(Profiler::new()));
     if shards == 0 {
         let (mut engine, shared, fault_plan) =
             build_simulation_with_faults(&spec.sim, &spec.dophy, spec.faults.as_ref());
-        let profiler = inst.profile.then(|| Arc::new(Profiler::new()));
         if let Some(prof) = &profiler {
             engine.set_profiler(Arc::clone(prof));
         }
         drive(spec, inst, engine, shared, fault_plan, profiler)
     } else {
-        assert!(
-            !inst.profile,
-            "hot-path profiling attributes wall time to a single event loop and is \
-             not supported on the sharded engine; profile with shards: 0"
-        );
-        let (engine, shared, fault_plan) = build_sharded_simulation_with_faults(
+        let (mut engine, shared, fault_plan) = build_sharded_simulation_with_faults(
             &spec.sim,
             &spec.dophy,
             spec.faults.as_ref(),
             shards,
         );
-        drive(spec, inst, engine, shared, fault_plan, None)
+        if let Some(prof) = &profiler {
+            engine.set_profiler(Arc::clone(prof));
+        }
+        drive(spec, inst, engine, shared, fault_plan, profiler)
     }
 }
 
@@ -338,6 +359,20 @@ fn drive<E: SimDriver<DophyNode>>(
     };
     if let Some(observer) = observer {
         engine.set_observer(observer);
+    }
+    if let Some(buffer) = inst.evidence {
+        // Attached before start so the log sees the whole stream. Extra
+        // backends observe after the built-ins and are never snapshotted,
+        // so capture cannot perturb any output.
+        shared
+            .lock()
+            .infer
+            .attach(Box::new(EvidenceLog::with_handle(buffer)));
+    }
+    if spec.keep_true_hops == Some(false) {
+        // Recorder gate only — the simulation is bit-identical with the
+        // hop log off, it just never materializes the per-packet map.
+        shared.lock().record_true_hops = false;
     }
     let mut registry = inst.metrics_every.map(|_| MetricsRegistry::new());
     let meter = inst.progress.then(|| ProgressMeter::new(spec.duration));
@@ -484,7 +519,7 @@ fn drive<E: SimDriver<DophyNode>>(
         .max()
         .unwrap_or(1);
 
-    let s = shared.lock();
+    let mut s = shared.lock();
     let dophy_est = estimates_to_loss(s.infer.in_band.estimates(r, spec.min_est_samples));
     let naive_est = estimates_to_loss(s.infer.in_band.naive_estimates(spec.min_est_samples));
     let bayes_est = estimates_to_loss(s.infer.bayes.estimates(spec.min_est_samples));
@@ -500,6 +535,9 @@ fn drive<E: SimDriver<DophyNode>>(
     };
     let minc_est = estimates_to_loss(s.infer.minc.snapshot(&q));
     let sparse_est = estimates_to_loss(s.infer.sparse.snapshot(&q));
+    // Move the hop log out instead of cloning it: at 10k-node scale the
+    // clone alone would double the run's peak memory.
+    let true_hops = std::mem::take(&mut s.true_hops);
 
     RunOutput {
         truth,
@@ -516,7 +554,7 @@ fn drive<E: SimDriver<DophyNode>>(
         refreshes: s.manager.refreshes,
         delivery_ratio: s.total_delivery_ratio().unwrap_or(0.0),
         churn,
-        true_hops: s.true_hops.clone(),
+        true_hops,
         node_count: n,
         max_degree,
         max_attempts: r,
@@ -609,6 +647,22 @@ mod tests {
         assert_eq!(a.overhead.packets, b.overhead.packets);
         assert_eq!(a.decode, b.decode);
         assert_eq!(a.truth.len(), b.truth.len());
+    }
+
+    /// Dropping the hop log is a pure recorder gate: every other output
+    /// is byte-identical, and the log itself stays empty.
+    #[test]
+    fn disabling_true_hops_does_not_perturb_the_run() {
+        let with = run_scenario(&quick_spec());
+        let without = run_scenario(&quick_spec().without_true_hops());
+        assert!(!with.true_hops.is_empty(), "baseline must record hops");
+        assert!(without.true_hops.is_empty(), "gate must drop the log");
+        assert_eq!(with.overhead.packets, without.overhead.packets);
+        assert_eq!(with.overhead.stream_bytes, without.overhead.stream_bytes);
+        assert_eq!(with.decode, without.decode);
+        assert_eq!(with.dophy, without.dophy);
+        assert_eq!(with.truth, without.truth);
+        assert_eq!(with.delivery_ratio, without.delivery_ratio);
     }
 
     #[test]
@@ -711,13 +765,61 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not supported on the sharded engine")]
-    fn profiling_a_sharded_run_panics() {
+    fn corrupted_run_is_shard_and_thread_invariant() {
+        // The lifted refusal: frame-corruption faults now draw from
+        // per-receiver-node streams, so a corrupted run must be
+        // byte-identical at every shard count — and identical to a rerun
+        // of itself (determinism), with faults actually firing.
+        let spec = RunSpec {
+            faults: Some(FaultConfig::corruption(0.05)),
+            ..quick_spec()
+        };
+        let a = run_scenario(&spec.with_shards(1));
+        let b = run_scenario(&spec.with_shards(5));
+        let c = run_scenario(&spec.with_shards(5));
+        let fa = a.faults.expect("fault summary present");
+        assert!(fa.injection.frames_corrupted > 0, "faults must fire");
+        assert_eq!(a.faults, b.faults, "injection diverged across shards");
+        assert_eq!(b.faults, c.faults, "faulted rerun diverged");
+        assert_eq!(a.decode, b.decode);
+        assert_eq!(a.overhead.packets, b.overhead.packets);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.dophy, b.dophy);
+        assert!(a.decode.quarantined() + fa.frames_destroyed > 0);
+    }
+
+    #[test]
+    fn profiling_a_sharded_run_works_and_does_not_perturb() {
+        // The other lifted refusal: profiling on the sharded engine
+        // aggregates per-worker-thread wall time. The report must cover
+        // the hot subsystems (when the self-profile feature is on) and
+        // the profiled run must stay byte-identical to a bare one.
+        let bare = run_scenario(&quick_spec().with_shards(3));
         let inst = Instruments {
             profile: true,
             ..Instruments::default()
         };
-        run_scenario_with(&quick_spec().with_shards(2), inst);
+        let profiled = run_scenario_with(&quick_spec().with_shards(3), inst);
+        assert_eq!(bare.decode, profiled.decode);
+        assert_eq!(bare.overhead.packets, profiled.overhead.packets);
+        assert_eq!(bare.truth, profiled.truth);
+        assert_eq!(bare.dophy, profiled.dophy);
+        let report = profiled.profile.expect("profile report present");
+        assert_eq!(report.subsystems.len(), 5);
+        // Runtime probe for the dophy-sim `self-profile` feature: a scope
+        // on a fresh profiler only counts when it is compiled in.
+        let probe = Profiler::new();
+        let t0 = dophy_sim::profile::start(Some(&probe));
+        dophy_sim::profile::stop(Some(&probe), dophy_sim::Subsystem::Decode, t0);
+        if probe.count(dophy_sim::Subsystem::Decode) > 0 {
+            for sub in &report.subsystems {
+                assert!(
+                    sub.count > 0,
+                    "subsystem {} recorded no samples on the sharded engine",
+                    sub.subsystem
+                );
+            }
+        }
     }
 
     #[test]

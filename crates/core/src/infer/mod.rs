@@ -46,13 +46,13 @@ use crate::tracking::{WindowConfig, WindowedNetworkEstimator};
 use dophy_coding::aggregate::AttemptObservation;
 use dophy_sim::SimTime;
 use parking_lot::Mutex;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// One typed evidence event. The stream of these is the *entire* interface
 /// between a run and its inference backends — serialize it and you can
 /// replay inference offline, bit for bit.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Evidence {
     /// A per-hop observation decoded from a delivered packet: `sender`
     /// transmitted to `receiver` and the first received copy carried this
@@ -254,6 +254,14 @@ impl EvidenceLog {
             },
             events,
         )
+    }
+
+    /// Builds a log that records into a caller-supplied buffer. This is
+    /// how a harness captures the stream from a run it did not build the
+    /// `Inference` for: hand the shared handle in through the attach
+    /// surface, read the events out after the run.
+    pub fn with_handle(events: Arc<Mutex<Vec<Evidence>>>) -> Self {
+        Self { events }
     }
 }
 

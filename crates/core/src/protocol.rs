@@ -268,6 +268,12 @@ pub struct SinkState {
     /// Ground-truth hop logs of delivered packets, keyed by (origin, seq).
     /// Verification/benchmark channel, not protocol state.
     pub true_hops: HashMap<(u32, u32), TrueHops>,
+    /// Whether to populate [`SinkState::true_hops`]. The log grows with
+    /// every packet ever forwarded, which dominates peak memory at
+    /// 10k-node scale; harnesses that don't read it (everything except
+    /// the fig3 re-encoding figure) switch it off. Pure recorder gate —
+    /// protocol behavior is identical either way.
+    pub record_true_hops: bool,
     /// Packets dropped for lack of a route.
     pub no_route_drops: u64,
     /// Packets dropped by the TTL guard.
@@ -496,11 +502,13 @@ impl DophyNode {
             return;
         }
         // Ground-truth hop log (harness channel).
-        shared
-            .true_hops
-            .entry((header.origin.0, header.seq))
-            .or_default()
-            .push((frame.src.0, me.0, frame.attempt));
+        if shared.record_true_hops {
+            shared
+                .true_hops
+                .entry((header.origin.0, header.seq))
+                .or_default()
+                .push((frame.src.0, me.0, frame.attempt));
+        }
         // Encode with the packet's epoch — if this node hasn't received
         // those models (or they aged out), coding is disabled for the rest
         // of the path but the packet still flows.
@@ -654,11 +662,13 @@ impl DophyNode {
         }
         shared.delivered_per_origin[header.origin.index()] += 1;
         // Complete the ground-truth hop log with the final (observed) hop.
-        shared
-            .true_hops
-            .entry((header.origin.0, header.seq))
-            .or_default()
-            .push((frame.src.0, NodeId::SINK.0, frame.attempt));
+        if shared.record_true_hops {
+            shared
+                .true_hops
+                .entry((header.origin.0, header.seq))
+                .or_default()
+                .push((frame.src.0, NodeId::SINK.0, frame.attempt));
+        }
         // Overhead accounting uses the finished stream (what would be
         // flushed on air at the last hop).
         let hops = usize::from(header.hops) + 1;
@@ -921,7 +931,7 @@ impl Protocol for DophyNode {
             if let Some(plan) = self.fault.clone() {
                 let mut bytes = msg.header.to_bytes();
                 if plan
-                    .corrupt_frame(&mut bytes, DophyHeader::FIXED_WIRE_BYTES)
+                    .corrupt_frame(ctx.node_id().0, &mut bytes, DophyHeader::FIXED_WIRE_BYTES)
                     .is_some()
                 {
                     // The corruption span carries the packet's *original*
@@ -1033,21 +1043,21 @@ pub fn build_sharded_simulation(
 /// byte-identical across shard and thread counts (but not to the
 /// single-loop engine — see the `dophy_sim::shard` docs).
 ///
+/// Frame-corruption faults are fully supported: corruption draws come
+/// from per-receiver-node RNG streams (see [`FaultPlan::corrupt_frame`]),
+/// and a node's frame-arrival order is shard- and thread-invariant, so a
+/// corrupted run stays byte-identical at every shard count.
+///
 /// # Panics
 ///
-/// Two fault/config shapes cannot keep the cross-shard determinism
-/// contract and are refused up front:
-///
-/// * **Frame-corruption faults** (`frame_corrupt_prob > 0` or
-///   `truncate_prob > 0`) draw from one global corruption stream in
-///   delivery order, which shard scheduling would scramble.
-/// * **Dissemination faster than the conservative window**: non-sink
-///   nodes must activate new model epochs no earlier than one window
-///   after a sink refresh, otherwise a same-window read of the model
-///   manager could see the flood early on some shard interleavings.
-///   This requires `max_propagation_delay / (max_depth + 1)` to exceed
-///   the window `backoff_us/2 + frame_overhead_us` — true by orders of
-///   magnitude for realistic configs.
+/// One config shape cannot keep the cross-shard determinism contract and
+/// is refused up front — **dissemination faster than the conservative
+/// window**: non-sink nodes must activate new model epochs no earlier
+/// than one window after a sink refresh, otherwise a same-window read of
+/// the model manager could see the flood early on some shard
+/// interleavings. This requires `max_propagation_delay / (max_depth + 1)`
+/// to exceed the window `backoff_us/2 + frame_overhead_us` — true by
+/// orders of magnitude for realistic configs.
 pub fn build_sharded_simulation_with_faults(
     sim: &SimConfig,
     dophy: &DophyConfig,
@@ -1058,13 +1068,6 @@ pub fn build_sharded_simulation_with_faults(
     Arc<Mutex<SinkState>>,
     Option<Arc<FaultPlan>>,
 ) {
-    if let Some(f) = faults {
-        assert!(
-            f.frame_corrupt_prob == 0.0 && f.truncate_prob == 0.0,
-            "frame-corruption faults draw from a global stream in delivery order \
-             and are not shard-deterministic; run them on the single-loop engine"
-        );
-    }
     let parts = assemble_simulation(sim, dophy, faults);
     let window_us = sim.mac.backoff_us / 2 + sim.mac.frame_overhead_us;
     let max_depth = parts
@@ -1137,6 +1140,7 @@ fn assemble_simulation(
         sent_per_origin: vec![0; n],
         delivered_per_origin: vec![0; n],
         true_hops: HashMap::new(),
+        record_true_hops: true,
         no_route_drops: 0,
         ttl_drops: 0,
         encode_disabled: 0,

@@ -1,0 +1,331 @@
+//! Drive the tomography service end to end: capture evidence from N
+//! parallel simulations, firehose it into an [`EstimateStore`], and
+//! either benchmark sustained query-under-ingest load or verify
+//! live-vs-replay byte identity.
+//!
+//! ```text
+//! dophy-serve                                  # 2 sims, bench, report to stdout
+//! dophy-serve --sims 4 --side 5 --duration 900 # bigger firehose
+//! dophy-serve --check                          # determinism check (exit 1 on mismatch)
+//! dophy-serve --bench-out target/BENCH_serve.json
+//! ```
+//!
+//! `--check` ingests the merged firehose into one store while query
+//! threads hammer it, snapshots at the half-way sequence number and at
+//! the end, then round-trips the evidence log through JSON and replays it
+//! serially into a fresh store. Both snapshots must serialize to the
+//! same bytes: a query at evidence-seq S answers identically live or
+//! replayed, regardless of concurrent query load.
+
+use dophy::infer::{EstimatorKind, Evidence};
+use dophy::protocol::DophyConfig;
+use dophy_bench::RunSpec;
+use dophy_serve::{capture, sustained_load, EstimateStore, LoadReport, ServeConfig};
+use dophy_sim::{LinkDynamics, MacConfig, Placement, RadioModel, SimConfig, SimDuration};
+use serde::Serialize;
+use std::path::PathBuf;
+
+struct Cli {
+    sims: usize,
+    side: u32,
+    duration_s: u64,
+    seed: u64,
+    shards: Option<u16>,
+    estimator: EstimatorKind,
+    publish_every: u64,
+    top_k: usize,
+    query_threads: usize,
+    jobs: usize,
+    bench_out: Option<PathBuf>,
+    check: bool,
+}
+
+const USAGE: &str = "usage: dophy-serve [--sims N] [--side S] [--duration SECS] [--seed N] \
+[--shards N] [--estimator in-band|minc|sparse-l1] [--publish-every N] [--top-k K] \
+[--query-threads N] [--jobs N] [--bench-out <path>] [--check]";
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        sims: 2,
+        side: 4,
+        duration_s: 600,
+        seed: 3,
+        shards: None,
+        estimator: EstimatorKind::InBand,
+        publish_every: 256,
+        top_k: 10,
+        query_threads: 2,
+        jobs: 2,
+        bench_out: None,
+        check: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{arg} requires a value"))
+        };
+        let parse_pos = |raw: String, what: &str| -> Result<u64, String> {
+            raw.parse::<u64>()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or_else(|| format!("{what} wants a positive integer, got {raw}"))
+        };
+        match arg {
+            "--check" => cli.check = true,
+            "--sims" => cli.sims = parse_pos(value(&mut i)?, "--sims")? as usize,
+            "--side" => cli.side = parse_pos(value(&mut i)?, "--side")? as u32,
+            "--duration" => cli.duration_s = parse_pos(value(&mut i)?, "--duration")?,
+            "--seed" => {
+                let raw = value(&mut i)?;
+                cli.seed = raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed wants an integer, got {raw}"))?;
+            }
+            "--shards" => {
+                let raw = value(&mut i)?;
+                cli.shards = Some(
+                    raw.parse::<u16>()
+                        .map_err(|_| format!("--shards wants a small integer, got {raw}"))?,
+                );
+            }
+            "--estimator" => cli.estimator = value(&mut i)?.parse()?,
+            "--publish-every" => cli.publish_every = parse_pos(value(&mut i)?, "--publish-every")?,
+            "--top-k" => cli.top_k = parse_pos(value(&mut i)?, "--top-k")? as usize,
+            "--query-threads" => {
+                cli.query_threads = parse_pos(value(&mut i)?, "--query-threads")? as usize;
+            }
+            "--jobs" | "-j" => cli.jobs = parse_pos(value(&mut i)?, "--jobs")? as usize,
+            "--bench-out" => cli.bench_out = Some(PathBuf::from(value(&mut i)?)),
+            _ => return Err(format!("unknown argument {arg}")),
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
+fn base_spec(cli: &Cli) -> RunSpec {
+    let sim = SimConfig {
+        placement: Placement::Grid {
+            side: cli.side,
+            spacing: 15.0,
+        },
+        radio: RadioModel::default(),
+        mac: MacConfig::default(),
+        dynamics: LinkDynamics::Static,
+        seed: cli.seed,
+    };
+    let mut spec = RunSpec::new(
+        sim,
+        DophyConfig {
+            traffic_period: SimDuration::from_secs(2),
+            warmup: SimDuration::from_secs(30),
+            ..DophyConfig::default()
+        },
+        SimDuration::from_secs(cli.duration_s),
+    );
+    spec.shards = cli.shards;
+    spec
+}
+
+fn serve_config(cli: &Cli, spec: &RunSpec) -> ServeConfig {
+    ServeConfig {
+        publish_every: cli.publish_every,
+        top_k: cli.top_k,
+        r: spec.sim.mac.max_attempts,
+        min_samples: spec.min_est_samples,
+    }
+}
+
+/// `BENCH_serve.json` payload.
+#[derive(Serialize)]
+struct BenchFile {
+    what: String,
+    context: BenchContext,
+    sims: usize,
+    nodes_per_sim: usize,
+    duration_s: u64,
+    estimator: String,
+    publish_every: u64,
+    load: LoadReport,
+}
+
+#[derive(Serialize)]
+struct BenchContext {
+    available_cores: usize,
+    note: &'static str,
+}
+
+fn replay_check(cli: &Cli, events: &[Evidence], cfg: ServeConfig) -> Result<(), String> {
+    // Live side: ingest under concurrent query load, checkpointing at the
+    // half-way seq and at the end.
+    let half = events.len() / 2;
+    let live = EstimateStore::new(cli.estimator, cfg);
+    let done = std::sync::atomic::AtomicBool::new(false);
+    let (live_half, live_full) = std::thread::scope(|s| {
+        for _ in 0..cli.query_threads {
+            s.spawn(|| {
+                while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                    let snap = live.snapshot();
+                    std::hint::black_box(
+                        snap.path_loss(&snap.top_k.iter().map(|&(l, _)| l).collect::<Vec<_>>()),
+                    );
+                }
+            });
+        }
+        for ev in &events[..half] {
+            live.ingest(ev);
+        }
+        let live_half = serde_json::to_string(&*live.publish_now()).unwrap();
+        for ev in &events[half..] {
+            live.ingest(ev);
+        }
+        let live_full = serde_json::to_string(&*live.publish_now()).unwrap();
+        done.store(true, std::sync::atomic::Ordering::Relaxed);
+        (live_half, live_full)
+    });
+
+    // Replay side: round-trip the log through JSON, ingest serially.
+    let json = serde_json::to_string(events).map_err(|e| format!("serialize evidence: {e}"))?;
+    let replayed: Vec<Evidence> =
+        serde_json::from_str(&json).map_err(|e| format!("replay evidence: {e}"))?;
+    if replayed != events {
+        return Err("evidence log did not round-trip through JSON".into());
+    }
+    let fresh = EstimateStore::new(cli.estimator, cfg);
+    for ev in &replayed[..half] {
+        fresh.ingest(ev);
+    }
+    let replay_half = serde_json::to_string(&*fresh.publish_now()).unwrap();
+    for ev in &replayed[half..] {
+        fresh.ingest(ev);
+    }
+    let replay_full = serde_json::to_string(&*fresh.publish_now()).unwrap();
+
+    if live_half != replay_half {
+        return Err(format!(
+            "snapshot at seq {half} differs live vs replayed ({} vs {} bytes)",
+            live_half.len(),
+            replay_half.len()
+        ));
+    }
+    if live_full != replay_full {
+        return Err(format!(
+            "final snapshot differs live vs replayed ({} vs {} bytes)",
+            live_full.len(),
+            replay_full.len()
+        ));
+    }
+    println!(
+        "determinism check PASSED: snapshots at seq {} and {} byte-identical live vs replayed \
+         ({} + {} bytes)",
+        half,
+        events.len(),
+        live_half.len(),
+        live_full.len()
+    );
+    Ok(())
+}
+
+fn run(cli: Cli) -> Result<(), String> {
+    let spec = base_spec(&cli);
+    let cfg = serve_config(&cli, &spec);
+    eprintln!(
+        "firehose: {} sims x {} nodes, {} s each (seeds {}..{}) ...",
+        cli.sims,
+        spec.sim.placement.node_count(),
+        cli.duration_s,
+        cli.seed,
+        cli.seed + cli.sims as u64 - 1
+    );
+    let hose = capture(&spec, cli.sims, cli.jobs)?;
+    for s in &hose.sims {
+        eprintln!(
+            "  sim {}: seed {} -> {} events, {} packets delivered",
+            s.sim, s.seed, s.events, s.delivered
+        );
+    }
+    eprintln!("merged firehose: {} events", hose.events.len());
+    if hose.events.is_empty() {
+        return Err("firehose captured no evidence (duration too short?)".into());
+    }
+
+    if cli.check {
+        return replay_check(&cli, &hose.events, cfg);
+    }
+
+    let store = EstimateStore::new(cli.estimator, cfg);
+    let report = sustained_load(&store, &hose.events, cli.query_threads);
+    eprintln!(
+        "load: {} events in {:.3} s = {:.0} events/s ingest, {} queries = {:.0} queries/s \
+         ({} reader threads, {} generations, {} links)",
+        report.events,
+        report.ingest_wall_s,
+        report.ingest_events_per_sec,
+        report.queries,
+        report.queries_per_sec,
+        report.query_threads,
+        report.generations,
+        report.links
+    );
+    let bench = BenchFile {
+        what: format!(
+            "dophy-serve sustained load: {} query threads against one EstimateStore ({} backend) \
+             while the merged firehose of {} simulations ingests at full speed. \
+             Regenerate with: cargo run --release -p dophy-serve -- --sims {} --side {} \
+             --duration {} --bench-out <path>",
+            cli.query_threads, cli.estimator, cli.sims, cli.sims, cli.side, cli.duration_s
+        ),
+        context: BenchContext {
+            available_cores: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            note: "queries/sec counts full query-mix rounds (snapshot + link lookup + \
+                   coverage + top-k read + path composition) completed while ingest ran; \
+                   on a single-core host reader threads timeshare with the ingest loop, \
+                   so both throughputs are conservative relative to a multi-core host",
+        },
+        sims: cli.sims,
+        nodes_per_sim: hose.node_count,
+        duration_s: cli.duration_s,
+        estimator: cli.estimator.to_string(),
+        publish_every: cli.publish_every,
+        load: report,
+    };
+    let json = serde_json::to_string_pretty(&bench)
+        .map_err(|e| format!("cannot serialize bench report: {e}"))?;
+    match &cli.bench_out {
+        Some(path) => {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir)
+                        .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+                }
+            }
+            std::fs::write(path, &json)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("bench report -> {}", path.display());
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(cli) {
+        eprintln!("dophy-serve: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # dophy-serve
+//!
+//! Tomography as a long-lived service. Everything else in this workspace
+//! runs a simulation to completion and *then* reads estimates out; this
+//! crate inverts that: a [`store::EstimateStore`] ingests a live
+//! [`dophy::infer::Evidence`] stream and answers queries **while**
+//! ingesting, from seq-tagged consistent snapshots.
+//!
+//! * [`store`] — the streaming estimate store. One writer ingests
+//!   evidence into any [`dophy::infer::EstimatorKind`] backend and
+//!   publishes an immutable [`store::StoreSnapshot`] every
+//!   `publish_every` events (a *generation*). Readers grab the current
+//!   `Arc<StoreSnapshot>` and never block ingest; every snapshot is a
+//!   consistent cut tagged with the evidence sequence number it covers,
+//!   so the same query at the same seq is byte-identical live or
+//!   replayed.
+//! * [`firehose`] — the replay/driver side: captures the typed evidence
+//!   streams of N parallel simulations (through the bench executor's
+//!   pool, via the [`dophy_bench::Instruments`] evidence tap), namespaces
+//!   each simulation's node ids into its own block, and merges the
+//!   streams into one deterministic firehose.
+//! * [`load`] — the sustained-load benchmark: query threads hammer the
+//!   store while the firehose ingests, recording queries/sec against
+//!   ingest events/sec (exported as `BENCH_serve.json` by the
+//!   `dophy-serve` binary).
+//!
+//! The `dophy-serve` binary ties the three together:
+//!
+//! ```text
+//! dophy-serve --sims 4 --side 4 --duration 600        # bench to stdout
+//! dophy-serve --check                                 # live-vs-replay byte identity
+//! dophy-serve --bench-out target/BENCH_serve.json     # persist the load report
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod firehose;
+pub mod load;
+pub mod store;
+
+pub use firehose::{capture, Firehose, SimCapture};
+pub use load::{sustained_load, LoadReport};
+pub use store::{EstimateStore, LinkCoverage, PathLossReport, ServeConfig, StoreSnapshot};

@@ -1,0 +1,91 @@
+//! Sustained-load benchmark: query threads hammer the store while the
+//! firehose ingests, and the report records queries/sec against ingest
+//! events/sec. This is the number `BENCH_serve.json` persists.
+
+use crate::store::EstimateStore;
+use dophy::infer::Evidence;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// What one sustained-load run measured.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Evidence events ingested.
+    pub events: u64,
+    /// Wall-clock seconds the ingest loop took (query threads ran the
+    /// whole time).
+    pub ingest_wall_s: f64,
+    /// Ingest throughput under concurrent query load.
+    pub ingest_events_per_sec: f64,
+    /// Queries answered while ingest was running.
+    pub queries: u64,
+    /// Query throughput while ingest was running.
+    pub queries_per_sec: f64,
+    /// Reader threads issuing queries.
+    pub query_threads: usize,
+    /// Snapshot generations published during ingest.
+    pub generations: u64,
+    /// Links the final snapshot reports.
+    pub links: usize,
+    /// Final evidence sequence number.
+    pub final_seq: u64,
+}
+
+/// Ingests `events` into `store` at full speed while `query_threads`
+/// readers run the full query mix (snapshot, per-link lookup, coverage,
+/// top-k read, path composition) in a loop. Only queries completed
+/// before ingest finishes are counted.
+pub fn sustained_load(
+    store: &EstimateStore,
+    events: &[Evidence],
+    query_threads: usize,
+) -> LoadReport {
+    let done = AtomicBool::new(false);
+    let queries = AtomicU64::new(0);
+    let ingest_wall_s = std::thread::scope(|s| {
+        for _ in 0..query_threads {
+            s.spawn(|| {
+                let mut local = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let snap = store.snapshot();
+                    // The full query mix, one round per iteration.
+                    if let Some(&(link, _)) = snap.top_k.first() {
+                        std::hint::black_box(snap.link(link));
+                        std::hint::black_box(snap.coverage(link));
+                    }
+                    let path: Vec<(u32, u32)> = snap.top_k.iter().map(|&(l, _)| l).collect();
+                    std::hint::black_box(snap.path_loss(&path));
+                    std::hint::black_box(&snap.top_k);
+                    local += 1;
+                    // Publish the count as we go so the main thread's
+                    // final read only misses in-flight queries.
+                    if local.is_multiple_of(64) {
+                        queries.fetch_add(64, Ordering::Relaxed);
+                    }
+                }
+                queries.fetch_add(local % 64, Ordering::Relaxed);
+            });
+        }
+        let t0 = std::time::Instant::now();
+        for ev in events {
+            store.ingest(ev);
+        }
+        store.publish_now();
+        let wall = t0.elapsed().as_secs_f64();
+        done.store(true, Ordering::Relaxed);
+        wall
+    });
+    let snap = store.snapshot();
+    let q = queries.load(Ordering::Relaxed);
+    LoadReport {
+        events: events.len() as u64,
+        ingest_wall_s,
+        ingest_events_per_sec: events.len() as f64 / ingest_wall_s.max(1e-9),
+        queries: q,
+        queries_per_sec: q as f64 / ingest_wall_s.max(1e-9),
+        query_threads,
+        generations: snap.generation,
+        links: snap.estimates.len(),
+        final_seq: snap.seq,
+    }
+}

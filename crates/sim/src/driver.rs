@@ -46,9 +46,10 @@ pub trait SimDriver<P: Protocol> {
     /// Installs the structured-event observer. Must be called before
     /// [`start`](Self::start).
     fn set_observer(&mut self, observer: Arc<dyn Observer>);
-    /// The hot-path profiler, when one is installed. The sharded engine
-    /// never carries one (wall-clock attribution is per-worker-thread),
-    /// so it always returns `None`.
+    /// The hot-path profiler, when one is installed. On the sharded
+    /// engine this is the run-level profiler the per-worker-thread
+    /// instances drain into at run-call boundaries, so a subsystem's wall
+    /// time aggregates across every worker thread.
     fn profiler(&self) -> Option<&Profiler>;
 }
 
@@ -114,6 +115,6 @@ impl<P: Protocol + Send> SimDriver<P> for ShardedEngine<P> {
         ShardedEngine::set_observer(self, observer);
     }
     fn profiler(&self) -> Option<&Profiler> {
-        None
+        ShardedEngine::profiler(self)
     }
 }

@@ -34,7 +34,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 const CRASH_PRONE_SALT: u64 = 0xC4A5_0001;
 /// Salt mixed into per-node crash phase-length streams.
 const CRASH_PHASE_SALT: u64 = 0xC4A5_0002;
-/// Stream id of the shared frame-corruption stream.
+/// Stream id family of the per-receiver frame-corruption streams (the
+/// receiver node id is the stream index).
 const FRAME_STREAM: u64 = 0xF7A3_E001;
 
 /// Crash/reboot fault windows: a deterministic subset of nodes alternates
@@ -179,12 +180,18 @@ pub struct FaultInjection {
 
 /// A seeded, schedulable fault source (see module docs).
 ///
-/// Shared via `Arc` across protocol instances; interior mutability keeps
-/// the corruption stream consistent in deterministic event order.
+/// Shared via `Arc` across protocol instances. Frame corruption draws
+/// from a *per-receiver-node* stream (lazily seeded from the hub with the
+/// node id as the stream index): each node's frame-receive order is
+/// deterministic and shard-invariant on the sharded engine — its Deliver
+/// events pop in `(time, key)` order inside its owning shard — so keying
+/// draws by receiver keeps faulted runs byte-identical at every shard and
+/// thread count. A single delivery-order stream would not survive shards
+/// interleaving their windows.
 pub struct FaultPlan {
     cfg: FaultConfig,
     hub: RngHub,
-    frame_rng: Mutex<SmallRng>,
+    frame_rngs: Mutex<std::collections::HashMap<u32, SmallRng>>,
     frames_corrupted: AtomicU64,
     bit_flips: AtomicU64,
     truncations: AtomicU64,
@@ -214,7 +221,7 @@ impl FaultPlan {
         Self {
             cfg,
             hub: *hub,
-            frame_rng: Mutex::new(hub.stream(StreamKind::Fault, FRAME_STREAM, 0)),
+            frame_rngs: Mutex::new(std::collections::HashMap::new()),
             frames_corrupted: AtomicU64::new(0),
             bit_flips: AtomicU64::new(0),
             truncations: AtomicU64::new(0),
@@ -238,17 +245,29 @@ impl FaultPlan {
     }
 
     /// Decides whether to corrupt a serialized frame payload and applies
-    /// the fault in place. `header_len` bounds the fixed header region the
-    /// `header_bias` knob targets. Returns what was injected, or `None`
-    /// when the frame passes untouched.
+    /// the fault in place. `receiver` is the node receiving the frame and
+    /// selects the RNG stream; `header_len` bounds the fixed header region
+    /// the `header_bias` knob targets. Returns what was injected, or
+    /// `None` when the frame passes untouched.
     ///
-    /// Call this once per received frame, in event order — the draw
-    /// sequence is part of the run's deterministic replay.
-    pub fn corrupt_frame(&self, bytes: &mut Vec<u8>, header_len: usize) -> Option<InjectedFault> {
+    /// Call this once per received frame, in the receiver's frame-arrival
+    /// order — each receiver's draw sequence is part of the run's
+    /// deterministic replay, and per-receiver ordering is exactly what the
+    /// sharded engine guarantees.
+    pub fn corrupt_frame(
+        &self,
+        receiver: u32,
+        bytes: &mut Vec<u8>,
+        header_len: usize,
+    ) -> Option<InjectedFault> {
         if self.cfg.frame_corrupt_prob <= 0.0 || bytes.is_empty() {
             return None;
         }
-        let mut rng = self.frame_rng.lock();
+        let mut streams = self.frame_rngs.lock();
+        let rng = streams.entry(receiver).or_insert_with(|| {
+            self.hub
+                .stream(StreamKind::Fault, FRAME_STREAM, u64::from(receiver))
+        });
         if rng.gen::<f64>() >= self.cfg.frame_corrupt_prob {
             return None;
         }
@@ -363,7 +382,7 @@ mod tests {
         let p = plan(FaultConfig::none());
         let mut bytes = vec![0u8; 32];
         for _ in 0..100 {
-            assert_eq!(p.corrupt_frame(&mut bytes, 20), None);
+            assert_eq!(p.corrupt_frame(7, &mut bytes, 20), None);
         }
         assert_eq!(bytes, vec![0u8; 32]);
         assert_eq!(p.injection(), FaultInjection::default());
@@ -376,7 +395,7 @@ mod tests {
             let mut mutations = Vec::new();
             for i in 0..200u8 {
                 let mut bytes = vec![i; 24];
-                let hit = p.corrupt_frame(&mut bytes, 20);
+                let hit = p.corrupt_frame(7, &mut bytes, 20);
                 mutations.push((hit.is_some(), bytes));
             }
             (mutations, p.injection())
@@ -390,7 +409,7 @@ mod tests {
         let (mut hits, n) = (0u64, 4000);
         for _ in 0..n {
             let mut bytes = vec![0xAAu8; 30];
-            if p.corrupt_frame(&mut bytes, 20).is_some() {
+            if p.corrupt_frame(7, &mut bytes, 20).is_some() {
                 hits += 1;
                 assert_ne!(bytes, vec![0xAAu8; 30], "a corrupted frame must change");
             }
@@ -413,7 +432,7 @@ mod tests {
         let p = plan(cfg);
         for _ in 0..50 {
             let mut bytes = vec![1u8; 25];
-            match p.corrupt_frame(&mut bytes, 20) {
+            match p.corrupt_frame(7, &mut bytes, 20) {
                 Some(InjectedFault::Truncated { removed }) => {
                     assert_eq!(bytes.len(), 25 - removed);
                     assert!(removed >= 1);
@@ -432,7 +451,7 @@ mod tests {
         };
         let p = plan(cfg);
         let mut bytes = vec![0u8; 20]; // fixed header only, no body
-        let fault = p.corrupt_frame(&mut bytes, 20).expect("must corrupt");
+        let fault = p.corrupt_frame(7, &mut bytes, 20).expect("must corrupt");
         assert!(matches!(
             fault,
             InjectedFault::BitFlips {

@@ -149,6 +149,39 @@ impl Profiler {
         h
     }
 
+    /// Drains every recorded sample into `target`, leaving this profiler
+    /// empty. Used by the sharded engine: each worker thread records into
+    /// its own shard-local profiler (no cross-thread cache contention on
+    /// the hot atomics) and the coordinator drains them all into the
+    /// run-level profiler at window boundaries, when workers are
+    /// quiescent behind the exchange barrier.
+    pub fn drain_into(&self, target: &Profiler) {
+        for sub in Subsystem::ALL {
+            let s = &self.stats[sub as usize];
+            let t = &target.stats[sub as usize];
+            let count = s.count.swap(0, Ordering::Relaxed);
+            if count == 0 {
+                // Still reset min/max so a stale extreme from an earlier
+                // window cannot leak into a later drain.
+                s.min_ns.store(u64::MAX, Ordering::Relaxed);
+                s.max_ns.store(0, Ordering::Relaxed);
+                continue;
+            }
+            t.count.fetch_add(count, Ordering::Relaxed);
+            t.sum_ns
+                .fetch_add(s.sum_ns.swap(0, Ordering::Relaxed), Ordering::Relaxed);
+            t.min_ns.fetch_min(
+                s.min_ns.swap(u64::MAX, Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            t.max_ns
+                .fetch_max(s.max_ns.swap(0, Ordering::Relaxed), Ordering::Relaxed);
+            for (src, dst) in s.buckets.iter().zip(&t.buckets) {
+                dst.fetch_add(src.swap(0, Ordering::Relaxed), Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Full per-subsystem report (every subsystem listed, even if its
     /// count is zero — exporters and CI checks rely on completeness).
     pub fn report(&self) -> ProfileReport {
@@ -286,6 +319,32 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         let back: ProfileReport = serde_json::from_str(&json).unwrap();
         assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn drain_into_moves_everything_and_resets() {
+        let src = Profiler::new();
+        let dst = Profiler::new();
+        src.record_ns(Subsystem::Decode, 10);
+        src.record_ns(Subsystem::Decode, 1_000);
+        src.record_ns(Subsystem::QueuePop, 7);
+        dst.record_ns(Subsystem::Decode, 500);
+        src.drain_into(&dst);
+        assert_eq!(src.count(Subsystem::Decode), 0);
+        assert_eq!(src.count(Subsystem::QueuePop), 0);
+        let h = dst.histogram(Subsystem::Decode);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1_510.0);
+        assert_eq!(h.min, 10.0);
+        assert_eq!(h.max, 1_000.0);
+        assert_eq!(dst.count(Subsystem::QueuePop), 1);
+        // A second drain from the now-empty source is a no-op, and the
+        // reset min/max cannot pollute the target.
+        src.drain_into(&dst);
+        let h2 = dst.histogram(Subsystem::Decode);
+        assert_eq!(h2.count, 3);
+        assert_eq!(h2.min, 10.0);
+        assert_eq!(h2.max, 1_000.0);
     }
 
     #[test]

@@ -56,6 +56,7 @@ use crate::obs::{
     TxEvent,
 };
 use crate::packet::{Frame, Payload, SendDone, SendToken, TimerId};
+use crate::profile::{self, Profiler, Subsystem};
 use crate::rng::{RngHub, StreamKind};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Topology};
@@ -299,9 +300,20 @@ struct Shard<P> {
     link_rngs: Vec<Option<SmallRng>>,
     ack_procs: Vec<Option<LossProcess>>,
     ack_rngs: Vec<Option<SmallRng>>,
+    /// Global link id of each owned link (parallel to `link_procs`); maps
+    /// the compact per-shard trace back to topology link ids at merge.
+    link_global: Vec<usize>,
+    /// Ground truth for *owned links only* (indexed by owner-local link
+    /// id, like `link_procs`). A full-topology trace per shard would cost
+    /// `shards × links` counter slots; see [`ShardedEngine::trace`].
     trace: Trace,
     arena: PayloadArena,
     obs: Option<ShardObserver>,
+    /// Shard-local self-profiler: each worker thread records wall time
+    /// into its own instance (no cross-thread contention on the hot
+    /// atomics); the coordinator drains them into the run-level profiler
+    /// at window boundaries. `None` when profiling is off.
+    profiler: Option<Arc<Profiler>>,
     cmd_buf: Vec<Command>,
     bcast_scratch: Vec<NodeId>,
     delivered_scratch: Vec<(SimTime, u16)>,
@@ -352,7 +364,13 @@ impl<P: Protocol> Shard<P> {
 
     /// Window-boundary phase B: run every event with `time ≤ limit`.
     fn process_until(&mut self, sx: &SharedCtx<'_>, limit: SimTime) {
-        while let Some((t, (key, ev))) = self.queue.pop_at_or_before(limit) {
+        loop {
+            let t0 = profile::start(self.profiler.as_deref());
+            let popped = self.queue.pop_at_or_before(limit);
+            profile::stop(self.profiler.as_deref(), Subsystem::QueuePop, t0);
+            let Some((t, (key, ev))) = popped else {
+                break;
+            };
             self.dispatch(sx, t, key, ev);
         }
     }
@@ -479,7 +497,7 @@ impl<P: Protocol> Shard<P> {
                 commands: &mut cmds,
                 next_token: &mut self.token_ctrs[l],
                 observer: self.obs.as_ref().map(|o| o as &dyn Observer),
-                profiler: None,
+                profiler: self.profiler.as_deref(),
             };
             f(proto, &mut ctx);
         }
@@ -634,8 +652,16 @@ impl<P: Protocol> Shard<P> {
         };
         mac.busy = true;
         match tx.dst {
-            None => self.transmit_broadcast(sx, node, tx),
-            Some(dst) => self.transmit_unicast(sx, node, dst, tx),
+            None => {
+                let t0 = profile::start(self.profiler.as_deref());
+                self.transmit_broadcast(sx, node, tx);
+                profile::stop(self.profiler.as_deref(), Subsystem::BroadcastFanout, t0);
+            }
+            Some(dst) => {
+                let t0 = profile::start(self.profiler.as_deref());
+                self.transmit_unicast(sx, node, dst, tx);
+                profile::stop(self.profiler.as_deref(), Subsystem::UnicastArq, t0);
+            }
         }
     }
 
@@ -687,7 +713,7 @@ impl<P: Protocol> Shard<P> {
                 hub.stream(StreamKind::LinkLoss, u64::from(node.0), u64::from(v.0))
             });
             let ok = self.link_procs[ll].sample(t_done, rng);
-            self.trace.record_broadcast_attempt(link_id, ok);
+            self.trace.record_broadcast_attempt(ll, ok);
             if ok {
                 self.trace.broadcast_rx += 1;
                 survivors.push(v);
@@ -862,7 +888,7 @@ impl<P: Protocol> Shard<P> {
                 hub.stream(StreamKind::LinkLoss, u64::from(node.0), u64::from(dst.0))
             });
             let data_ok = self.link_procs[ll].sample(t, rng);
-            self.trace.record_data_attempt(link_id, data_ok, tx.bytes);
+            self.trace.record_data_attempt(ll, data_ok, tx.bytes);
             if let Some(o) = &self.obs {
                 o.on_tx(
                     t,
@@ -899,7 +925,7 @@ impl<P: Protocol> Shard<P> {
                     }
                     None => false, // asymmetric link: ACK direction unusable
                 };
-                self.trace.record_ack_attempt(link_id, ack_ok, ACK_BYTES);
+                self.trace.record_ack_attempt(ll, ack_ok, ACK_BYTES);
                 if let Some(o) = &self.obs {
                     o.on_ack(
                         t_ack,
@@ -1038,6 +1064,8 @@ pub struct ShardedEngine<P: Protocol + Send> {
     threads: usize,
     started: bool,
     observer: Option<Arc<dyn Observer>>,
+    /// Run-level self-profiler the per-shard profilers drain into.
+    profiler: Option<Arc<Profiler>>,
 }
 
 impl<P: Protocol + Send> ShardedEngine<P> {
@@ -1135,13 +1163,14 @@ impl<P: Protocol + Send> ShardedEngine<P> {
         let mut proto_slots: Vec<Option<P>> = protocols.into_iter().map(Some).collect();
         let shards = members
             .iter()
+            .zip(shard_links)
             .enumerate()
-            .map(|(sid, nodes)| {
-                let link_procs: Vec<LossProcess> = shard_links[sid]
+            .map(|(sid, (nodes, link_global))| {
+                let link_procs: Vec<LossProcess> = link_global
                     .iter()
                     .map(|&g| loss_models[g].build())
                     .collect();
-                let ack_procs: Vec<Option<LossProcess>> = shard_links[sid]
+                let ack_procs: Vec<Option<LossProcess>> = link_global
                     .iter()
                     .map(|&g| {
                         let l = &topo.links()[g];
@@ -1178,11 +1207,13 @@ impl<P: Protocol + Send> ShardedEngine<P> {
                     key_ctrs: nodes.iter().map(|nd| u64::from(nd.0) << 32).collect(),
                     link_rngs: vec![None; link_procs.len()],
                     ack_rngs: vec![None; link_procs.len()],
+                    trace: Trace::with_link_count(link_procs.len()),
                     link_procs,
                     ack_procs,
-                    trace: Trace::for_topology(&topo),
+                    link_global,
                     arena: PayloadArena::new(),
                     obs: None,
+                    profiler: None,
                     cmd_buf: Vec::new(),
                     bcast_scratch: Vec::new(),
                     delivered_scratch: Vec::new(),
@@ -1206,6 +1237,7 @@ impl<P: Protocol + Send> ShardedEngine<P> {
             threads,
             started: false,
             observer: None,
+            profiler: None,
         }
     }
 
@@ -1252,6 +1284,42 @@ impl<P: Protocol + Send> ShardedEngine<P> {
         }
     }
 
+    /// Installs a hot-path self-profiler. Each worker thread records wall
+    /// time into a shard-local profiler, and the shard-local instances are
+    /// drained into `profiler` when a run call returns — so the installed
+    /// profiler is consistent whenever the caller can observe it, and a
+    /// subsystem's wall time aggregates *across* worker threads rather
+    /// than pretending one event loop did all the work. Profiling never
+    /// touches simulation state: a profiled sharded run stays
+    /// byte-identical to a bare one.
+    pub fn set_profiler(&mut self, profiler: Arc<Profiler>) {
+        self.profiler = Some(profiler);
+        for s in &mut self.shards {
+            if s.profiler.is_none() {
+                s.profiler = Some(Arc::new(Profiler::new()));
+            }
+        }
+    }
+
+    /// The installed run-level self-profiler, if any (for metric export).
+    /// Up to date at run-call boundaries (see
+    /// [`ShardedEngine::set_profiler`]).
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_deref()
+    }
+
+    /// Drains every shard-local profiler into the run-level one.
+    fn flush_profilers(&mut self) {
+        let Some(target) = &self.profiler else {
+            return;
+        };
+        for s in &self.shards {
+            if let Some(p) = &s.profiler {
+                p.drain_into(target);
+            }
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.time
@@ -1267,12 +1335,13 @@ impl<P: Protocol + Send> ShardedEngine<P> {
         &self.topo
     }
 
-    /// Merged ground-truth trace (each shard records only the traffic it
-    /// simulated; this folds the per-shard traces together).
+    /// Merged ground-truth trace (each shard records only its owned
+    /// links, compactly indexed; this maps them back to topology link
+    /// ids and folds the per-shard traces together).
     pub fn trace(&self) -> Trace {
         let mut merged = Trace::for_topology(&self.topo);
         for s in &self.shards {
-            merged.merge(&s.trace);
+            merged.merge_mapped(&s.trace, &s.link_global);
         }
         merged
     }
@@ -1369,6 +1438,7 @@ impl<P: Protocol + Send> ShardedEngine<P> {
             }
         }
         self.flush_observers();
+        self.flush_profilers();
     }
 
     /// Runs until simulated time `deadline` (events at exactly `deadline`
@@ -1413,6 +1483,7 @@ impl<P: Protocol + Send> ShardedEngine<P> {
             self.time = deadline;
         }
         self.flush_observers();
+        self.flush_profilers();
     }
 
     /// Runs for `span` of simulated time from the current clock.

@@ -57,6 +57,16 @@ impl LinkTruth {
         (tx > 0).then(|| (self.data_rx + self.bcast_rx) as f64 / tx as f64)
     }
 
+    /// Adds another link's counters into this one (trace merging).
+    fn accumulate(&mut self, src: &LinkTruth) {
+        self.data_tx += src.data_tx;
+        self.data_rx += src.data_rx;
+        self.ack_tx += src.ack_tx;
+        self.ack_rx += src.ack_rx;
+        self.bcast_tx += src.bcast_tx;
+        self.bcast_rx += src.bcast_rx;
+    }
+
     /// Counter delta `self - earlier` (for windowed truth).
     pub fn diff(&self, earlier: &LinkTruth) -> LinkTruth {
         LinkTruth {
@@ -95,8 +105,17 @@ pub struct Trace {
 impl Trace {
     /// Creates a trace sized for `topology`.
     pub fn for_topology(topology: &Topology) -> Self {
+        Self::with_link_count(topology.links().len())
+    }
+
+    /// Creates a trace with `links` counter slots. Used by shards that
+    /// record only the links they own (indexed by a shard-local id) and
+    /// fold into a full-topology trace via [`Trace::merge_mapped`]; a
+    /// full-size per-shard trace would multiply the per-link footprint
+    /// by the shard count.
+    pub fn with_link_count(links: usize) -> Self {
         Self {
-            links: vec![LinkTruth::default(); topology.links().len()],
+            links: vec![LinkTruth::default(); links],
             ..Self::default()
         }
     }
@@ -150,13 +169,32 @@ impl Trace {
             "merging traces from different topologies"
         );
         for (dst, src) in self.links.iter_mut().zip(&other.links) {
-            dst.data_tx += src.data_tx;
-            dst.data_rx += src.data_rx;
-            dst.ack_tx += src.ack_tx;
-            dst.ack_rx += src.ack_rx;
-            dst.bcast_tx += src.bcast_tx;
-            dst.bcast_rx += src.bcast_rx;
+            dst.accumulate(src);
         }
+        self.merge_scalars(other);
+    }
+
+    /// Folds a *compact* trace (one slot per owned link, see
+    /// [`Trace::with_link_count`]) into this full-topology one:
+    /// `other.links[i]` adds into `self.links[global_ids[i]]`, scalar
+    /// totals sum as in [`Trace::merge`].
+    ///
+    /// # Panics
+    /// Panics if `global_ids` is not parallel to `other`'s link slots or
+    /// maps outside this trace.
+    pub fn merge_mapped(&mut self, other: &Trace, global_ids: &[usize]) {
+        assert_eq!(
+            other.links.len(),
+            global_ids.len(),
+            "compact trace and its link map must be parallel"
+        );
+        for (src, &g) in other.links.iter().zip(global_ids) {
+            self.links[g].accumulate(src);
+        }
+        self.merge_scalars(other);
+    }
+
+    fn merge_scalars(&mut self, other: &Trace) {
         self.broadcast_tx += other.broadcast_tx;
         self.broadcast_rx += other.broadcast_rx;
         self.unicast_started += other.unicast_started;
@@ -250,6 +288,27 @@ mod tests {
         tr.unicast_acked = 9;
         tr.unicast_failed = 1;
         assert!((tr.unicast_delivery_ratio().unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_mapped_folds_compact_shard_traces() {
+        let t = topo();
+        let mut full = Trace::for_topology(&t);
+        full.record_data_attempt(5, true, 40);
+        // A shard owning global links {2, 5} records under local ids.
+        let mut shard = Trace::with_link_count(2);
+        shard.record_data_attempt(0, true, 40); // global 2
+        shard.record_data_attempt(1, false, 40); // global 5
+        shard.record_ack_attempt(1, true, 11);
+        shard.queue_drops = 3;
+        full.merge_mapped(&shard, &[2, 5]);
+        assert_eq!(full.links()[2].data_tx, 1);
+        assert_eq!(full.links()[2].data_rx, 1);
+        assert_eq!(full.links()[5].data_tx, 2);
+        assert_eq!(full.links()[5].data_rx, 1);
+        assert_eq!(full.links()[5].ack_rx, 1);
+        assert_eq!(full.queue_drops, 3);
+        assert_eq!(full.bytes_on_air, 40 + 40 + 40 + 11);
     }
 
     #[test]

@@ -235,6 +235,7 @@ fn fully_instrumented_run_is_bit_identical_and_artifacts_are_well_formed() {
             progress: false,
             profile: true,
             flight_recorder: Some(recorder.clone()),
+            ..Instruments::default()
         },
     );
 
