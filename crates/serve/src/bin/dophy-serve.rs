@@ -1,29 +1,46 @@
 //! Drive the tomography service end to end: capture evidence from N
-//! parallel simulations, firehose it into an [`EstimateStore`], and
-//! either benchmark sustained query-under-ingest load or verify
-//! live-vs-replay byte identity.
+//! parallel simulations, firehose it into a (possibly sharded) estimate
+//! store, and either benchmark sustained query-under-ingest load, verify
+//! live-vs-replay byte identity, serve the store over TCP, or query a
+//! listening service as a client.
 //!
 //! ```text
 //! dophy-serve                                  # 2 sims, bench, report to stdout
 //! dophy-serve --sims 4 --side 5 --duration 900 # bigger firehose
 //! dophy-serve --check                          # determinism check (exit 1 on mismatch)
+//! dophy-serve --check --store-shards 4         # sharded vs serial byte identity
+//! dophy-serve --ttl 300 --window 120           # freshness-bounded serving
 //! dophy-serve --bench-out target/BENCH_serve.json
+//! dophy-serve --listen 127.0.0.1:7431          # ingest, then serve over TCP
+//! dophy-serve --connect 127.0.0.1:7431 --check # compare wire answers vs local recompute
 //! ```
 //!
-//! `--check` ingests the merged firehose into one store while query
-//! threads hammer it, snapshots at the half-way sequence number and at
-//! the end, then round-trips the evidence log through JSON and replays it
-//! serially into a fresh store. Both snapshots must serialize to the
+//! `--check` (without `--connect`) ingests the merged firehose into the
+//! configured store — sharded with per-shard ingest threads when
+//! `--store-shards` > 1 — while query threads hammer it, cuts the
+//! canonical snapshot at the half-way sequence number and at the end,
+//! then round-trips the evidence log through JSON and replays it
+//! serially into a fresh *single* store. All cuts must serialize to the
 //! same bytes: a query at evidence-seq S answers identically live or
-//! replayed, regardless of concurrent query load.
+//! replayed, sharded or not, regardless of concurrent query load.
+//!
+//! `--connect ADDR --check` recomputes the same firehose locally and
+//! demands that every framed answer off the wire is byte-identical to
+//! the local in-process answer at the same evidence seq.
 
 use dophy::infer::{EstimatorKind, Evidence};
 use dophy::protocol::DophyConfig;
+use dophy::tracking::WindowConfig;
 use dophy_bench::RunSpec;
-use dophy_serve::{capture, sustained_load, EstimateStore, LoadReport, ServeConfig};
+use dophy_serve::{
+    answer_from_snapshot, capture, networked_load, sustained_load, Client, EstimateStore,
+    LoadReport, NetLoadReport, Request, Response, ServeConfig, ServeStore, ShardRanges,
+    ShardedStore, StoreSnapshot, TomographyView,
+};
 use dophy_sim::{LinkDynamics, MacConfig, Placement, RadioModel, SimConfig, SimDuration};
 use serde::Serialize;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 struct Cli {
     sims: usize,
@@ -38,11 +55,20 @@ struct Cli {
     jobs: usize,
     bench_out: Option<PathBuf>,
     check: bool,
+    store_shards: usize,
+    window_s: Option<u64>,
+    ttl_s: Option<u64>,
+    listen: Option<String>,
+    connect: Option<String>,
+    net_clients: usize,
+    net_rounds: u64,
 }
 
 const USAGE: &str = "usage: dophy-serve [--sims N] [--side S] [--duration SECS] [--seed N] \
 [--shards N] [--estimator in-band|minc|sparse-l1] [--publish-every N] [--top-k K] \
-[--query-threads N] [--jobs N] [--bench-out <path>] [--check]";
+[--query-threads N] [--jobs N] [--bench-out <path>] [--check] [--store-shards N] \
+[--window SECS] [--ttl SECS] [--listen ADDR] [--connect ADDR] [--net-clients N] \
+[--net-rounds N]";
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
@@ -58,6 +84,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         jobs: 2,
         bench_out: None,
         check: false,
+        store_shards: 1,
+        window_s: None,
+        ttl_s: None,
+        listen: None,
+        connect: None,
+        net_clients: 2,
+        net_rounds: 200,
     };
     let mut i = 0;
     while i < args.len() {
@@ -100,6 +133,17 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--jobs" | "-j" => cli.jobs = parse_pos(value(&mut i)?, "--jobs")? as usize,
             "--bench-out" => cli.bench_out = Some(PathBuf::from(value(&mut i)?)),
+            "--store-shards" => {
+                cli.store_shards = parse_pos(value(&mut i)?, "--store-shards")? as usize;
+            }
+            "--window" => cli.window_s = Some(parse_pos(value(&mut i)?, "--window")?),
+            "--ttl" => cli.ttl_s = Some(parse_pos(value(&mut i)?, "--ttl")?),
+            "--listen" => cli.listen = Some(value(&mut i)?),
+            "--connect" => cli.connect = Some(value(&mut i)?),
+            "--net-clients" => {
+                cli.net_clients = parse_pos(value(&mut i)?, "--net-clients")? as usize;
+            }
+            "--net-rounds" => cli.net_rounds = parse_pos(value(&mut i)?, "--net-rounds")?,
             _ => return Err(format!("unknown argument {arg}")),
         }
         i += 1;
@@ -137,6 +181,63 @@ fn serve_config(cli: &Cli, spec: &RunSpec) -> ServeConfig {
         top_k: cli.top_k,
         r: spec.sim.mac.max_attempts,
         min_samples: spec.min_est_samples,
+        window: cli.window_s.map(|s| WindowConfig {
+            window: SimDuration::from_secs(s),
+            ..WindowConfig::default()
+        }),
+        ttl: cli.ttl_s.map(SimDuration::from_secs),
+    }
+}
+
+/// The store the CLI asked for: a single store for `--store-shards 1`,
+/// a block-aligned sharded router otherwise. Kept as an enum (not a
+/// trait object) so the sharded variant's threaded ingest path stays
+/// reachable.
+enum CliStore {
+    Single(Arc<EstimateStore>),
+    Sharded(Arc<ShardedStore>),
+}
+
+impl CliStore {
+    /// Shard ranges align with the firehose's per-simulation node
+    /// blocks, so byte identity holds for every backend, including the
+    /// end-to-end ones.
+    fn build(cli: &Cli, cfg: ServeConfig, node_count: usize) -> Self {
+        if cli.store_shards <= 1 {
+            CliStore::Single(Arc::new(EstimateStore::new(cli.estimator, cfg)))
+        } else {
+            let ranges = ShardRanges::by_blocks(node_count as u32, cli.sims, cli.store_shards);
+            CliStore::Sharded(Arc::new(ShardedStore::new(cli.estimator, cfg, ranges)))
+        }
+    }
+
+    fn serve_store(&self) -> &dyn ServeStore {
+        match self {
+            CliStore::Single(s) => s.as_ref(),
+            CliStore::Sharded(s) => s.as_ref(),
+        }
+    }
+
+    fn view(&self) -> Arc<dyn TomographyView> {
+        match self {
+            CliStore::Single(s) => Arc::clone(s) as Arc<dyn TomographyView>,
+            CliStore::Sharded(s) => Arc::clone(s) as Arc<dyn TomographyView>,
+        }
+    }
+
+    /// Ingests a stream the way the store scales: inline for a single
+    /// store, one ingest thread per shard for the router.
+    fn ingest_stream(&self, events: &[Evidence]) {
+        match self {
+            CliStore::Single(s) => {
+                for ev in events {
+                    s.ingest(ev);
+                }
+            }
+            CliStore::Sharded(s) => {
+                s.ingest_threaded(events);
+            }
+        }
     }
 }
 
@@ -150,7 +251,9 @@ struct BenchFile {
     duration_s: u64,
     estimator: String,
     publish_every: u64,
+    store_shards: usize,
     load: LoadReport,
+    networked: NetLoadReport,
 }
 
 #[derive(Serialize)]
@@ -159,36 +262,41 @@ struct BenchContext {
     note: &'static str,
 }
 
-fn replay_check(cli: &Cli, events: &[Evidence], cfg: ServeConfig) -> Result<(), String> {
-    // Live side: ingest under concurrent query load, checkpointing at the
-    // half-way seq and at the end.
+/// Live-vs-replay byte identity at the configured shard count: the live
+/// side ingests through the CLI store (per-shard ingest threads when
+/// sharded) under concurrent query load; the replay side round-trips
+/// the log through JSON and replays it serially into a single store.
+fn replay_check(
+    cli: &Cli,
+    events: &[Evidence],
+    cfg: ServeConfig,
+    node_count: usize,
+) -> Result<(), String> {
     let half = events.len() / 2;
-    let live = EstimateStore::new(cli.estimator, cfg);
+    let live = CliStore::build(cli, cfg, node_count);
     let done = std::sync::atomic::AtomicBool::new(false);
     let (live_half, live_full) = std::thread::scope(|s| {
+        let view = live.serve_store();
         for _ in 0..cli.query_threads {
             s.spawn(|| {
                 while !done.load(std::sync::atomic::Ordering::Relaxed) {
-                    let snap = live.snapshot();
-                    std::hint::black_box(
-                        snap.path_loss(&snap.top_k.iter().map(|&(l, _)| l).collect::<Vec<_>>()),
-                    );
+                    std::hint::black_box(view.answer(&Request::TopK { k: 16 }));
+                    std::hint::black_box(view.answer(&Request::Stats));
                 }
             });
         }
-        for ev in &events[..half] {
-            live.ingest(ev);
-        }
-        let live_half = serde_json::to_string(&*live.publish_now()).unwrap();
-        for ev in &events[half..] {
-            live.ingest(ev);
-        }
-        let live_full = serde_json::to_string(&*live.publish_now()).unwrap();
+        // A sharded live store exercises its threaded ingest path; the
+        // single store ingests inline. Both cut at the same seqs.
+        live.ingest_stream(&events[..half]);
+        let live_half = serde_json::to_string(&view.publish_cut()).unwrap();
+        live.ingest_stream(&events[half..]);
+        let live_full = serde_json::to_string(&view.publish_cut()).unwrap();
         done.store(true, std::sync::atomic::Ordering::Relaxed);
         (live_half, live_full)
     });
 
-    // Replay side: round-trip the log through JSON, ingest serially.
+    // Replay side: round-trip the log through JSON, ingest serially into
+    // a single unsharded store.
     let json = serde_json::to_string(events).map_err(|e| format!("serialize evidence: {e}"))?;
     let replayed: Vec<Evidence> =
         serde_json::from_str(&json).map_err(|e| format!("replay evidence: {e}"))?;
@@ -207,32 +315,36 @@ fn replay_check(cli: &Cli, events: &[Evidence], cfg: ServeConfig) -> Result<(), 
 
     if live_half != replay_half {
         return Err(format!(
-            "snapshot at seq {half} differs live vs replayed ({} vs {} bytes)",
+            "snapshot at seq {half} differs live ({} store shard(s)) vs replayed ({} vs {} bytes)",
+            cli.store_shards,
             live_half.len(),
             replay_half.len()
         ));
     }
     if live_full != replay_full {
         return Err(format!(
-            "final snapshot differs live vs replayed ({} vs {} bytes)",
+            "final snapshot differs live ({} store shard(s)) vs replayed ({} vs {} bytes)",
+            cli.store_shards,
             live_full.len(),
             replay_full.len()
         ));
     }
     println!(
-        "determinism check PASSED: snapshots at seq {} and {} byte-identical live vs replayed \
-         ({} + {} bytes)",
+        "determinism check PASSED: snapshots at seq {} and {} byte-identical live \
+         ({} store shard(s)) vs serial replay ({} + {} bytes)",
         half,
         events.len(),
+        cli.store_shards,
         live_half.len(),
         live_full.len()
     );
     Ok(())
 }
 
-fn run(cli: Cli) -> Result<(), String> {
-    let spec = base_spec(&cli);
-    let cfg = serve_config(&cli, &spec);
+/// Captures the firehose for the CLI parameters (shared by every mode).
+fn capture_firehose(cli: &Cli) -> Result<(RunSpec, ServeConfig, dophy_serve::Firehose), String> {
+    let spec = base_spec(cli);
+    let cfg = serve_config(cli, &spec);
     eprintln!(
         "firehose: {} sims x {} nodes, {} s each (seeds {}..{}) ...",
         cli.sims,
@@ -252,13 +364,121 @@ fn run(cli: Cli) -> Result<(), String> {
     if hose.events.is_empty() {
         return Err("firehose captured no evidence (duration too short?)".into());
     }
+    Ok((spec, cfg, hose))
+}
 
-    if cli.check {
-        return replay_check(&cli, &hose.events, cfg);
+/// Server mode: ingest the firehose, publish, serve forever.
+fn run_listen(cli: &Cli, addr: &str) -> Result<(), String> {
+    let (_spec, cfg, hose) = capture_firehose(cli)?;
+    let store = CliStore::build(cli, cfg, hose.node_count);
+    store.ingest_stream(&hose.events);
+    store.serve_store().publish_cut();
+    eprintln!(
+        "store ready: seq {}, {} store shard(s); serving on {addr}",
+        store.serve_store().seq(),
+        cli.store_shards.max(1)
+    );
+    dophy_serve::listen_and_serve(addr, store.view()).map_err(|e| format!("listen on {addr}: {e}"))
+}
+
+/// Client mode: query a listening service; with `--check`, recompute the
+/// firehose locally and demand byte-identical answers at the same seq.
+fn run_connect(cli: &Cli, addr: &str) -> Result<(), String> {
+    // The peer may still be capturing its firehose before it binds
+    // (CI starts both sides together), so keep retrying for a while.
+    let mut client = Client::connect_with_retry(addr, 120, std::time::Duration::from_millis(500))
+        .map_err(|e| format!("connect to {addr}: {e}"))?;
+    let stats = client
+        .request(&Request::Stats)
+        .map_err(|e| format!("stats query: {e}"))?;
+    let Response::Stats(stats) = stats else {
+        return Err(format!("unexpected stats response: {stats:?}"));
+    };
+    println!(
+        "service at {addr}: seq {}, generation {}, {} links ({} stale), {} store shard(s)",
+        stats.seq, stats.generation, stats.links, stats.stale_links, stats.store_shards
+    );
+    if !cli.check {
+        let top = client
+            .request(&Request::TopK {
+                k: cli.top_k as u32,
+            })
+            .map_err(|e| format!("top-k query: {e}"))?;
+        if let Response::TopK { entries, .. } = top {
+            for (link, loss) in entries {
+                println!("  link {:?}: loss {loss:.4}", link);
+            }
+        }
+        return Ok(());
     }
 
-    let store = EstimateStore::new(cli.estimator, cfg);
-    let report = sustained_load(&store, &hose.events, cli.query_threads);
+    // Recompute the same firehose locally, serially, unsharded — the
+    // reference the wire answers must match byte for byte.
+    let (_spec, cfg, hose) = capture_firehose(cli)?;
+    let local = EstimateStore::new(cli.estimator, cfg);
+    for ev in &hose.events {
+        local.ingest(ev);
+    }
+    let local_cut: StoreSnapshot = (*local.publish_now()).clone();
+    if stats.seq != local_cut.seq {
+        return Err(format!(
+            "service is at seq {} but the local recompute reached {} — \
+             run both sides with identical parameters",
+            stats.seq, local_cut.seq
+        ));
+    }
+
+    let mut probes: Vec<Request> = vec![
+        Request::TopK {
+            k: cli.top_k as u32,
+        },
+        Request::Path {
+            path: local_cut.top_k.iter().map(|&(l, _)| l).collect(),
+        },
+        Request::SnapshotAt {
+            min_seq: local_cut.seq,
+        },
+    ];
+    for &(link, _) in &local_cut.estimates {
+        probes.push(Request::PerLink { link });
+        probes.push(Request::Coverage { link });
+    }
+    for &(link, _) in &local_cut.stale {
+        probes.push(Request::PerLink { link });
+    }
+    probes.push(Request::PerLink {
+        link: (u32::MAX, u32::MAX),
+    });
+
+    let mut compared = 0usize;
+    for req in &probes {
+        let wire = client
+            .request(req)
+            .map_err(|e| format!("query {req:?}: {e}"))?;
+        let local_ans = answer_from_snapshot(&local_cut, req);
+        let wire_json = serde_json::to_string(&wire).unwrap();
+        let local_json = serde_json::to_string(&local_ans).unwrap();
+        if wire_json != local_json {
+            return Err(format!(
+                "answer mismatch for {req:?}:\n  wire:  {wire_json}\n  local: {local_json}"
+            ));
+        }
+        compared += 1;
+    }
+    println!(
+        "loopback check PASSED: {compared} answers byte-identical to the local \
+         in-process store at seq {} ({} store shard(s) behind the service)",
+        local_cut.seq, stats.store_shards
+    );
+    Ok(())
+}
+
+/// Bench mode: sustained in-process load, then a loopback networked
+/// load against the populated store.
+fn run_bench(cli: &Cli) -> Result<(), String> {
+    let (_spec, cfg, hose) = capture_firehose(cli)?;
+    let store = CliStore::build(cli, cfg, hose.node_count);
+    let report = sustained_load(store.serve_store(), &hose.events, cli.query_threads);
     eprintln!(
         "load: {} events in {:.3} s = {:.0} events/s ingest, {} queries = {:.0} queries/s \
          ({} reader threads, {} generations, {} links)",
@@ -271,29 +491,66 @@ fn run(cli: Cli) -> Result<(), String> {
         report.generations,
         report.links
     );
+
+    // Networked leg: serve the (already populated) store on an ephemeral
+    // loopback port and hammer it with framed clients.
+    let listener =
+        std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind loopback: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?
+        .to_string();
+    let view = store.view();
+    std::thread::spawn(move || {
+        let _ = dophy_serve::serve(listener, view);
+    });
+    let networked = networked_load(&addr, cli.net_clients, cli.net_rounds)
+        .map_err(|e| format!("networked load against {addr}: {e}"))?;
+    eprintln!(
+        "networked: {} framed queries in {:.3} s = {:.0} queries/s \
+         ({} clients x {} rounds over loopback TCP)",
+        networked.queries,
+        networked.wall_s,
+        networked.queries_per_sec,
+        networked.client_threads,
+        networked.rounds_per_thread
+    );
+
     let bench = BenchFile {
         what: format!(
-            "dophy-serve sustained load: {} query threads against one EstimateStore ({} backend) \
-             while the merged firehose of {} simulations ingests at full speed. \
+            "dophy-serve sustained load: {} query threads against the estimate store \
+             ({} backend, {} store shard(s)) while the merged firehose of {} simulations \
+             ingests at full speed; then {} framed clients over loopback TCP. \
              Regenerate with: cargo run --release -p dophy-serve -- --sims {} --side {} \
-             --duration {} --bench-out <path>",
-            cli.query_threads, cli.estimator, cli.sims, cli.sims, cli.side, cli.duration_s
+             --duration {} --store-shards {} --bench-out <path>",
+            cli.query_threads,
+            cli.estimator,
+            cli.store_shards.max(1),
+            cli.sims,
+            cli.net_clients,
+            cli.sims,
+            cli.side,
+            cli.duration_s,
+            cli.store_shards.max(1),
         ),
         context: BenchContext {
             available_cores: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
-            note: "queries/sec counts full query-mix rounds (snapshot + link lookup + \
-                   coverage + top-k read + path composition) completed while ingest ran; \
-                   on a single-core host reader threads timeshare with the ingest loop, \
-                   so both throughputs are conservative relative to a multi-core host",
+            note: "queries/sec counts full query-mix rounds (top-k + per-link + coverage + \
+                   path + stats) through TomographyView::answer; per-class latency quantiles \
+                   are power-of-two-bucket upper bounds in microseconds; networked numbers \
+                   include framing and the loopback round trip; on a single-core host reader \
+                   threads timeshare with the ingest loop, so throughputs are conservative",
         },
         sims: cli.sims,
         nodes_per_sim: hose.node_count,
         duration_s: cli.duration_s,
         estimator: cli.estimator.to_string(),
         publish_every: cli.publish_every,
+        store_shards: cli.store_shards.max(1),
         load: report,
+        networked,
     };
     let json = serde_json::to_string_pretty(&bench)
         .map_err(|e| format!("cannot serialize bench report: {e}"))?;
@@ -312,6 +569,20 @@ fn run(cli: Cli) -> Result<(), String> {
         None => println!("{json}"),
     }
     Ok(())
+}
+
+fn run(cli: Cli) -> Result<(), String> {
+    if let Some(addr) = cli.connect.clone() {
+        return run_connect(&cli, &addr);
+    }
+    if let Some(addr) = cli.listen.clone() {
+        return run_listen(&cli, &addr);
+    }
+    if cli.check {
+        let (_spec, cfg, hose) = capture_firehose(&cli)?;
+        return replay_check(&cli, &hose.events, cfg, hose.node_count);
+    }
+    run_bench(&cli)
 }
 
 fn main() {

@@ -19,17 +19,31 @@
 //!   pool, via the [`dophy_bench::Instruments`] evidence tap), namespaces
 //!   each simulation's node ids into its own block, and merges the
 //!   streams into one deterministic firehose.
-//! * [`load`] — the sustained-load benchmark: query threads hammer the
-//!   store while the firehose ingests, recording queries/sec against
-//!   ingest events/sec (exported as `BENCH_serve.json` by the
-//!   `dophy-serve` binary).
+//! * [`shard_store`] — the link-range-sharded router: N stores behind
+//!   one [`proto::TomographyView`], with per-shard ingest threads and a
+//!   cross-shard seq barrier at publish, byte-identical to a single
+//!   store at every shard count.
+//! * [`proto`] — the versioned request/response vocabulary and the
+//!   [`proto::TomographyView`] query surface shared by both store
+//!   flavors and the wire.
+//! * [`wire`] — the length-prefixed framed codec with strict decode
+//!   limits and typed [`wire::WireError`]s.
+//! * [`net`] — TCP transport: thread-per-connection server and a
+//!   blocking framed [`net::Client`].
+//! * [`load`] — the sustained-load benchmarks (in-process and
+//!   networked): query threads hammer the store while the firehose
+//!   ingests, recording queries/sec and per-query-class latency
+//!   histograms (exported as `BENCH_serve.json` by the `dophy-serve`
+//!   binary).
 //!
-//! The `dophy-serve` binary ties the three together:
+//! The `dophy-serve` binary ties it together:
 //!
 //! ```text
 //! dophy-serve --sims 4 --side 4 --duration 600        # bench to stdout
-//! dophy-serve --check                                 # live-vs-replay byte identity
+//! dophy-serve --check --store-shards 4                # live-vs-replay byte identity
 //! dophy-serve --bench-out target/BENCH_serve.json     # persist the load report
+//! dophy-serve --listen 127.0.0.1:7431                 # serve over TCP
+//! dophy-serve --connect 127.0.0.1:7431 --check        # client vs local recompute
 //! ```
 
 #![warn(missing_docs)]
@@ -37,8 +51,26 @@
 
 pub mod firehose;
 pub mod load;
+pub mod net;
+pub mod proto;
+pub mod shard_store;
 pub mod store;
+pub mod wire;
 
 pub use firehose::{capture, Firehose, SimCapture};
-pub use load::{sustained_load, LoadReport};
-pub use store::{EstimateStore, LinkCoverage, PathLossReport, ServeConfig, StoreSnapshot};
+pub use load::{
+    networked_load, sustained_load, LoadReport, NetLoadReport, QueryClassStats, QUERY_CLASSES,
+};
+pub use net::{listen_and_serve, serve, Client};
+pub use proto::{
+    answer_from_snapshot, Request, Response, ServeStore, ServiceStats, TomographyView,
+    PROTOCOL_VERSION,
+};
+pub use shard_store::{ShardRanges, ShardedCut, ShardedStore};
+pub use store::{
+    EstimateStore, LinkCoverage, LinkKey, PathLossReport, PerLinkAnswer, ServeConfig, StoreSnapshot,
+};
+pub use wire::{
+    decode_frame, encode_frame, encode_frame_versioned, read_frame, write_frame, WireError,
+    HEADER_LEN, MAGIC, MAX_FRAME_PAYLOAD,
+};

@@ -1,14 +1,51 @@
-//! Sustained-load benchmark: query threads hammer the store while the
-//! firehose ingests, and the report records queries/sec against ingest
-//! events/sec. This is the number `BENCH_serve.json` persists.
+//! Sustained-load benchmarks: query threads hammer a store while the
+//! firehose ingests (in-process), and client threads hammer a listening
+//! service over TCP (networked). Both record **per-query-class latency
+//! histograms** through the metrics registry, so `BENCH_serve.json`
+//! distinguishes a cheap per-link lookup from a cross-shard top-k merge
+//! instead of reporting one blended queries/sec.
+//!
+//! Queries go through [`TomographyView::answer`] — the same entry point
+//! the wire protocol serves — so in-process numbers and networked
+//! numbers measure the same code path, differing only by framing and
+//! the loopback round trip.
 
-use crate::store::EstimateStore;
+use crate::net::Client;
+use crate::proto::{Request, Response, ServeStore};
+use crate::store::LinkKey;
+use crate::wire::WireError;
 use dophy::infer::Evidence;
+use dophy_sim::obs::{Histogram, MetricsRegistry};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Histogram metric name for query latencies (labelled by `class`).
+pub const LATENCY_METRIC: &str = "query_latency_us";
+
+/// The query classes both load drivers exercise, in mix order.
+pub const QUERY_CLASSES: [&str; 5] = ["top_k", "per_link", "coverage", "path", "stats"];
+
+/// Latency summary for one query class, derived from its histogram.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryClassStats {
+    /// Query class name (one of [`QUERY_CLASSES`]).
+    pub class: String,
+    /// Queries of this class measured.
+    pub count: u64,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Median latency (bucket upper bound) in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency (bucket upper bound) in microseconds.
+    pub p99_us: f64,
+    /// Worst observed latency in microseconds.
+    pub max_us: f64,
+}
 
 /// What one sustained-load run measured.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LoadReport {
     /// Evidence events ingested.
     pub events: u64,
@@ -29,54 +66,140 @@ pub struct LoadReport {
     pub links: usize,
     /// Final evidence sequence number.
     pub final_seq: u64,
+    /// Per-query-class latency summaries.
+    pub classes: Vec<QueryClassStats>,
+}
+
+/// What one networked-load run measured: client threads issuing the
+/// query mix over TCP against an already populated service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetLoadReport {
+    /// Total framed requests answered.
+    pub queries: u64,
+    /// Wall-clock seconds for the whole run.
+    pub wall_s: f64,
+    /// Networked query throughput.
+    pub queries_per_sec: f64,
+    /// Concurrent client connections.
+    pub client_threads: usize,
+    /// Query-mix rounds each client ran.
+    pub rounds_per_thread: u64,
+    /// Per-query-class round-trip latency summaries.
+    pub classes: Vec<QueryClassStats>,
+}
+
+/// Records `elapsed` for `class` into the thread-local registry.
+fn record(reg: &mut MetricsRegistry, class: &str, started: Instant) {
+    let us = started.elapsed().as_secs_f64() * 1e6;
+    reg.observe(LATENCY_METRIC, &[("class", class)], us);
+}
+
+/// Folds a thread's latency histograms into the shared aggregate.
+fn merge_registry(agg: &Mutex<MetricsRegistry>, local: &MetricsRegistry) {
+    let mut agg = agg.lock();
+    for class in QUERY_CLASSES {
+        if let Some(h) = local.histogram(LATENCY_METRIC, &[("class", class)]) {
+            let mut merged = agg
+                .histogram(LATENCY_METRIC, &[("class", class)])
+                .cloned()
+                .unwrap_or_default();
+            merged.merge(h);
+            agg.set_histogram(LATENCY_METRIC, &[("class", class)], merged);
+        }
+    }
+}
+
+/// Latency summaries per class, in mix order, from an aggregate registry.
+fn class_stats(reg: &MetricsRegistry) -> Vec<QueryClassStats> {
+    QUERY_CLASSES
+        .iter()
+        .filter_map(|&class| {
+            reg.histogram(LATENCY_METRIC, &[("class", class)])
+                .map(|h: &Histogram| QueryClassStats {
+                    class: class.to_string(),
+                    count: h.count,
+                    mean_us: h.mean(),
+                    p50_us: h.quantile(0.5),
+                    p99_us: h.quantile(0.99),
+                    max_us: h.max,
+                })
+        })
+        .collect()
+}
+
+/// One full query-mix round through `answer`, timing each class.
+/// Returns the number of queries issued.
+fn query_round(view: &dyn ServeStore, reg: &mut MetricsRegistry) -> u64 {
+    let mut issued = 0u64;
+    let t = Instant::now();
+    let topk = view.answer(&Request::TopK { k: 16 });
+    record(reg, "top_k", t);
+    issued += 1;
+    let links: Vec<LinkKey> = match &topk {
+        Response::TopK { entries, .. } => entries.iter().map(|&(l, _)| l).collect(),
+        _ => Vec::new(),
+    };
+    if let Some(&link) = links.first() {
+        let t = Instant::now();
+        std::hint::black_box(view.answer(&Request::PerLink { link }));
+        record(reg, "per_link", t);
+        let t = Instant::now();
+        std::hint::black_box(view.answer(&Request::Coverage { link }));
+        record(reg, "coverage", t);
+        issued += 2;
+    }
+    let t = Instant::now();
+    std::hint::black_box(view.answer(&Request::Path { path: links }));
+    record(reg, "path", t);
+    let t = Instant::now();
+    std::hint::black_box(view.answer(&Request::Stats));
+    record(reg, "stats", t);
+    issued + 2
 }
 
 /// Ingests `events` into `store` at full speed while `query_threads`
-/// readers run the full query mix (snapshot, per-link lookup, coverage,
-/// top-k read, path composition) in a loop. Only queries completed
+/// readers run the full query mix in a loop, timing every query by
+/// class. Works identically for a single [`crate::store::EstimateStore`]
+/// and a [`crate::shard_store::ShardedStore`]. Only queries completed
 /// before ingest finishes are counted.
 pub fn sustained_load(
-    store: &EstimateStore,
+    store: &dyn ServeStore,
     events: &[Evidence],
     query_threads: usize,
 ) -> LoadReport {
     let done = AtomicBool::new(false);
     let queries = AtomicU64::new(0);
+    let agg = Mutex::new(MetricsRegistry::new());
     let ingest_wall_s = std::thread::scope(|s| {
         for _ in 0..query_threads {
             s.spawn(|| {
+                let mut reg = MetricsRegistry::new();
                 let mut local = 0u64;
                 while !done.load(Ordering::Relaxed) {
-                    let snap = store.snapshot();
-                    // The full query mix, one round per iteration.
-                    if let Some(&(link, _)) = snap.top_k.first() {
-                        std::hint::black_box(snap.link(link));
-                        std::hint::black_box(snap.coverage(link));
-                    }
-                    let path: Vec<(u32, u32)> = snap.top_k.iter().map(|&(l, _)| l).collect();
-                    std::hint::black_box(snap.path_loss(&path));
-                    std::hint::black_box(&snap.top_k);
-                    local += 1;
+                    local += query_round(store, &mut reg);
                     // Publish the count as we go so the main thread's
                     // final read only misses in-flight queries.
-                    if local.is_multiple_of(64) {
-                        queries.fetch_add(64, Ordering::Relaxed);
+                    if local >= 64 {
+                        queries.fetch_add(local, Ordering::Relaxed);
+                        local = 0;
                     }
                 }
-                queries.fetch_add(local % 64, Ordering::Relaxed);
+                queries.fetch_add(local, Ordering::Relaxed);
+                merge_registry(&agg, &reg);
             });
         }
-        let t0 = std::time::Instant::now();
+        let t0 = Instant::now();
         for ev in events {
             store.ingest(ev);
         }
-        store.publish_now();
+        store.publish_cut();
         let wall = t0.elapsed().as_secs_f64();
         done.store(true, Ordering::Relaxed);
         wall
     });
-    let snap = store.snapshot();
+    let snap = store.current_cut();
     let q = queries.load(Ordering::Relaxed);
+    let classes = class_stats(&agg.lock());
     LoadReport {
         events: events.len() as u64,
         ingest_wall_s,
@@ -87,5 +210,85 @@ pub fn sustained_load(
         generations: snap.generation,
         links: snap.estimates.len(),
         final_seq: snap.seq,
+        classes,
     }
+}
+
+/// Hammers a listening service over TCP: `client_threads` connections
+/// each run `rounds` query-mix rounds (top-k, then per-link, coverage,
+/// path, stats against the returned top-k), timing every framed
+/// round trip by class.
+pub fn networked_load(
+    addr: &str,
+    client_threads: usize,
+    rounds: u64,
+) -> Result<NetLoadReport, WireError> {
+    let queries = AtomicU64::new(0);
+    let agg = Mutex::new(MetricsRegistry::new());
+    let failure: Mutex<Option<WireError>> = Mutex::new(None);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..client_threads.max(1) {
+            s.spawn(|| {
+                let run = || -> Result<u64, WireError> {
+                    let mut client =
+                        Client::connect_with_retry(addr, 20, std::time::Duration::from_millis(50))?;
+                    let mut reg = MetricsRegistry::new();
+                    let mut issued = 0u64;
+                    for _ in 0..rounds {
+                        let t = Instant::now();
+                        let topk = client.request(&Request::TopK { k: 16 })?;
+                        record(&mut reg, "top_k", t);
+                        issued += 1;
+                        let links: Vec<LinkKey> = match &topk {
+                            Response::TopK { entries, .. } => {
+                                entries.iter().map(|&(l, _)| l).collect()
+                            }
+                            _ => Vec::new(),
+                        };
+                        if let Some(&link) = links.first() {
+                            let t = Instant::now();
+                            client.request(&Request::PerLink { link })?;
+                            record(&mut reg, "per_link", t);
+                            let t = Instant::now();
+                            client.request(&Request::Coverage { link })?;
+                            record(&mut reg, "coverage", t);
+                            issued += 2;
+                        }
+                        let t = Instant::now();
+                        client.request(&Request::Path { path: links })?;
+                        record(&mut reg, "path", t);
+                        let t = Instant::now();
+                        client.request(&Request::Stats)?;
+                        record(&mut reg, "stats", t);
+                        issued += 2;
+                    }
+                    merge_registry(&agg, &reg);
+                    Ok(issued)
+                };
+                match run() {
+                    Ok(n) => {
+                        queries.fetch_add(n, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        failure.lock().get_or_insert(e);
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = failure.into_inner() {
+        return Err(e);
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let q = queries.load(Ordering::Relaxed);
+    let classes = class_stats(&agg.lock());
+    Ok(NetLoadReport {
+        queries: q,
+        wall_s: wall,
+        queries_per_sec: q as f64 / wall.max(1e-9),
+        client_threads: client_threads.max(1),
+        rounds_per_thread: rounds,
+        classes,
+    })
 }

@@ -1,0 +1,115 @@
+//! TCP transport: thread-per-connection server and a blocking client.
+//!
+//! The server is a thin shell around [`TomographyView::answer`] — the
+//! same method in-process callers use — so a networked answer differs
+//! from an in-process answer only by the framing around it. That is the
+//! whole byte-identity argument for the loopback smoke test: same cut,
+//! same `answer`, same JSON, same bytes.
+//!
+//! A connection is a strict request/response alternation of frames
+//! ([`crate::wire`]). Malformed input that still leaves the stream
+//! decodable at the frame level (bad payload) is answered with
+//! [`Response::Error`]; header-level defects (bad magic, version skew,
+//! oversize) get a best-effort [`Response::Error`] and then the
+//! connection closes, since frame sync cannot be trusted afterwards.
+
+use crate::proto::{Request, Response, TomographyView};
+use crate::wire::{read_frame, write_frame, WireError};
+use std::io::BufWriter;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Serves `view` on `listener` forever: one thread per connection, each
+/// answering framed [`Request`]s until the peer hangs up. Returns only
+/// if the listener itself fails.
+pub fn serve(listener: TcpListener, view: Arc<dyn TomographyView>) -> std::io::Result<()> {
+    for conn in listener.incoming() {
+        let stream = conn?;
+        let view = Arc::clone(&view);
+        std::thread::spawn(move || handle_connection(stream, view.as_ref()));
+    }
+    Ok(())
+}
+
+/// Binds `addr` and serves `view` on it forever (convenience wrapper
+/// reporting the bound address on stderr for scripted callers).
+pub fn listen_and_serve(addr: &str, view: Arc<dyn TomographyView>) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    eprintln!("dophy-serve: listening on {}", listener.local_addr()?);
+    serve(listener, view)
+}
+
+/// Answers one connection's requests until EOF or an unrecoverable
+/// framing error.
+fn handle_connection(stream: TcpStream, view: &dyn TomographyView) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match read_frame::<Request, _>(&mut reader) {
+            Ok(req) => {
+                let resp = view.answer(&req);
+                if write_frame(&mut writer, &resp).is_err() {
+                    return;
+                }
+            }
+            // A clean EOF between frames is the peer hanging up.
+            Err(WireError::Truncated { got: 0, .. }) => return,
+            Err(e @ WireError::Payload(_)) => {
+                // Frame boundaries are intact — report and keep serving.
+                if write_frame(&mut writer, &Response::Error(e.to_string())).is_err() {
+                    return;
+                }
+            }
+            Err(e) => {
+                // Header-level defect: frame sync is gone. Best-effort
+                // report, then close.
+                let _ = write_frame(&mut writer, &Response::Error(e.to_string()));
+                return;
+            }
+        }
+    }
+}
+
+/// Blocking framed client for the tomography service.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a listening service.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr).map_err(|e| WireError::Io(e.to_string()))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        Ok(Self { stream })
+    }
+
+    /// Connects, retrying up to `attempts` times `delay` apart — for
+    /// racing a server that is still binding (CI smoke, tests).
+    pub fn connect_with_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        attempts: u32,
+        delay: Duration,
+    ) -> Result<Self, WireError> {
+        let mut last = WireError::Io("no connection attempts made".to_string());
+        for _ in 0..attempts.max(1) {
+            match Self::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = e,
+            }
+            std::thread::sleep(delay);
+        }
+        Err(last)
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, WireError> {
+        write_frame(&mut self.stream, req)?;
+        read_frame(&mut self.stream)
+    }
+}

@@ -30,14 +30,32 @@
 //! across generations and, at each publish, touches only the links whose
 //! estimate actually changed since the previous generation. Queries read
 //! the precomputed `top_k` vector straight off the snapshot.
+//!
+//! ## Freshness: windows and TTL
+//!
+//! Long-lived deployments must not serve estimates forever off evidence
+//! that stopped arriving. Two independent knobs address that:
+//!
+//! * [`ServeConfig::window`] swaps the cumulative in-band backend for the
+//!   tracking crate's [`WindowedNetworkEstimator`], so estimates merge
+//!   only the most recent windows and follow drifting links;
+//! * [`ServeConfig::ttl`] ages links out wholesale: at each publish, a
+//!   link whose newest evidence is older than the TTL leaves the
+//!   estimate table and the top-k, and [`StoreSnapshot::per_link`]
+//!   answers a typed [`PerLinkAnswer::NotFresh`] carrying the last
+//!   evidence timestamp and its age.
+//!
+//! Both are deterministic functions of the evidence stream and the cut
+//! time, so every byte-identity guarantee carries over unchanged.
 
 use dophy::estimator::NetworkEstimator;
 use dophy::infer::{
     Estimator, EstimatorKind, Evidence, MincEstimator, SnapshotQuery, SparseConfig,
     SparseL1Estimator,
 };
+use dophy::tracking::{WindowConfig, WindowedNetworkEstimator};
 use dophy::LossEstimate;
-use dophy_sim::SimTime;
+use dophy_sim::{SimDuration, SimTime};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -57,6 +75,17 @@ pub struct ServeConfig {
     pub r: u16,
     /// Minimum samples for a link to be reported.
     pub min_samples: u64,
+    /// When set, the in-band backend is replaced with the tracking
+    /// backend's windowed estimator: estimates merge only the most
+    /// recent windows, so they follow drifting links instead of the
+    /// lifetime average. Only meaningful with
+    /// [`EstimatorKind::InBand`].
+    pub window: Option<WindowConfig>,
+    /// When set, a link whose last evidence is older than this at
+    /// publish time is *aged out*: it leaves the estimate table and the
+    /// top-k, and per-link queries answer a typed
+    /// [`PerLinkAnswer::NotFresh`] instead of a stale number.
+    pub ttl: Option<SimDuration>,
 }
 
 impl Default for ServeConfig {
@@ -66,8 +95,37 @@ impl Default for ServeConfig {
             top_k: 10,
             r: 7,
             min_samples: 10,
+            window: None,
+            ttl: None,
         }
     }
+}
+
+/// Typed per-link query answer: freshness is part of the contract, not a
+/// side channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PerLinkAnswer {
+    /// The link has a current estimate backed by evidence within the TTL.
+    Fresh {
+        /// The loss estimate.
+        est: LossEstimate,
+        /// Timestamp of the newest evidence backing it.
+        last_seen: SimTime,
+    },
+    /// The link was estimated once, but its newest evidence is older than
+    /// the store's TTL — the estimate has been aged out rather than
+    /// served stale.
+    NotFresh {
+        /// Timestamp of the newest evidence ever seen for the link.
+        last_seen: SimTime,
+        /// How old that evidence was at the snapshot cut.
+        age: SimDuration,
+        /// The TTL the snapshot was cut with.
+        ttl: SimDuration,
+    },
+    /// The store has never estimated this link (no evidence, or below
+    /// the minimum-sample threshold).
+    Unknown,
 }
 
 /// Per-link confidence/coverage readout.
@@ -112,21 +170,33 @@ pub struct StoreSnapshot {
     pub r: u16,
     /// Minimum-sample threshold the estimates were extracted with.
     pub min_samples: u64,
+    /// TTL the cut was aged with (`None` = estimates never expire).
+    pub ttl: Option<SimDuration>,
     /// Per-link estimates, sorted by link key.
     pub estimates: Vec<(LinkKey, LossEstimate)>,
+    /// Newest evidence timestamp per reported link, aligned with
+    /// `estimates` (entry `i` backs `estimates[i]`).
+    pub last_seen: Vec<SimTime>,
+    /// Links aged out by the TTL at this cut: `(link, newest evidence
+    /// timestamp)`, sorted by link key. They are absent from `estimates`
+    /// and `top_k` but still answer a typed [`PerLinkAnswer::NotFresh`].
+    pub stale: Vec<(LinkKey, SimTime)>,
     /// The `top_k` lossiest links, highest loss first.
     pub top_k: Vec<(LinkKey, f64)>,
 }
 
 impl StoreSnapshot {
-    fn empty(cfg: &ServeConfig) -> Self {
+    pub(crate) fn empty(cfg: &ServeConfig) -> Self {
         Self {
             seq: 0,
             generation: 0,
             now: SimTime::ZERO,
             r: cfg.r,
             min_samples: cfg.min_samples,
+            ttl: cfg.ttl,
             estimates: Vec::new(),
+            last_seen: Vec::new(),
+            stale: Vec::new(),
             top_k: Vec::new(),
         }
     }
@@ -137,6 +207,26 @@ impl StoreSnapshot {
             .binary_search_by_key(&link, |(k, _)| *k)
             .ok()
             .map(|i| &self.estimates[i].1)
+    }
+
+    /// Typed per-link answer with freshness: `Fresh` for a live estimate,
+    /// `NotFresh` for a link aged out by the TTL, `Unknown` otherwise.
+    pub fn per_link(&self, link: LinkKey) -> PerLinkAnswer {
+        if let Ok(i) = self.estimates.binary_search_by_key(&link, |(k, _)| *k) {
+            return PerLinkAnswer::Fresh {
+                est: self.estimates[i].1,
+                last_seen: self.last_seen[i],
+            };
+        }
+        if let Ok(i) = self.stale.binary_search_by_key(&link, |(k, _)| *k) {
+            let last_seen = self.stale[i].1;
+            return PerLinkAnswer::NotFresh {
+                last_seen,
+                age: self.now.since(last_seen),
+                ttl: self.ttl.unwrap_or(SimDuration::ZERO),
+            };
+        }
+        PerLinkAnswer::Unknown
     }
 
     /// Confidence/coverage for one directed link.
@@ -176,6 +266,9 @@ struct Ingest {
     seq: u64,
     generation: u64,
     now: SimTime,
+    /// Newest evidence timestamp per link ever observed (drives TTL
+    /// aging and the snapshot's `last_seen` column).
+    last_seen: BTreeMap<LinkKey, SimTime>,
     /// Last published per-link estimates, for diffing.
     prev: BTreeMap<LinkKey, LossEstimate>,
     /// Persistent ranking by `(loss bits, link)`. Loss is a non-negative
@@ -185,15 +278,56 @@ struct Ingest {
 }
 
 impl Ingest {
-    /// Builds the next generation's snapshot. Touches only links whose
-    /// estimate changed since the previous publish.
+    /// Records evidence time for every link the event carries data about.
+    fn touch_links(&mut self, ev: &Evidence) {
+        let mut touch = |link: LinkKey, at: SimTime| {
+            let t = self.last_seen.entry(link).or_insert(at);
+            if at > *t {
+                *t = at;
+            }
+        };
+        match ev {
+            Evidence::Hop {
+                at,
+                sender,
+                receiver,
+                ..
+            } => touch((*sender, *receiver), *at),
+            Evidence::PathOutcome { at, path, .. } => {
+                for &hop in path {
+                    touch(hop, *at);
+                }
+            }
+        }
+    }
+
+    /// Builds the next generation's snapshot, cut at `self.now`. Touches
+    /// only links whose estimate changed since the previous publish.
+    /// With a TTL configured, links whose newest evidence is older than
+    /// the TTL are split out as stale instead of being reported.
     fn publish(&mut self) -> Arc<StoreSnapshot> {
         let q = SnapshotQuery {
             now: self.now,
             r: self.cfg.r,
             min_samples: self.cfg.min_samples,
         };
-        let fresh = self.backend.snapshot(&q);
+        let reported = self.backend.snapshot(&q);
+        let (fresh, stale) = match self.cfg.ttl {
+            None => (reported, Vec::new()),
+            Some(ttl) => {
+                let mut fresh = Vec::with_capacity(reported.len());
+                let mut stale = Vec::new();
+                for (link, est) in reported {
+                    let seen = self.last_seen.get(&link).copied().unwrap_or(SimTime::ZERO);
+                    if self.now.since(seen) <= ttl {
+                        fresh.push((link, est));
+                    } else {
+                        stale.push((link, seen));
+                    }
+                }
+                (fresh, stale)
+            }
+        };
         let mut new_links = 0usize;
         for (link, est) in &fresh {
             match self.prev.get(link) {
@@ -227,13 +361,20 @@ impl Ingest {
             .take(self.cfg.top_k)
             .map(|&(bits, link)| (link, f64::from_bits(bits)))
             .collect();
+        let last_seen = fresh
+            .iter()
+            .map(|(k, _)| self.last_seen.get(k).copied().unwrap_or(SimTime::ZERO))
+            .collect();
         Arc::new(StoreSnapshot {
             seq: self.seq,
             generation: self.generation,
             now: self.now,
             r: self.cfg.r,
             min_samples: self.cfg.min_samples,
+            ttl: self.cfg.ttl,
             estimates: fresh,
+            last_seen,
+            stale,
             top_k,
         })
     }
@@ -246,12 +387,26 @@ pub struct EstimateStore {
 }
 
 impl EstimateStore {
-    /// Builds a store around a fresh backend of the given kind.
+    /// Builds a store around a fresh backend of the given kind. With
+    /// `cfg.window` set, the backend is the tracking crate's windowed
+    /// estimator (time-resolved in-band estimates); that combination is
+    /// only defined for [`EstimatorKind::InBand`].
+    ///
+    /// # Panics
+    ///
+    /// When `cfg.window` is set with an end-to-end estimator kind — the
+    /// windowed backend consumes in-band hop evidence only.
     pub fn new(kind: EstimatorKind, cfg: ServeConfig) -> Self {
-        let backend: Box<dyn Estimator> = match kind {
-            EstimatorKind::InBand => Box::new(NetworkEstimator::new()),
-            EstimatorKind::Minc => Box::new(MincEstimator::new()),
-            EstimatorKind::SparseL1 => Box::new(SparseL1Estimator::new(SparseConfig::default())),
+        let backend: Box<dyn Estimator> = match (kind, cfg.window) {
+            (EstimatorKind::InBand, Some(w)) => Box::new(WindowedNetworkEstimator::new(w)),
+            (EstimatorKind::InBand, None) => Box::new(NetworkEstimator::new()),
+            (EstimatorKind::Minc, None) => Box::new(MincEstimator::new()),
+            (EstimatorKind::SparseL1, None) => {
+                Box::new(SparseL1Estimator::new(SparseConfig::default()))
+            }
+            (other, Some(_)) => {
+                panic!("windowed serving requires the in-band estimator, got {other}")
+            }
         };
         Self {
             ingest: Mutex::new(Ingest {
@@ -260,6 +415,7 @@ impl EstimateStore {
                 seq: 0,
                 generation: 0,
                 now: SimTime::ZERO,
+                last_seen: BTreeMap::new(),
                 prev: BTreeMap::new(),
                 rank: BTreeSet::new(),
             }),
@@ -267,11 +423,17 @@ impl EstimateStore {
         }
     }
 
+    /// The configuration the store was built with.
+    pub fn config(&self) -> ServeConfig {
+        self.ingest.lock().cfg
+    }
+
     /// Ingests one evidence event; returns its sequence number. Publishes
     /// a new generation every `publish_every` events.
     pub fn ingest(&self, ev: &Evidence) -> u64 {
         let mut g = self.ingest.lock();
         g.backend.observe(ev);
+        g.touch_links(ev);
         g.seq += 1;
         let at = match ev {
             Evidence::Hop { at, .. } | Evidence::PathOutcome { at, .. } => *at,
@@ -290,6 +452,21 @@ impl EstimateStore {
     /// stream, or a determinism checkpoint at an exact seq).
     pub fn publish_now(&self) -> Arc<StoreSnapshot> {
         let mut g = self.ingest.lock();
+        let snap = g.publish();
+        *self.published.write() = Arc::clone(&snap);
+        snap
+    }
+
+    /// Forces a publish cut at an externally supplied query time (never
+    /// earlier than the newest ingested evidence). The sharded router
+    /// uses this so every shard ages TTLs and windows against the same
+    /// global clock, which is what keeps a merged cut byte-identical to
+    /// a single store at the same evidence seq.
+    pub fn publish_now_at(&self, now: SimTime) -> Arc<StoreSnapshot> {
+        let mut g = self.ingest.lock();
+        if now > g.now {
+            g.now = now;
+        }
         let snap = g.publish();
         *self.published.write() = Arc::clone(&snap);
         snap
@@ -330,6 +507,7 @@ mod tests {
                 top_k: 3,
                 r: 7,
                 min_samples: 5,
+                ..ServeConfig::default()
             },
         )
     }

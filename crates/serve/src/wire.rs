@@ -1,0 +1,300 @@
+//! Length-prefixed framed codec for the tomography service.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//!  offset  size  field
+//!  ------  ----  -----------------------------------------------
+//!       0     2  magic        0xD0 0xF1 ("dophy frame")
+//!       2     2  version      u16 little-endian, PROTOCOL_VERSION
+//!       4     4  payload len  u32 little-endian, bytes following
+//!       8     n  payload      UTF-8 JSON of one Request/Response
+//! ```
+//!
+//! ## Decode hardening
+//!
+//! The decoder validates in header order and fails with a typed
+//! [`WireError`] *before* committing resources: magic first, then
+//! version, then the length against [`MAX_FRAME_PAYLOAD`] — only a
+//! length that passed the cap ever drives an allocation, so a hostile
+//! 4 GiB length prefix costs nothing. Truncated input reports exactly
+//! how many bytes were expected versus present, and payloads that are
+//! not valid UTF-8 JSON of the expected type surface as
+//! [`WireError::Payload`]. The decoder never panics on any input — the
+//! `wire_proptest` suite bit-flips, truncates, and inflates frames to
+//! hold it to that.
+
+use crate::proto::PROTOCOL_VERSION;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Frame magic: the first two bytes of every frame.
+pub const MAGIC: [u8; 2] = [0xD0, 0xF1];
+
+/// Fixed header size (magic + version + payload length).
+pub const HEADER_LEN: usize = 8;
+
+/// Hard cap on payload size: frames claiming more are rejected before
+/// any allocation. Generous for full-snapshot responses, far below
+/// anything that could be used to balloon a peer's memory.
+pub const MAX_FRAME_PAYLOAD: u32 = 8 * 1024 * 1024;
+
+/// Typed decode/transport failure. Every malformed input maps to one of
+/// these — the codec has no panicking path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The first two bytes were not [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// The frame carried a protocol version this build does not speak.
+    VersionSkew {
+        /// Version in the frame header.
+        got: u16,
+        /// Version this build speaks.
+        want: u16,
+    },
+    /// The length prefix exceeded [`MAX_FRAME_PAYLOAD`].
+    Oversize {
+        /// Claimed payload length.
+        len: u32,
+        /// The cap it violated.
+        max: u32,
+    },
+    /// The input ended before the frame did.
+    Truncated {
+        /// Bytes the frame required.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The payload was not valid UTF-8 JSON of the expected type.
+    Payload(String),
+    /// Transport-level I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => {
+                write!(f, "bad frame magic {:02x}{:02x}", m[0], m[1])
+            }
+            WireError::VersionSkew { got, want } => {
+                write!(
+                    f,
+                    "protocol version skew: frame v{got}, this build speaks v{want}"
+                )
+            }
+            WireError::Oversize { len, max } => {
+                write!(f, "frame payload {len} bytes exceeds cap {max}")
+            }
+            WireError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            WireError::Payload(e) => write!(f, "bad frame payload: {e}"),
+            WireError::Io(e) => write!(f, "wire i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes one message as a complete frame (header + JSON payload).
+/// Fails with [`WireError::Oversize`] if the payload would exceed the
+/// cap the decoder enforces — an encoder must never emit a frame its
+/// peer is required to reject.
+pub fn encode_frame<T: Serialize>(msg: &T) -> Result<Vec<u8>, WireError> {
+    encode_frame_versioned(msg, PROTOCOL_VERSION)
+}
+
+/// [`encode_frame`] with an explicit header version — the test hook for
+/// exercising version-skew handling.
+pub fn encode_frame_versioned<T: Serialize>(msg: &T, version: u16) -> Result<Vec<u8>, WireError> {
+    let payload = serde_json::to_string(msg)
+        .map_err(|e| WireError::Payload(e.to_string()))?
+        .into_bytes();
+    let len = u32::try_from(payload.len()).map_err(|_| WireError::Oversize {
+        len: u32::MAX,
+        max: MAX_FRAME_PAYLOAD,
+    })?;
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(WireError::Oversize {
+            len,
+            max: MAX_FRAME_PAYLOAD,
+        });
+    }
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&version.to_le_bytes());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
+/// Validates a frame header. Returns the payload length. Checks run in
+/// header order (magic, version, length) so each error names the first
+/// defect, and nothing is allocated on any failing path.
+fn check_header(header: &[u8; HEADER_LEN]) -> Result<usize, WireError> {
+    if header[0..2] != MAGIC {
+        return Err(WireError::BadMagic([header[0], header[1]]));
+    }
+    let version = u16::from_le_bytes([header[2], header[3]]);
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::VersionSkew {
+            got: version,
+            want: PROTOCOL_VERSION,
+        });
+    }
+    let len = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_FRAME_PAYLOAD {
+        return Err(WireError::Oversize {
+            len,
+            max: MAX_FRAME_PAYLOAD,
+        });
+    }
+    Ok(len as usize)
+}
+
+/// Decodes the payload bytes into the expected message type.
+fn decode_payload<T: Deserialize>(payload: &[u8]) -> Result<T, WireError> {
+    let text = std::str::from_utf8(payload).map_err(|e| WireError::Payload(e.to_string()))?;
+    serde_json::from_str(text).map_err(|e| WireError::Payload(e.to_string()))
+}
+
+/// Decodes one frame from the front of `buf`. Returns the message and
+/// the number of bytes consumed. Never reads past the declared frame,
+/// never allocates more than the (capped) declared payload length, and
+/// returns [`WireError::Truncated`] when `buf` ends early.
+pub fn decode_frame<T: Deserialize>(buf: &[u8]) -> Result<(T, usize), WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            expected: HEADER_LEN,
+            got: buf.len(),
+        });
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header.copy_from_slice(&buf[..HEADER_LEN]);
+    let len = check_header(&header)?;
+    let total = HEADER_LEN + len;
+    if buf.len() < total {
+        return Err(WireError::Truncated {
+            expected: total,
+            got: buf.len(),
+        });
+    }
+    let msg = decode_payload(&buf[HEADER_LEN..total])?;
+    Ok((msg, total))
+}
+
+/// Reads exactly `buf.len()` bytes, reporting how many arrived when the
+/// stream ends early (so stream truncation carries the same typed
+/// diagnostics as slice truncation).
+fn read_exact_counted<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    already: usize,
+    expected: usize,
+) -> Result<(), WireError> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    expected,
+                    got: already + filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Reads and decodes one frame from a stream. The payload buffer is
+/// allocated only after the header's length passed the cap check.
+pub fn read_frame<T: Deserialize, R: Read>(r: &mut R) -> Result<T, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_counted(r, &mut header, 0, HEADER_LEN)?;
+    let len = check_header(&header)?;
+    let mut payload = vec![0u8; len];
+    read_exact_counted(r, &mut payload, HEADER_LEN, HEADER_LEN + len)?;
+    decode_payload(&payload)
+}
+
+/// Encodes and writes one frame to a stream, flushing it.
+pub fn write_frame<T: Serialize, W: Write>(w: &mut W, msg: &T) -> Result<(), WireError> {
+    let frame = encode_frame(msg)?;
+    w.write_all(&frame)
+        .map_err(|e| WireError::Io(e.to_string()))?;
+    w.flush().map_err(|e| WireError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Request;
+
+    #[test]
+    fn round_trips_a_request() {
+        let req = Request::PerLink { link: (3, 1) };
+        let frame = encode_frame(&req).unwrap();
+        assert_eq!(&frame[..2], &MAGIC);
+        let (back, used): (Request, usize) = decode_frame(&frame).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn header_defects_report_in_order() {
+        let frame = encode_frame(&Request::Stats).unwrap();
+
+        let mut bad_magic = frame.clone();
+        bad_magic[0] = 0x00;
+        assert!(matches!(
+            decode_frame::<Request>(&bad_magic),
+            Err(WireError::BadMagic([0x00, 0xF1]))
+        ));
+
+        let mut skew = frame.clone();
+        skew[2] = 0xFF;
+        assert!(matches!(
+            decode_frame::<Request>(&skew),
+            Err(WireError::VersionSkew {
+                want: PROTOCOL_VERSION,
+                ..
+            })
+        ));
+
+        let mut oversize = frame.clone();
+        oversize[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame::<Request>(&oversize),
+            Err(WireError::Oversize { len: u32::MAX, .. })
+        ));
+
+        assert!(matches!(
+            decode_frame::<Request>(&frame[..frame.len() - 1]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_reader_matches_slice_decoder() {
+        let req = Request::TopK { k: 5 };
+        let frame = encode_frame(&req).unwrap();
+        let mut cursor = std::io::Cursor::new(frame.clone());
+        let from_stream: Request = read_frame(&mut cursor).unwrap();
+        let (from_slice, _): (Request, usize) = decode_frame(&frame).unwrap();
+        assert_eq!(from_stream, from_slice);
+        // A truncated stream reports byte-accurate counts.
+        let mut short = std::io::Cursor::new(frame[..frame.len() - 2].to_vec());
+        match read_frame::<Request, _>(&mut short) {
+            Err(WireError::Truncated { expected, got }) => {
+                assert_eq!(expected, frame.len());
+                assert_eq!(got, frame.len() - 2);
+            }
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+}

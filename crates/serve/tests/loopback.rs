@@ -1,0 +1,164 @@
+//! Loopback end-to-end tests: a real TCP server answering framed
+//! queries byte-identically to the in-process query path, at one store
+//! shard and at several — plus the connection-level error contract
+//! (payload errors keep the connection, header defects close it).
+
+use dophy::infer::EstimatorKind;
+use dophy::protocol::DophyConfig;
+use dophy_bench::RunSpec;
+use dophy_serve::{
+    capture, encode_frame_versioned, serve, Client, EstimateStore, Request, Response, ServeConfig,
+    ServeStore, ShardRanges, ShardedStore, TomographyView, PROTOCOL_VERSION,
+};
+use dophy_sim::{LinkDynamics, MacConfig, Placement, RadioModel, SimConfig, SimDuration};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+fn spec(seed: u64) -> RunSpec {
+    let sim = SimConfig {
+        placement: Placement::Grid {
+            side: 4,
+            spacing: 15.0,
+        },
+        radio: RadioModel::default(),
+        mac: MacConfig::default(),
+        dynamics: LinkDynamics::Static,
+        seed,
+    };
+    let dophy = DophyConfig {
+        traffic_period: SimDuration::from_secs(2),
+        warmup: SimDuration::from_secs(30),
+        ..DophyConfig::default()
+    };
+    RunSpec::new(sim, dophy, SimDuration::from_secs(420))
+}
+
+fn cfg() -> ServeConfig {
+    ServeConfig {
+        publish_every: 128,
+        top_k: 8,
+        r: 7,
+        min_samples: 10,
+        ..ServeConfig::default()
+    }
+}
+
+/// Binds an ephemeral loopback port serving `view`; returns the address.
+fn spawn_server(view: Arc<dyn TomographyView>) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    std::thread::spawn(move || {
+        let _ = serve(listener, view);
+    });
+    addr
+}
+
+/// The acceptance criterion: a loopback client receives byte-identical
+/// answers to the in-process query path at the same evidence seq, for
+/// every probe class, at 1 and 4 store shards.
+#[test]
+fn loopback_answers_are_byte_identical_to_in_process() {
+    let hose = capture(&spec(31), 2, 2).expect("capture");
+
+    let single = Arc::new(EstimateStore::new(EstimatorKind::InBand, cfg()));
+    for ev in &hose.events {
+        ServeStore::ingest(single.as_ref(), ev);
+    }
+    let reference = single.publish_cut();
+
+    let sharded = Arc::new(ShardedStore::new(
+        EstimatorKind::InBand,
+        cfg(),
+        ShardRanges::uniform(hose.node_count as u32 * 2, 4),
+    ));
+    for ev in &hose.events {
+        sharded.ingest(ev);
+    }
+    sharded.publish_cut();
+
+    let mut probes: Vec<Request> = vec![
+        Request::TopK { k: 8 },
+        Request::Path {
+            path: reference.top_k.iter().map(|&(l, _)| l).collect(),
+        },
+        Request::PerLink {
+            link: (u32::MAX, u32::MAX),
+        },
+        Request::SnapshotAt {
+            min_seq: reference.seq,
+        },
+        Request::SnapshotAt {
+            min_seq: reference.seq + 1,
+        },
+    ];
+    for &(link, _) in &reference.estimates {
+        probes.push(Request::PerLink { link });
+        probes.push(Request::Coverage { link });
+    }
+
+    let views: [(&str, Arc<dyn TomographyView>); 2] =
+        [("single", single.clone()), ("sharded x4", sharded)];
+    for (name, view) in views {
+        let addr = spawn_server(Arc::clone(&view));
+        let mut client =
+            Client::connect_with_retry(&addr, 20, std::time::Duration::from_millis(25))
+                .expect("connect");
+        for req in &probes {
+            let wire = client.request(req).expect("framed request");
+            let local = view.answer(req);
+            assert_eq!(
+                serde_json::to_string(&wire).unwrap(),
+                serde_json::to_string(&local).unwrap(),
+                "{name}: wire answer diverged on {req:?}"
+            );
+        }
+        // The networked Stats matches in-process Stats (including the
+        // shard count, since both go through the same view).
+        let wire_stats = client.request(&Request::Stats).expect("stats");
+        assert_eq!(
+            serde_json::to_string(&wire_stats).unwrap(),
+            serde_json::to_string(&view.answer(&Request::Stats)).unwrap()
+        );
+    }
+}
+
+/// A payload-level defect (valid frame, garbage JSON) is answered with a
+/// typed `Response::Error` and the connection keeps serving; a
+/// header-level defect (version skew) gets a final error and the server
+/// closes the connection.
+#[test]
+fn connection_error_contract() {
+    let store = Arc::new(EstimateStore::new(EstimatorKind::InBand, cfg()));
+    let addr = spawn_server(store);
+
+    // Payload error: hand-frame a string that is not a Request.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let bad_payload =
+        encode_frame_versioned(&"not a request".to_string(), PROTOCOL_VERSION).expect("encode");
+    stream.write_all(&bad_payload).expect("send");
+    let resp: Response = dophy_serve::read_frame(&mut stream).expect("error response");
+    assert!(matches!(resp, Response::Error(_)), "got {resp:?}");
+    // Connection survived: a well-formed request still answers.
+    let ok = dophy_serve::encode_frame(&Request::Stats).expect("encode");
+    stream.write_all(&ok).expect("send");
+    let resp: Response = dophy_serve::read_frame(&mut stream).expect("stats after error");
+    assert!(matches!(resp, Response::Stats(_)), "got {resp:?}");
+
+    // Header defect: version skew. Error response, then EOF.
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    let skew = encode_frame_versioned(&Request::Stats, PROTOCOL_VERSION + 1).expect("encode");
+    stream.write_all(&skew).expect("send");
+    let resp: Response = dophy_serve::read_frame(&mut stream).expect("skew response");
+    match &resp {
+        Response::Error(msg) => assert!(msg.contains("version"), "unexpected error: {msg}"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // The server closes without draining the unread payload, so the OS
+    // may deliver a clean EOF or a reset — either way, no more service.
+    match dophy_serve::read_frame::<Response, _>(&mut stream) {
+        Err(dophy_serve::WireError::Truncated { got: 0, .. })
+        | Err(dophy_serve::WireError::Io(_)) => {}
+        other => panic!("expected server-side close, got {other:?}"),
+    }
+}

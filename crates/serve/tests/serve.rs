@@ -35,6 +35,7 @@ fn cfg() -> ServeConfig {
         top_k: 8,
         r: 7,
         min_samples: 10,
+        ..ServeConfig::default()
     }
 }
 

@@ -1,0 +1,336 @@
+//! Protocol fuzz/property suite for the framed wire codec.
+//!
+//! Two families of properties:
+//!
+//! 1. **Round-trip**: every [`Request`] and [`Response`] variant encodes
+//!    to a frame that decodes back to an equal value, identically via the
+//!    slice decoder and the stream reader, and encoding is canonical
+//!    (same message, same bytes).
+//! 2. **Mutation**: frames subjected to bit-flips, truncation at every
+//!    length, oversized length prefixes, version skew, and raw garbage
+//!    always produce a typed [`WireError`] or a clean decode — never a
+//!    panic, and never an allocation driven by an unvalidated length.
+
+use dophy::estimator::LossEstimate;
+use dophy_serve::{
+    decode_frame, encode_frame, encode_frame_versioned, read_frame, LinkKey, PathLossReport,
+    PerLinkAnswer, Request, Response, ServiceStats, StoreSnapshot, WireError, HEADER_LEN, MAGIC,
+    MAX_FRAME_PAYLOAD, PROTOCOL_VERSION,
+};
+use dophy_sim::{SimDuration, SimTime};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::Union;
+
+fn link() -> impl Strategy<Value = LinkKey> {
+    (0u32..512, 0u32..512)
+}
+
+fn sim_time() -> impl Strategy<Value = SimTime> {
+    (0u64..10_000_000_000).prop_map(SimTime::from_micros)
+}
+
+fn sim_duration() -> impl Strategy<Value = SimDuration> {
+    (1u64..10_000_000_000).prop_map(SimDuration::from_micros)
+}
+
+fn loss_estimate() -> impl Strategy<Value = LossEstimate> {
+    (
+        0.0f64..1.0,
+        1u64..100_000,
+        prop_oneof![Just(None::<f64>), (1e-6f64..0.5).prop_map(Some),],
+    )
+        .prop_map(|(p, n, stderr)| LossEstimate {
+            p_success: p,
+            loss: 1.0 - p,
+            n_samples: n,
+            stderr,
+        })
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        link().prop_map(|link| Request::PerLink { link }),
+        link().prop_map(|link| Request::Coverage { link }),
+        vec(link(), 0..8).prop_map(|path| Request::Path { path }),
+        (0u32..64).prop_map(|k| Request::TopK { k }),
+        Just(Request::Stats),
+        (0u64..1_000_000).prop_map(|min_seq| Request::SnapshotAt { min_seq }),
+    ]
+}
+
+fn per_link_answer() -> impl Strategy<Value = PerLinkAnswer> {
+    prop_oneof![
+        (loss_estimate(), sim_time())
+            .prop_map(|(est, last_seen)| PerLinkAnswer::Fresh { est, last_seen }),
+        (sim_time(), sim_duration(), sim_duration()).prop_map(|(last_seen, age, ttl)| {
+            PerLinkAnswer::NotFresh {
+                last_seen,
+                age,
+                ttl,
+            }
+        }),
+        Just(PerLinkAnswer::Unknown),
+    ]
+}
+
+fn snapshot() -> impl Strategy<Value = StoreSnapshot> {
+    (
+        0u64..1_000_000,
+        0u64..10_000,
+        sim_time(),
+        1u16..16,
+        0u64..100,
+        prop_oneof![Just(None::<SimDuration>), sim_duration().prop_map(Some)],
+        vec((link(), loss_estimate(), sim_time()), 0..12),
+        vec((link(), sim_time()), 0..6),
+        vec((link(), 0.0f64..1.0), 0..8),
+    )
+        .prop_map(
+            |(seq, generation, now, r, min_samples, ttl, links, stale, top_k)| {
+                let mut estimates = Vec::new();
+                let mut last_seen = Vec::new();
+                for (l, est, seen) in links {
+                    estimates.push((l, est));
+                    last_seen.push(seen);
+                }
+                StoreSnapshot {
+                    seq,
+                    generation,
+                    now,
+                    r,
+                    min_samples,
+                    ttl,
+                    estimates,
+                    last_seen,
+                    stale,
+                    top_k,
+                }
+            },
+        )
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    let ascii = vec(32u8..127, 0..24).prop_map(|b| String::from_utf8(b).expect("ascii"));
+    prop_oneof![
+        (0u64..1_000_000, per_link_answer())
+            .prop_map(|(seq, answer)| Response::PerLink { seq, answer }),
+        (
+            0u64..1_000_000,
+            prop_oneof![
+                Just(None),
+                (
+                    1u64..100_000,
+                    prop_oneof![Just(None::<f64>), (1e-6f64..0.5).prop_map(Some),]
+                )
+                    .prop_map(|(n_samples, stderr)| Some(
+                        dophy_serve::LinkCoverage { n_samples, stderr }
+                    )),
+            ]
+        )
+            .prop_map(|(seq, coverage)| Response::Coverage { seq, coverage }),
+        (
+            0u64..1_000_000,
+            0usize..10,
+            0usize..10,
+            0.0f64..1.0,
+            0.0f64..1.0
+        )
+            .prop_map(|(seq, hops, known, dp, raw)| Response::Path {
+                seq,
+                report: PathLossReport {
+                    hops,
+                    known_hops: known.min(hops),
+                    delivery_prob: dp,
+                    raw_success: raw,
+                },
+            }),
+        (0u64..1_000_000, vec((link(), 0.0f64..1.0), 0..10))
+            .prop_map(|(seq, entries)| Response::TopK { seq, entries }),
+        (
+            0u64..1_000_000,
+            0u64..10_000,
+            sim_time(),
+            0u64..1000,
+            0u64..1000,
+            1u64..64
+        )
+            .prop_map(|(seq, generation, now, links, stale_links, store_shards)| {
+                Response::Stats(ServiceStats {
+                    seq,
+                    generation,
+                    now,
+                    links,
+                    stale_links,
+                    store_shards,
+                })
+            }),
+        snapshot().prop_map(Response::Snapshot),
+        (0u64..1_000_000, 0u64..1_000_000)
+            .prop_map(|(have_seq, want_seq)| Response::NotReady { have_seq, want_seq }),
+        ascii.prop_map(Response::Error),
+    ]
+}
+
+/// Either direction of the protocol, as raw frames, for mutation tests.
+fn any_frame() -> impl Strategy<Value = Vec<u8>> {
+    let req = request().prop_map(|r| encode_frame(&r).expect("encode request"));
+    let resp = response().prop_map(|r| encode_frame(&r).expect("encode response"));
+    Union::new(vec![req.boxed(), resp.boxed()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn request_round_trips_both_decoders(req in request()) {
+        let frame = encode_frame(&req).expect("encode");
+        prop_assert_eq!(&frame[..2], &MAGIC);
+        let (slice, used): (Request, usize) = decode_frame(&frame).expect("slice decode");
+        prop_assert_eq!(used, frame.len());
+        prop_assert_eq!(&slice, &req);
+        let mut cursor = std::io::Cursor::new(frame.clone());
+        let stream: Request = read_frame(&mut cursor).expect("stream decode");
+        prop_assert_eq!(&stream, &req);
+        // Canonical encode: same message, same bytes.
+        prop_assert_eq!(encode_frame(&req).expect("re-encode"), frame);
+    }
+
+    #[test]
+    fn response_round_trips_both_decoders(resp in response()) {
+        let frame = encode_frame(&resp).expect("encode");
+        let (slice, used): (Response, usize) = decode_frame(&frame).expect("slice decode");
+        prop_assert_eq!(used, frame.len());
+        prop_assert_eq!(&slice, &resp);
+        let mut cursor = std::io::Cursor::new(frame.clone());
+        let stream: Response = read_frame(&mut cursor).expect("stream decode");
+        prop_assert_eq!(&stream, &resp);
+        prop_assert_eq!(encode_frame(&resp).expect("re-encode"), frame);
+    }
+
+    #[test]
+    fn bit_flips_never_panic(frame in any_frame(), flip in 0usize..4096) {
+        let mut mutated = frame.clone();
+        let bit = flip % (mutated.len() * 8);
+        mutated[bit / 8] ^= 1 << (bit % 8);
+        // Decode must return — any Ok (payload flip landing on another
+        // valid encoding) or any typed error is acceptable; a panic or
+        // abort is not.
+        let slice_result = decode_frame::<Response>(&mutated);
+        let mut cursor = std::io::Cursor::new(mutated.clone());
+        let stream_result = read_frame::<Response, _>(&mut cursor);
+        // Header flips are classified, in header order.
+        if bit / 8 < 2 && mutated[..2] != MAGIC {
+            prop_assert!(matches!(slice_result, Err(WireError::BadMagic(_))));
+        } else if (2..4).contains(&(bit / 8)) {
+            prop_assert!(matches!(
+                slice_result,
+                Err(WireError::VersionSkew { want: PROTOCOL_VERSION, .. })
+            ));
+        }
+        // Both decoders agree on whether the mutation was fatal.
+        prop_assert_eq!(slice_result.is_ok(), stream_result.is_ok());
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_typed(frame in any_frame()) {
+        for cut in 0..frame.len() {
+            match decode_frame::<Response>(&frame[..cut]) {
+                Err(WireError::Truncated { expected, got }) => {
+                    prop_assert_eq!(got, cut);
+                    let want = if cut < HEADER_LEN { HEADER_LEN } else { frame.len() };
+                    prop_assert_eq!(expected, want);
+                }
+                other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+            }
+            // The stream reader reports the identical byte counts.
+            let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+            match read_frame::<Response, _>(&mut cursor) {
+                Err(WireError::Truncated { got, .. }) => prop_assert_eq!(got, cut),
+                other => panic!("stream cut {cut}: got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation(
+        frame in any_frame(),
+        excess in 1u32..u32::MAX - MAX_FRAME_PAYLOAD,
+    ) {
+        let mut inflated = frame;
+        let len = MAX_FRAME_PAYLOAD + excess;
+        inflated[4..8].copy_from_slice(&len.to_le_bytes());
+        prop_assert_eq!(
+            decode_frame::<Response>(&inflated),
+            Err(WireError::Oversize { len, max: MAX_FRAME_PAYLOAD })
+        );
+        // The stream reader rejects from the 8-byte header alone: no
+        // payload bytes are ever requested, so a hostile length prefix
+        // cannot drive an allocation.
+        let mut cursor = std::io::Cursor::new(inflated[..HEADER_LEN].to_vec());
+        prop_assert_eq!(
+            read_frame::<Response, _>(&mut cursor),
+            Err(WireError::Oversize { len, max: MAX_FRAME_PAYLOAD })
+        );
+        prop_assert_eq!(cursor.position() as usize, HEADER_LEN);
+    }
+
+    #[test]
+    fn version_skew_is_typed(req in request(), version in 0u16..u16::MAX) {
+        let version = if version == PROTOCOL_VERSION { version + 1 } else { version };
+        let frame = encode_frame_versioned(&req, version).expect("encode");
+        prop_assert_eq!(
+            decode_frame::<Request>(&frame),
+            Err(WireError::VersionSkew { got: version, want: PROTOCOL_VERSION })
+        );
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = decode_frame::<Request>(&bytes);
+        let _ = decode_frame::<Response>(&bytes);
+        let mut cursor = std::io::Cursor::new(bytes);
+        let _ = read_frame::<Response, _>(&mut cursor);
+    }
+
+    #[test]
+    fn payload_mutations_decode_or_fail_typed(
+        resp in response(),
+        noise in vec((0usize..4096, 0u8..8), 1..6),
+    ) {
+        let mut frame = encode_frame(&resp).expect("encode");
+        assert!(frame.len() > HEADER_LEN, "every payload is non-empty JSON");
+        let span = frame.len() - HEADER_LEN;
+        for (off, bit) in noise {
+            frame[HEADER_LEN + off % span] ^= 1 << bit;
+        }
+        // Header untouched: the only legal outcomes are a clean decode of
+        // some value or a typed payload error.
+        match decode_frame::<Response>(&frame) {
+            Ok((_, used)) => prop_assert_eq!(used, frame.len()),
+            Err(WireError::Payload(_)) => {}
+            Err(other) => panic!("payload flip produced header error {other:?}"),
+        }
+    }
+}
+
+/// A frame claiming exactly the cap is still structurally valid — the cap
+/// is a limit on payloads, not a smaller undocumented bound.
+#[test]
+fn cap_boundary_is_exact() {
+    let frame = encode_frame(&Request::Stats).unwrap();
+    let mut at_cap = frame.clone();
+    at_cap[4..8].copy_from_slice(&MAX_FRAME_PAYLOAD.to_le_bytes());
+    // Length passes the cap check and the decoder then reports the frame
+    // truncated (we did not supply 8 MiB of payload), not oversized.
+    assert!(matches!(
+        decode_frame::<Request>(&at_cap),
+        Err(WireError::Truncated { .. })
+    ));
+    let mut over = frame;
+    over[4..8].copy_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+    assert!(matches!(
+        decode_frame::<Request>(&over),
+        Err(WireError::Oversize { .. })
+    ));
+}
